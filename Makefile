@@ -1,0 +1,44 @@
+# edgebench-go — stdlib-only Go reproduction of the IISWC'19 edgeBench study.
+
+GO ?= go
+
+.PHONY: all build vet test cover bench reproduce sweep examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus the extensions.
+reproduce:
+	$(GO) run ./cmd/edgebench -all
+
+# Full-factorial characterization CSV (the open-source-harness artifact).
+sweep:
+	$(GO) run ./cmd/edgesweep -extensions -o sweep.csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dronepatrol
+	$(GO) run ./examples/smartcamera
+	$(GO) run ./examples/fleetplanner
+	$(GO) run ./examples/trainlab
+
+# The paper-vs-model calibration audit.
+audit:
+	$(GO) run ./cmd/calibrate
+
+clean:
+	rm -f sweep.csv test_output.txt bench_output.txt

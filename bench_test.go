@@ -1,0 +1,175 @@
+// Package edgebench's top-level benchmarks regenerate every table and
+// figure of the paper (deliverable d): one testing.B benchmark per
+// artifact, each reporting the artifact's headline quantity as a custom
+// metric so `go test -bench=. -benchmem` prints the reproduction
+// alongside Go's timing. Detailed paper-vs-measured numbers live in
+// EXPERIMENTS.md and come from `go run ./cmd/edgebench -all`.
+package edgebench
+
+import (
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/harness"
+	"edgebench/internal/model"
+	"edgebench/internal/paperdata"
+	"edgebench/internal/power"
+	"edgebench/internal/stats"
+)
+
+// benchExperiment runs one harness experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTableIII(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTableIV(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTableV(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkTableVI(b *testing.B)  { benchExperiment(b, "table6") }
+
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFigure2 regenerates the best-framework-per-device figure and
+// reports the modeled RPi/EdgeTPU spread for MobileNet-v2.
+func BenchmarkFigure2(b *testing.B) {
+	benchExperiment(b, "fig2")
+	rpi, _, err := harness.BestOnDevice("MobileNet-v2", "RPi3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tpu, _, err := harness.BestOnDevice("MobileNet-v2", "EdgeTPU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rpi/tpu, "rpi/edgetpu-x")
+}
+
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFigure7 reports the TensorRT-over-PyTorch average speedup
+// (paper: 4.1x).
+func BenchmarkFigure7(b *testing.B) {
+	benchExperiment(b, "fig7")
+	var sp []float64
+	for m := range paperdata.Fig7Nano {
+		pt := mustSeconds(b, m, "PyTorch", "JetsonNano")
+		rt := mustSeconds(b, m, "TensorRT", "JetsonNano")
+		sp = append(sp, pt/rt)
+	}
+	b.ReportMetric(stats.Mean(sp), "trt-speedup-x")
+}
+
+// BenchmarkFigure8 reports the TFLite speedups (paper: 1.58x over TF,
+// 4.53x over PyTorch).
+func BenchmarkFigure8(b *testing.B) {
+	benchExperiment(b, "fig8")
+	var spTF, spPT []float64
+	for m := range paperdata.Fig8RPi {
+		tfl := mustSeconds(b, m, "TFLite", "RPi3")
+		spTF = append(spTF, mustSeconds(b, m, "TensorFlow", "RPi3")/tfl)
+		spPT = append(spPT, mustSeconds(b, m, "PyTorch", "RPi3")/tfl)
+	}
+	b.ReportMetric(stats.Mean(spTF), "tflite/tf-x")
+	b.ReportMetric(stats.Mean(spPT), "tflite/pytorch-x")
+}
+
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFigure10 reports the HPC-over-TX2 geomean (paper: ~3x).
+func BenchmarkFigure10(b *testing.B) {
+	benchExperiment(b, "fig10")
+	var sp []float64
+	for _, m := range []string{"ResNet-50", "VGG16", "Inception-v4", "C3D"} {
+		tx2 := mustSeconds(b, m, "PyTorch", "JetsonTX2")
+		for _, d := range []string{"Xeon", "GTXTitanX", "TitanXp", "RTX2080"} {
+			sp = append(sp, tx2/mustSeconds(b, m, "PyTorch", d))
+		}
+	}
+	b.ReportMetric(stats.GeoMean(sp), "hpc-geomean-x")
+}
+
+// BenchmarkFigure11 reports the EdgeTPU MobileNet-v2 energy (paper:
+// ~11 mJ).
+func BenchmarkFigure11(b *testing.B) {
+	benchExperiment(b, "fig11")
+	s, err := core.New("MobileNet-v2", "TFLite", "EdgeTPU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(power.EnergyPerInferenceJ(s)*1e3, "edgetpu-mJ")
+}
+
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFigure13 reports the Docker slowdown (paper: within 5%).
+func BenchmarkFigure13(b *testing.B) {
+	benchExperiment(b, "fig13")
+	s, err := core.New("ResNet-50", "TensorFlow", "RPi3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bare := s.InferenceSeconds()
+	s.Docker = true
+	b.ReportMetric(100*(s.InferenceSeconds()/bare-1), "docker-%")
+}
+
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkSessionLatencyModel measures the cost of one full analytic
+// evaluation (lowering excluded).
+func BenchmarkSessionLatencyModel(b *testing.B) {
+	s, err := core.New("ResNet-50", "TensorRT", "JetsonNano")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.InferenceSeconds()
+	}
+}
+
+// BenchmarkSessionConstruction measures session setup including the
+// framework lowering pipeline over a mid-sized model.
+func BenchmarkSessionConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New("ResNet-50", "TensorRT", "JetsonNano"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelZooBuild measures structural graph construction for the
+// whole Table I zoo.
+func BenchmarkModelZooBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, s := range model.All() {
+			_ = s.GFLOPs()
+		}
+	}
+}
+
+func mustSeconds(b *testing.B, m, fw, dev string) float64 {
+	b.Helper()
+	s, err := core.New(m, fw, dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.InferenceSeconds()
+}

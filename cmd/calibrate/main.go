@@ -1,0 +1,168 @@
+// Command calibrate compares the latency model's predictions against
+// every anchor the paper reports, printing per-bar deviations and the
+// figure-level aggregate ratios. It is the tool used to tune
+// internal/core/calibration.go; EXPERIMENTS.md records its final output.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"edgebench/internal/core"
+	"edgebench/internal/paperdata"
+	"edgebench/internal/stats"
+)
+
+func predict(model, fw, dev string) (float64, error) {
+	s, err := core.New(model, fw, dev)
+	if err != nil {
+		return 0, err
+	}
+	return s.InferenceSeconds(), nil
+}
+
+func row(label string, pred, paper float64) {
+	dev := 100 * (pred/paper - 1)
+	flag := ""
+	if dev > 50 || dev < -35 {
+		flag = "  <<<"
+	}
+	fmt.Printf("  %-42s pred %10.4fs  paper %10.4fs  %+7.1f%%%s\n", label, pred, paper, dev, flag)
+}
+
+func main() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("== Fig 2 anchors (best framework per device) ==")
+	fig2fw := map[string]map[string]string{} // device -> model -> fw override
+	defaultFw := map[string]string{
+		"RPi3": "TFLite", "JetsonTX2": "PyTorch", "JetsonNano": "TensorRT",
+		"EdgeTPU": "TFLite", "Movidius": "NCSDK", "PYNQ-Z1": "TVM",
+	}
+	fig2fw["RPi3"] = map[string]string{
+		"AlexNet": "PyTorch", "VGG16": "PyTorch", "C3D": "PyTorch",
+		"TinyYolo": "TensorFlow",
+	}
+	devOrder := []string{"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU", "Movidius", "PYNQ-Z1"}
+	for _, dev := range devOrder {
+		models := paperdata.Fig2BestSeconds[dev]
+		var names []string
+		for m := range models {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			fw := defaultFw[dev]
+			if o, ok := fig2fw[dev][m]; ok {
+				fw = o
+			}
+			pred, err := predict(m, fw, dev)
+			if err != nil {
+				fmt.Printf("  %-42s ERROR %v\n", dev+" "+m+" ("+fw+")", err)
+				continue
+			}
+			row(dev+" "+m+" ("+fw+")", pred, models[m])
+		}
+	}
+
+	fmt.Println("== Fig 7: Nano PyTorch vs TensorRT ==")
+	var speedups []float64
+	var names []string
+	for m := range paperdata.Fig7Nano {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		a := paperdata.Fig7Nano[m]
+		pt, err := predict(m, "PyTorch", "JetsonNano")
+		if err != nil {
+			fail(err)
+		}
+		rt, err := predict(m, "TensorRT", "JetsonNano")
+		if err != nil {
+			fail(err)
+		}
+		row("Nano/PT "+m, pt, a.PyTorch)
+		row("Nano/TRT "+m, rt, a.TensorRT)
+		speedups = append(speedups, pt/rt)
+	}
+	fmt.Printf("  TensorRT avg speedup: pred %.2fx, paper %.2fx\n", stats.Mean(speedups), paperdata.Fig7AvgSpeedup)
+
+	fmt.Println("== Fig 8: RPi PyTorch / TF / TFLite ==")
+	var spTF, spPT []float64
+	names = names[:0]
+	for m := range paperdata.Fig8RPi {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		a := paperdata.Fig8RPi[m]
+		pt, err := predict(m, "PyTorch", "RPi3")
+		if err != nil {
+			fail(err)
+		}
+		tf, err := predict(m, "TensorFlow", "RPi3")
+		if err != nil {
+			fail(err)
+		}
+		tfl, err := predict(m, "TFLite", "RPi3")
+		if err != nil {
+			fail(err)
+		}
+		row("RPi/PT "+m, pt, a.PyTorch)
+		row("RPi/TF "+m, tf, a.TensorFlow)
+		row("RPi/TFLite "+m, tfl, a.TFLite)
+		spTF = append(spTF, tf/tfl)
+		spPT = append(spPT, pt/tfl)
+	}
+	fmt.Printf("  TFLite avg speedup over TF: pred %.2fx, paper %.2fx\n", stats.Mean(spTF), paperdata.Fig8AvgSpeedupTF)
+	fmt.Printf("  TFLite avg speedup over PT: pred %.2fx, paper %.2fx\n", stats.Mean(spPT), paperdata.Fig8AvgSpeedupPT)
+
+	fmt.Println("== Fig 9/10: HPC speedups over TX2 (PyTorch) ==")
+	hpc := []string{"Xeon", "GTXTitanX", "TitanXp", "RTX2080"}
+	models := []string{"ResNet-18", "ResNet-50", "ResNet-101", "MobileNet-v2",
+		"Inception-v4", "AlexNet", "VGG16", "VGG19", "VGG-S", "YOLOv3", "TinyYolo", "C3D"}
+	var all []float64
+	for _, m := range models {
+		tx2, err := predict(m, "PyTorch", "JetsonTX2")
+		if err != nil {
+			fail(err)
+		}
+		line := fmt.Sprintf("  %-18s TX2 %8.1fms |", m, tx2*1e3)
+		for _, d := range hpc {
+			t, err := predict(m, "PyTorch", d)
+			if err != nil {
+				fail(err)
+			}
+			sp := tx2 / t
+			all = append(all, sp)
+			line += fmt.Sprintf(" %s %5.2fx", d, sp)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  geomean speedup: pred %.2fx, paper ~%.1fx\n", stats.GeoMean(all), paperdata.Fig10GeomeanSpeedup)
+
+	fmt.Println("== Fig 3/4 framework ordering spot checks ==")
+	for _, m := range []string{"MobileNet-v2", "ResNet-50"} {
+		for _, fw := range []string{"TensorFlow", "Caffe", "PyTorch", "DarkNet"} {
+			p, err := predict(m, fw, "RPi3")
+			if err != nil {
+				fmt.Printf("  RPi %s/%s: %v\n", m, fw, err)
+				continue
+			}
+			fmt.Printf("  RPi %-14s %-12s %8.2fs\n", m, fw, p)
+		}
+		for _, fw := range []string{"TensorFlow", "Caffe", "PyTorch", "DarkNet"} {
+			p, err := predict(m, fw, "JetsonTX2")
+			if err != nil {
+				fmt.Printf("  TX2 %s/%s: %v\n", m, fw, err)
+				continue
+			}
+			fmt.Printf("  TX2 %-14s %-12s %8.1fms\n", m, fw, p*1e3)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command edgebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	edgebench -list                 list available experiments
+//	edgebench -experiment fig2      run one experiment
+//	edgebench -all                  run everything in paper order
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"edgebench/internal/harness"
+)
+
+var (
+	asJSON     = flag.Bool("json", false, "emit reports as JSON instead of text tables")
+	asMarkdown = flag.Bool("markdown", false, "emit reports as GitHub-flavored Markdown")
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	all := flag.Bool("all", false, "run every experiment")
+	exp := flag.String("experiment", "", "experiment id (e.g. table1, fig2, ext1)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range harness.All() {
+			if err := run(e); err != nil {
+				fail(err)
+			}
+		}
+	case *exp != "":
+		e, ok := harness.Get(*exp)
+		if !ok {
+			fail(fmt.Errorf("unknown experiment %q (try -list)", *exp))
+		}
+		if err := run(e); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(e harness.Experiment) error {
+	rep, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	case *asMarkdown:
+		fmt.Println(rep.Markdown())
+	default:
+		fmt.Println(rep)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "edgebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command edgeserve explores a deployment's real-time serving envelope
+// (§VI-C): latency percentiles across an arrival-rate sweep, the maximum
+// rate sustaining a P99 budget, and behaviour at overload.
+//
+// Usage:
+//
+//	edgeserve -model MobileNet-v2 -framework TFLite -device EdgeTPU
+//	edgeserve -model SSD-MobileNet-v1 -framework TensorRT -device JetsonNano -p99 50ms -periodic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edgebench/internal/core"
+	"edgebench/internal/serving"
+)
+
+func main() {
+	modelName := flag.String("model", "MobileNet-v2", "model name")
+	fwName := flag.String("framework", "TFLite", "framework name")
+	devName := flag.String("device", "EdgeTPU", "device name")
+	p99 := flag.Duration("p99", 100*time.Millisecond, "tail-latency budget")
+	duration := flag.Float64("duration", 90, "simulated seconds per point")
+	periodic := flag.Bool("periodic", false, "fixed-interval (camera) arrivals instead of Poisson")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	s, err := core.New(*modelName, *fwName, *devName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeserve:", err)
+		os.Exit(1)
+	}
+	base := s.InferenceSeconds()
+	fmt.Printf("%s via %s on %s: %.1f ms/inference (service ceiling %.1f req/s)\n\n",
+		*modelName, *fwName, *devName, base*1e3, 1/base)
+
+	fmt.Printf("%-10s %10s %10s %10s %10s %8s\n", "load", "req/s", "p50", "p95", "p99", "util")
+	for _, rho := range []float64{0.2, 0.5, 0.8, 0.95, 1.2} {
+		rate := rho / base
+		r, err := serving.Simulate(s, serving.Config{
+			ArrivalPerSec: rate, DurationSec: *duration, Seed: *seed, Periodic: *periodic,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgeserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10.2f %10.1f %9.1fms %9.1fms %9.1fms %7.0f%%\n",
+			rho, rate, r.P50*1e3, r.P95*1e3, r.P99*1e3, r.Utilization*100)
+	}
+
+	maxRate, err := serving.MaxSustainableRate(s, p99.Seconds(), *duration, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeserve:", err)
+		os.Exit(1)
+	}
+	if maxRate == 0 {
+		fmt.Printf("\nno arrival rate meets p99 <= %v (a single inference already misses)\n", *p99)
+		return
+	}
+	fmt.Printf("\nmax sustainable rate at p99 <= %v: %.1f req/s (%.0f%% of the service ceiling)\n",
+		*p99, maxRate, 100*maxRate*base)
+}

@@ -1,0 +1,97 @@
+// Command edgesim simulates one (model, framework, device) deployment in
+// detail: the lowered graph, the per-layer roofline timeline, memory
+// footprints, energy, and the modeled inference-time distribution.
+//
+// Usage:
+//
+//	edgesim -model ResNet-50 -framework TensorRT -device JetsonNano
+//	edgesim -model MobileNet-v2 -framework TFLite -device EdgeTPU -layers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/model"
+	"edgebench/internal/power"
+)
+
+func main() {
+	modelName := flag.String("model", "ResNet-18", "model name (see cmd/modelzoo)")
+	fwName := flag.String("framework", "PyTorch", "framework name")
+	devName := flag.String("device", "JetsonTX2", "device name")
+	layers := flag.Bool("layers", false, "print the per-layer timeline")
+	dot := flag.Bool("dot", false, "print the lowered graph as Graphviz DOT and exit")
+	iters := flag.Int("iterations", 200, "inference-loop length (§V runs 200-1000)")
+	docker := flag.Bool("docker", false, "run inside the Docker environment model")
+	seed := flag.Int64("seed", 1, "noise seed")
+	flag.Parse()
+
+	s, err := core.New(*modelName, *fwName, *devName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgesim:", err)
+		listChoices()
+		os.Exit(1)
+	}
+	s.Docker = *docker
+
+	if *dot {
+		fmt.Print(s.Lowered().DOT())
+		return
+	}
+
+	g := s.Lowered()
+	fmt.Printf("%s on %s via %s (%s graph, %s)\n",
+		*modelName, *devName, *fwName, g.Mode, s.Status())
+	fmt.Printf("  graph: %d ops, %.2f GFLOP, %.1f M params\n",
+		g.NumOps(), g.FLOPs()/1e9, float64(g.Params())/1e6)
+	fmt.Printf("  memory: static %.0f MB, dynamic %.0f MB (device %.0f MB)\n",
+		s.StaticMemBytes()/(1<<20), s.DynamicMemBytes()/(1<<20),
+		float64(s.Device.MemBytes)/(1<<20))
+
+	sum := s.Summary(*iters, *seed)
+	fmt.Printf("  inference time over %d runs: %s\n", *iters, sum)
+	fmt.Printf("  cold start (excluded per §V): %.2f s\n", s.ColdStartSeconds())
+	fmt.Printf("  utilization %.0f%%, compute-bound fraction %.0f%%\n",
+		s.Utilization()*100, s.ComputeBoundFraction()*100)
+	rf := s.Roofline()
+	side := "memory-bound"
+	if rf.ComputeBound {
+		side = "compute-bound"
+	}
+	fmt.Printf("  roofline: intensity %.1f FLOP/B vs ridge %.1f (%s); achieved %.1f / attainable %.1f GFLOPS\n",
+		rf.OperationalIntensity, rf.RidgePoint, side, rf.AchievedGFLOPS, rf.AttainableGFLOPS)
+	fmt.Printf("  energy: %.1f mJ per inference at %.2f W active\n",
+		power.EnergyPerInferenceJ(s)*1e3, power.ActiveWatts(s.Device, s.Utilization()))
+
+	if *layers {
+		fmt.Println("\n  per-layer timeline:")
+		for _, lt := range s.LayerTimes() {
+			bound := "compute"
+			if lt.MemoryBound {
+				bound = "memory"
+			}
+			fmt.Printf("    %-34s %9.3f ms  (%s-bound, dispatch %.3f ms)\n",
+				lt.Node.Name, lt.Seconds*1e3, bound, lt.DispatchSec*1e3)
+		}
+	}
+}
+
+func listChoices() {
+	fmt.Fprintln(os.Stderr, "\nmodels:")
+	for _, m := range model.Names() {
+		fmt.Fprintln(os.Stderr, "  ", m)
+	}
+	fmt.Fprintln(os.Stderr, "frameworks:")
+	for _, f := range framework.All() {
+		fmt.Fprintln(os.Stderr, "  ", f.Name)
+	}
+	fmt.Fprintln(os.Stderr, "devices:")
+	for _, d := range device.All() {
+		fmt.Fprintln(os.Stderr, "  ", d.Name)
+	}
+}

@@ -1,0 +1,54 @@
+// Command edgesweep runs the full-factorial characterization — every
+// (model, device, framework) combination — and emits CSV for downstream
+// analysis, mirroring the paper's open-source harness workflow.
+//
+// Usage:
+//
+//	edgesweep > sweep.csv
+//	edgesweep -extensions -o sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgebench/internal/harness"
+	"edgebench/internal/model"
+)
+
+func main() {
+	extensions := flag.Bool("extensions", false, "include extension models (LSTMs, SqueezeNet, ShuffleNet)")
+	summary := flag.Bool("summary", false, "print analysis tables instead of CSV (winners, EDP, scaling fits)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	models := model.All()
+	if *extensions {
+		models = model.AllWithExtensions()
+	}
+	rows := harness.Sweep(models)
+
+	if *summary {
+		for _, tab := range harness.SummarizeSweep(rows) {
+			fmt.Print(tab.String())
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgesweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := harness.WriteCSV(w, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "edgesweep:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "edgesweep: %d combinations characterized\n", len(rows))
+}

@@ -1,0 +1,27 @@
+// Command modelzoo prints the Table I model inventory with measured
+// FLOP/parameter totals and the Figure 1 compute-intensity ordering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgebench/internal/harness"
+)
+
+func main() {
+	sorted := flag.Bool("by-intensity", false, "sort by FLOP/parameter (paper Fig. 1)")
+	flag.Parse()
+
+	run := harness.TableI
+	if *sorted {
+		run = harness.Figure1
+	}
+	rep, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelzoo:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+}

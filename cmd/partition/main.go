@@ -1,0 +1,68 @@
+// Command partition runs the Neurosurgeon-style collaborative-inference
+// planner: it evaluates every legal split of a model between an edge
+// device and a remote helper across a network link, and prints the
+// optimal placement.
+//
+// Usage:
+//
+//	partition -model VGG16 -edge RPi3 -remote GTXTitanX -link wifi
+//	partition -model AlexNet -edge RPi3 -link lte -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgebench/internal/partition"
+)
+
+func main() {
+	modelName := flag.String("model", "VGG16", "model to partition")
+	edge := flag.String("edge", "RPi3", "edge device")
+	edgeFw := flag.String("edge-framework", "PyTorch", "framework on the edge")
+	remote := flag.String("remote", "GTXTitanX", "remote device")
+	remoteFw := flag.String("remote-framework", "PyTorch", "framework on the remote")
+	linkName := flag.String("link", "wifi", "network link: wifi, lte, ethernet")
+	verbose := flag.Bool("verbose", false, "print every evaluated placement")
+	flag.Parse()
+
+	links := map[string]partition.Link{
+		"wifi": partition.WiFi, "lte": partition.LTE, "ethernet": partition.Ethernet,
+	}
+	link, ok := links[*linkName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "partition: unknown link %q (wifi|lte|ethernet)\n", *linkName)
+		os.Exit(2)
+	}
+
+	plan, err := partition.Neurosurgeon(*modelName, *edge, *edgeFw, *remote, *remoteFw, link)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %s(%s) <-%s-> %s(%s)\n\n",
+		plan.Model, plan.EdgeDev, *edgeFw, link.Name, plan.Remote, *remoteFw)
+	describe := func(tag string, p partition.Placement) {
+		cut := p.CutAfter
+		switch cut {
+		case "":
+			cut = "all-cloud"
+		case "(all)":
+			cut = "all-edge"
+		}
+		fmt.Printf("%-10s %-28s edge %8.1f ms + xfer %8.1f ms (%.0f KB) + remote %8.1f ms = %8.1f ms\n",
+			tag, cut, p.EdgeSec*1e3, p.TransferSec*1e3, p.TransferBytes/1024, p.RemoteSec*1e3, p.TotalSec*1e3)
+	}
+	describe("all-edge", plan.AllEdge)
+	describe("all-cloud", plan.AllCloud)
+	describe("BEST", plan.Best)
+
+	if *verbose {
+		fmt.Println("\nall evaluated placements:")
+		for _, p := range plan.Evaluated {
+			describe("", p)
+		}
+	}
+}

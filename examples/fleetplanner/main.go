@@ -1,0 +1,123 @@
+// Fleetplanner reproduces the decision the paper's Figure 12 supports:
+// given a recognition workload, which device sits where on the
+// latency-power trade-off, and which choices are Pareto-optimal?
+//
+// It sweeps the Table I recognition suite over every edge platform
+// (best deployable framework each), computes the latency/energy frontier,
+// and prints the Pareto set — the paper's observation that "Movidius is
+// the lowest-power extreme, EdgeTPU the lowest-latency extreme, and the
+// Jetson Nano balances the middle" falls out of the data.
+//
+// Run with: go run ./examples/fleetplanner
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/power"
+	"edgebench/internal/stats"
+)
+
+type point struct {
+	dev      string
+	fw       string
+	meanSec  float64 // geomean latency across the suite
+	watts    float64 // mean active power
+	energyMJ float64 // geomean energy per inference
+	covered  int     // how many suite models deploy
+}
+
+func main() {
+	suite := []string{"ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4"}
+	var pts []point
+
+	for _, dev := range device.Edge() {
+		fws, err := framework.FrameworksFor(dev.Name)
+		if err != nil {
+			continue
+		}
+		// Pick the framework covering the most models fastest.
+		var best point
+		for _, fw := range fws {
+			var lats, energies, watts []float64
+			for _, m := range suite {
+				s, err := core.New(m, fw.Name, dev.Name)
+				if err != nil {
+					continue
+				}
+				lats = append(lats, s.InferenceSeconds())
+				energies = append(energies, power.EnergyPerInferenceJ(s)*1e3)
+				watts = append(watts, power.ActiveWatts(dev, s.Utilization()))
+			}
+			if len(lats) == 0 {
+				continue
+			}
+			cand := point{
+				dev: dev.Name, fw: fw.Name,
+				meanSec:  stats.GeoMean(lats),
+				watts:    stats.Mean(watts),
+				energyMJ: stats.GeoMean(energies),
+				covered:  len(lats),
+			}
+			if best.covered < cand.covered ||
+				(best.covered == cand.covered && cand.meanSec < best.meanSec) {
+				best = cand
+			}
+		}
+		if best.covered > 0 {
+			pts = append(pts, best)
+		}
+	}
+
+	sort.Slice(pts, func(i, j int) bool { return pts[i].meanSec < pts[j].meanSec })
+
+	fmt.Println("fleet planner: recognition suite across edge platforms")
+	fmt.Printf("%-12s %-10s %10s %8s %10s %8s %7s\n",
+		"device", "framework", "geo ms/inf", "W", "geo mJ/inf", "covered", "pareto")
+	for _, p := range pts {
+		fmt.Printf("%-12s %-10s %10.1f %8.2f %10.1f %5d/%d %7v\n",
+			p.dev, p.fw, p.meanSec*1e3, p.watts, p.energyMJ, p.covered, len(suite),
+			isPareto(p, pts))
+	}
+
+	fmt.Println("\nPareto frontier (latency vs power):")
+	for _, p := range pts {
+		if isPareto(p, pts) {
+			role := "balanced middle"
+			switch {
+			case lowest(p, pts, func(q point) float64 { return q.meanSec }):
+				role = "lowest latency extreme"
+			case lowest(p, pts, func(q point) float64 { return q.watts }):
+				role = "lowest power extreme"
+			}
+			fmt.Printf("  %-12s %-10s — %s\n", p.dev, p.fw, role)
+		}
+	}
+}
+
+// isPareto reports whether no other point dominates p on both axes.
+func isPareto(p point, all []point) bool {
+	for _, q := range all {
+		if q == p {
+			continue
+		}
+		if q.meanSec <= p.meanSec && q.watts <= p.watts &&
+			(q.meanSec < p.meanSec || q.watts < p.watts) {
+			return false
+		}
+	}
+	return true
+}
+
+func lowest(p point, all []point, key func(point) float64) bool {
+	for _, q := range all {
+		if key(q) < key(p) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+// Quickstart walks the edgebench public surface end to end:
+//
+//  1. pick a model from the Table I zoo,
+//  2. lower it through a framework's real optimization pipeline,
+//  3. simulate single-batch inference on an edge device,
+//  4. read off latency, memory, and energy,
+//  5. and — for a model small enough — execute it numerically.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgebench/internal/core"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/power"
+	"edgebench/internal/trace"
+)
+
+func main() {
+	// 1. The model zoo mirrors the paper's Table I.
+	spec := model.MustGet("MobileNet-v2")
+	fmt.Printf("model %s: %.2f GFLOP, %.2f M params, FLOP/param %.0f\n",
+		spec.Name, spec.GFLOPs(), spec.ParamsM(), spec.FLOPPerParam())
+
+	// 2-3. A Session binds (model, framework, device) and enforces the
+	// paper's deployment rules (platform locks, Table V, memory walls).
+	for _, target := range []struct{ fw, dev string }{
+		{"TFLite", "RPi3"},
+		{"TFLite", "EdgeTPU"},
+		{"TensorRT", "JetsonNano"},
+		{"PyTorch", "JetsonTX2"},
+	} {
+		s, err := core.New(spec.Name, target.fw, target.dev)
+		if err != nil {
+			log.Fatalf("session %v: %v", target, err)
+		}
+		sum := s.Summary(200, 42) // §V: hundreds of single-batch inferences
+		fmt.Printf("  %-10s on %-11s %-7s graph  %8.1f ms/inf  %7.1f mJ\n",
+			target.fw, target.dev, s.Lowered().Mode,
+			sum.Mean*1e3, power.EnergyPerInferenceJ(s)*1e3)
+	}
+
+	// 4. Deployment failures are first-class: VGG16 cannot fit the RPi
+	// under a static graph (Table V "^").
+	if _, err := core.New("VGG16", "TensorFlow", "RPi3"); err != nil {
+		fmt.Printf("expected failure: %v\n", err)
+	}
+
+	// 5. The engine is a real inference engine, not just a cost model:
+	// small models execute numerically.
+	small := model.MustGet("CifarNet").Build(nn.Options{Materialize: true, Seed: 7})
+	input, err := trace.Generator{Seed: 1}.Input([]int{3, 32, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := (&graph.Executor{}).Run(small, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, arg := float32(-1), 0
+	for i, p := range out.Data {
+		if p > best {
+			best, arg = p, i
+		}
+	}
+	fmt.Printf("CifarNet forward pass: class %d with probability %.3f\n", arg, best)
+}

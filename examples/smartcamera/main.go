@@ -1,0 +1,97 @@
+// Smartcamera models the paper's privacy scenario (§I): a home camera
+// that must keep video recognition on the device — frames never leave
+// the house — and run continuously, which makes sustained thermals as
+// important as latency (§VI-F).
+//
+// The program sizes a 24/7 video-recognition deployment: it checks which
+// devices sustain the C3D clip classifier, simulates an hour of
+// continuous operation thermally, and reports achievable clip rates,
+// duty cycles, and whether the device survives the workload.
+//
+// Run with: go run ./examples/smartcamera
+package main
+
+import (
+	"fmt"
+
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/power"
+	"edgebench/internal/thermal"
+)
+
+func main() {
+	const modelName = "C3D" // 12-frame clips, the paper's video model
+	fmt.Printf("smart camera planner: continuous %s recognition\n\n", modelName)
+	fmt.Printf("%-12s %-10s %10s %9s %9s %8s %-16s\n",
+		"device", "framework", "ms/clip", "clips/s", "W", "peak°C", "verdict")
+
+	for _, dev := range device.Edge() {
+		fws, err := framework.FrameworksFor(dev.Name)
+		if err != nil {
+			continue
+		}
+		// Best deployable framework for the video model.
+		var best *core.Session
+		var bestFw string
+		for _, fw := range fws {
+			s, err := core.New(modelName, fw.Name, dev.Name)
+			if err != nil {
+				continue
+			}
+			if best == nil || s.InferenceSeconds() < best.InferenceSeconds() {
+				best, bestFw = s, fw.Name
+			}
+		}
+		if best == nil {
+			fmt.Printf("%-12s %-10s %10s — no deployable framework (Table V)\n", dev.Name, "-", "-")
+			continue
+		}
+
+		lat := best.InferenceSeconds()
+		watts := power.ActiveWatts(dev, best.Utilization())
+
+		// Simulate one hour of continuous clips.
+		sim := thermal.NewSimulator(dev)
+		pts := sim.Run(3600, func(float64) float64 { return watts })
+		var peak float64
+		shutdown := false
+		for _, p := range pts {
+			if p.JunctionC > peak {
+				peak = p.JunctionC
+			}
+			shutdown = shutdown || p.Shutdown
+		}
+
+		verdict := "sustains 24/7"
+		if shutdown {
+			verdict = "THERMAL SHUTDOWN"
+		} else if peak > 70 {
+			verdict = "hot; add cooling"
+		}
+		fmt.Printf("%-12s %-10s %10.0f %9.2f %9.2f %8.1f %-16s\n",
+			dev.Name, bestFw, lat*1e3, 1/lat, watts, peak, verdict)
+	}
+
+	// Duty-cycling: if the camera only analyzes clips on motion events
+	// (say 5% of the time), what does a day cost in energy?
+	fmt.Println("\nenergy for a motion-triggered day (5% duty cycle, 1 clip/s while active):")
+	for _, devName := range []string{"JetsonNano", "JetsonTX2", "Movidius"} {
+		dev := device.MustGet(devName)
+		fws, _ := framework.FrameworksFor(devName)
+		for _, fw := range fws {
+			s, err := core.New(modelName, fw.Name, devName)
+			if err != nil {
+				continue
+			}
+			activeSec := 0.05 * 86400
+			clips := activeSec // 1 clip per active second
+			active := power.EnergyPerInferenceJ(s) * clips
+			idle := dev.IdleWatts * (86400 - activeSec)
+			fmt.Printf("  %-12s via %-10s %6.1f Wh/day (%.0f%% of it idle draw)\n",
+				devName, fw.Name, (active+idle)/3600, 100*idle/(active+idle))
+			break // best-listed framework is enough for the sketch
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module edgebench
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package edgebench's integration tests drive the whole stack end to
+// end across package boundaries: model zoo -> framework lowering ->
+// numeric execution -> interchange -> partitioning -> characterization.
+package edgebench
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/autodiff"
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/exchange"
+	"edgebench/internal/framework"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/partition"
+	"edgebench/internal/trace"
+)
+
+// TestCrossFrameworkNumericAgreement lowers the same trained model
+// through every framework pipeline and verifies the *numeric* outputs
+// agree up to the precision each pipeline trades away — the ground truth
+// beneath the paper's "we ensure all implementations are identical" (§II).
+func TestCrossFrameworkNumericAgreement(t *testing.T) {
+	spec := model.MustGet("CifarNet")
+	master := spec.Build(nn.Options{Materialize: true, Seed: 31})
+	in, err := trace.Generator{Seed: 9}.Input(spec.InputShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exec graph.Executor
+	ref, err := exec.Run(master, in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev := device.MustGet("RPi3")
+	for _, fwName := range []string{"TensorFlow", "TFLite", "Caffe", "PyTorch", "DarkNet"} {
+		fw := framework.MustGet(fwName)
+		lowered := fw.Lower(master, dev)
+		got, err := exec.Run(lowered, in.Clone())
+		if err != nil {
+			t.Fatalf("%s: %v", fwName, err)
+		}
+		refArg, gotArg := argmax32(ref.Data), argmax32(got.Data)
+		if refArg != gotArg {
+			t.Errorf("%s: top-1 flipped (%d vs %d)", fwName, gotArg, refArg)
+		}
+		tol := 1e-5
+		if fw.Opts.Quantization {
+			tol = 0.05 // TFLite deploys int8
+		} else if fw.Opts.HalfPrecision {
+			tol = 1e-2
+		}
+		for i := range ref.Data {
+			if d := math.Abs(float64(ref.Data[i] - got.Data[i])); d > tol {
+				t.Errorf("%s: output %d off by %v (> %v)", fwName, i, d, tol)
+				break
+			}
+		}
+	}
+}
+
+// TestTrainExportPartitionDeploy is the grand tour: train a model,
+// round-trip it through the interchange format, split it across two
+// devices, and verify the partition still computes the trained function.
+func TestTrainExportPartitionDeploy(t *testing.T) {
+	// Train.
+	b := nn.NewBuilder("tour", nn.Options{Materialize: true, Seed: 41}, 1, 8, 8)
+	b.Conv2D("conv", 4, 3, 2, 1, true)
+	b.ReLU("relu")
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 2, true)
+	b.Softmax("prob")
+	g := b.Build()
+
+	var examples []autodiff.Example
+	for i := 0; i < 30; i++ {
+		in, err := trace.Generator{Seed: int64(i)}.Input([]int{1, 8, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := i % 2
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				if (label == 0) == (y < 4) {
+					in.Set(in.At(0, y, x)+1, 0, y, x)
+				}
+			}
+		}
+		examples = append(examples, autodiff.Example{Input: in, Label: label})
+	}
+	opt := autodiff.NewSGD(0.05, 0.9)
+	var acc float64
+	var err error
+	for e := 0; e < 12; e++ {
+		if _, acc, err = autodiff.TrainEpoch(g, opt, examples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc < 0.9 {
+		t.Fatalf("training accuracy %.2f", acc)
+	}
+
+	// Export / import with weights.
+	blob, err := exchange.Export(g, exchange.Options{IncludeWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := exchange.Import(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition at every cut and verify numeric equality with the
+	// trained model.
+	var exec graph.Executor
+	sample := examples[0].Input
+	want, err := exec.Run(back, sample.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := partition.CutPoints(back)
+	if len(cuts) == 0 {
+		t.Fatal("no cut points in a chain model")
+	}
+	for _, cut := range cuts {
+		head, tail, err := partition.Split(back, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partition.CopyParams(back, head, tail)
+		mid, err := exec.Run(head, sample.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exec.Run(tail, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("cut %s changes the trained function", cut.After.Name)
+			}
+		}
+	}
+
+	// And the characterization engine prices the deployed graph.
+	s, err := core.NewFromGraph(back, "TFLite", "RPi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := s.InferenceSeconds(); ts <= 0 || ts > 1 {
+		t.Fatalf("deployed latency %v implausible", ts)
+	}
+}
+
+// TestEveryTableIModelLowersEverywhereLegal lowers all 16 models through
+// every (framework, device) pair the rules allow and checks the result
+// validates — a broad structural sweep.
+func TestEveryTableIModelLowersEverywhereLegal(t *testing.T) {
+	count := 0
+	for _, spec := range model.All() {
+		g := spec.Build(nn.Options{})
+		for _, dev := range device.All() {
+			fws, err := framework.FrameworksFor(dev.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fw := range fws {
+				lowered := fw.Lower(g, dev)
+				if err := lowered.Validate(); err != nil {
+					t.Errorf("%s via %s on %s: %v", spec.Name, fw.Name, dev.Name, err)
+				}
+				count++
+			}
+		}
+	}
+	if count < 500 {
+		t.Fatalf("sweep covered only %d combinations", count)
+	}
+}
+
+func argmax32(xs []float32) int {
+	best, arg := float32(-math.MaxFloat32), 0
+	for i, v := range xs {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return arg
+}

@@ -1,0 +1,103 @@
+package autodiff_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/autodiff"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+func TestSchedules(t *testing.T) {
+	c := autodiff.ConstantLR(0.1)
+	if c(0) != 0.1 || c(1000) != 0.1 {
+		t.Fatal("constant schedule drifted")
+	}
+	s := autodiff.StepDecay(1.0, 0.1, 10)
+	if s(0) != 1.0 || s(9) != 1.0 {
+		t.Fatal("step decay fired early")
+	}
+	if math.Abs(s(10)-0.1) > 1e-12 || math.Abs(s(25)-0.01) > 1e-12 {
+		t.Fatalf("step decay wrong: %v %v", s(10), s(25))
+	}
+	if autodiff.StepDecay(1, 0.5, 0)(1) != 0.5 {
+		t.Fatal("zero interval should clamp to 1")
+	}
+	cd := autodiff.CosineDecay(1.0, 0.0, 100)
+	if cd(0) != 1.0 {
+		t.Fatalf("cosine start %v", cd(0))
+	}
+	if math.Abs(cd(50)-0.5) > 1e-9 {
+		t.Fatalf("cosine midpoint %v", cd(50))
+	}
+	if cd(100) != 0 || cd(500) != 0 {
+		t.Fatal("cosine should hold the floor past the horizon")
+	}
+	// Monotone decreasing.
+	for i := 1; i < 100; i++ {
+		if cd(i) > cd(i-1)+1e-12 {
+			t.Fatal("cosine schedule not monotone")
+		}
+	}
+}
+
+func TestSGDScheduleAdvancesPerStep(t *testing.T) {
+	b := nn.NewBuilder("g", nn.Options{Materialize: true, Seed: 2}, 1, 4, 4)
+	b.Dense("fc", 2, true)
+	b.Softmax("p")
+	g := b.Build()
+	opt := autodiff.NewSGD(0.1, 0)
+	opt.Schedule = autodiff.StepDecay(0.1, 0.5, 1)
+	if opt.CurrentLR() != 0.1 {
+		t.Fatal("initial LR wrong")
+	}
+	in := tensor.New(1, 4, 4).Fill(0.5)
+	_, grads, err := autodiff.CrossEntropy(g, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Step(g, grads)
+	if opt.CurrentLR() != 0.05 {
+		t.Fatalf("LR after one step = %v, want halved", opt.CurrentLR())
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	build := func() *nn.Graph {
+		b := nn.NewBuilder("g", nn.Options{Materialize: true, Seed: 3}, 1, 4, 4)
+		b.Conv2D("c", 2, 3, 1, 1, true)
+		b.ReLU("r")
+		b.Dense("fc", 2, true)
+		b.Softmax("p")
+		return b.Build()
+	}
+	norm := func(g *nn.Graph) float64 {
+		var s float64
+		for _, n := range g.Nodes {
+			if n.Weights != nil {
+				for _, v := range n.Weights.Data {
+					s += float64(v) * float64(v)
+				}
+			}
+		}
+		return s
+	}
+	in := tensor.New(1, 4, 4).Fill(0.3)
+	train := func(wd float64) float64 {
+		g := build()
+		opt := autodiff.NewSGD(0.01, 0)
+		opt.WeightDecay = wd
+		for i := 0; i < 40; i++ {
+			_, grads, err := autodiff.CrossEntropy(g, in, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Step(g, grads)
+		}
+		return norm(g)
+	}
+	if decayed, plain := train(0.1), train(0); decayed >= plain {
+		t.Fatalf("weight decay should shrink the weight norm: %v vs %v", decayed, plain)
+	}
+}

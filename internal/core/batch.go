@@ -1,0 +1,112 @@
+package core
+
+import "edgebench/internal/device"
+
+// Batch support extends the latency model to the multi-batch regime the
+// paper contrasts with edge inference (§VI-C): HPC platforms "are
+// designed to exploit massive data parallelism available at data
+// centers, where large companies batch several requests together".
+//
+// Batching changes three things:
+//   - arithmetic and activation traffic scale with the batch size;
+//   - weight traffic is amortized — weights stream once per batch, not
+//     once per sample;
+//   - hardware utilization rises: single-batch kernels cannot fill wide
+//     GPUs, which is exactly why the calibrated single-batch
+//     efficiencies sit far below peak. Efficiency approaches a
+//     class-dependent ceiling as the batch grows.
+
+// batchCeiling is the utilization ceiling reachable with large batches.
+func batchCeiling(class device.Class) float64 {
+	switch class {
+	case device.HPCGPU:
+		return 0.75
+	case device.EdgeGPU:
+		return 0.60
+	case device.HPCCPU:
+		return 0.45
+	case device.EdgeAccel:
+		return 0.50
+	default:
+		return 0.40 // CPUs/FPGA gain little from batching
+	}
+}
+
+// batchEff interpolates the calibrated single-batch efficiency toward
+// the class ceiling: eff(B) = ceil * B / (B + k), with k fixed by
+// eff(1) = single.
+func batchEff(single, ceiling float64, batch int) float64 {
+	if batch <= 1 {
+		return single
+	}
+	if single >= ceiling {
+		return single
+	}
+	k := ceiling/single - 1
+	return ceiling * float64(batch) / (float64(batch) + k)
+}
+
+// BatchInferenceSeconds returns the modeled latency of one batch of the
+// given size (the whole batch, not per sample).
+func (s *Session) BatchInferenceSeconds(batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	if batch == 1 {
+		return s.InferenceSeconds()
+	}
+	dev := s.Device
+	cal := s.calib
+	eff := batchEff(cal.ComputeEff, batchCeiling(dev.Class), batch)
+	scale := eff / cal.ComputeEff
+
+	var total float64
+	for _, lt := range s.LayerTimes() {
+		compute := lt.ComputeSec * float64(batch) / scale
+		// Weight traffic amortizes across the batch; activation traffic
+		// scales with it.
+		memory := lt.WeightMemSec + lt.ActMemSec*float64(batch)
+		body := compute
+		if memory > compute {
+			body = memory
+		}
+		total += body + lt.DispatchSec
+	}
+	return total + cal.SessionSec
+}
+
+// ThroughputPerSecond returns samples/second at the given batch size.
+func (s *Session) ThroughputPerSecond(batch int) float64 {
+	t := s.BatchInferenceSeconds(batch)
+	if t <= 0 {
+		return 0
+	}
+	return float64(batch) / t
+}
+
+// BatchMemBytes estimates the resident footprint at the given batch size
+// (activations scale; weights do not). It guards against batching a
+// model out of device memory.
+func (s *Session) BatchMemBytes(batch int) float64 {
+	var weights, acts float64
+	for _, n := range s.lowered.Nodes {
+		weights += float64(n.WeightBytes())
+		acts += float64(n.OutShape.NumElems()) * float64(n.DType.Bytes())
+	}
+	return (weights+acts*float64(batch))*s.Framework.MemoryFactor + float64(s.Framework.BaselineBytes)
+}
+
+// MaxBatch returns the largest power-of-two batch that fits device
+// memory, capped at limit.
+func (s *Session) MaxBatch(limit int) int {
+	best := 0
+	for b := 1; b <= limit; b *= 2 {
+		if s.BatchMemBytes(b) <= float64(s.Device.MemBytes) {
+			best = b
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+)
+
+// TestCalibrationOverridesAreLegalPairs guards the calibration table
+// against drift: every pinned (device, framework) pair must name a real
+// device and framework, and the framework must actually deploy on that
+// platform — otherwise a pinned calibration would silently never apply.
+func TestCalibrationOverridesAreLegalPairs(t *testing.T) {
+	for _, key := range core.OverrideKeys() {
+		parts := strings.SplitN(key, "/", 2)
+		if len(parts) != 2 {
+			t.Fatalf("malformed override key %q", key)
+		}
+		devName, fwName := parts[0], parts[1]
+		d, ok := device.Get(devName)
+		if !ok {
+			t.Errorf("override %q names unknown device", key)
+			continue
+		}
+		fw, ok := framework.Get(fwName)
+		if !ok {
+			t.Errorf("override %q names unknown framework", key)
+			continue
+		}
+		if !fw.SupportedOn(devName) {
+			t.Errorf("override %q pins a pair the platform lock forbids", key)
+		}
+		c := core.Calibrate(d, fw)
+		if c.ComputeEff <= 0 || c.ComputeEff > 1 {
+			t.Errorf("%s: compute efficiency %v out of (0,1]", key, c.ComputeEff)
+		}
+		if c.MemEff <= 0 || c.MemEff > 1 {
+			t.Errorf("%s: memory efficiency %v out of (0,1]", key, c.MemEff)
+		}
+		if c.DispatchSec < 0 || c.SessionSec < 0 {
+			t.Errorf("%s: negative overheads", key)
+		}
+	}
+}
+
+// TestEveryMeasuredPairIsPinned ensures the pairs the paper's figures
+// measure carry explicit calibrations rather than class defaults.
+func TestEveryMeasuredPairIsPinned(t *testing.T) {
+	measured := []string{
+		"RPi3/TensorFlow", "RPi3/TFLite", "RPi3/PyTorch", "RPi3/Caffe", "RPi3/DarkNet",
+		"JetsonTX2/PyTorch", "JetsonTX2/TensorFlow", "JetsonTX2/Caffe", "JetsonTX2/DarkNet",
+		"JetsonNano/TensorRT", "JetsonNano/PyTorch",
+		"EdgeTPU/TFLite", "Movidius/NCSDK", "PYNQ-Z1/TVM",
+		"Xeon/PyTorch", "GTXTitanX/PyTorch", "GTXTitanX/TensorFlow",
+		"TitanXp/PyTorch", "RTX2080/PyTorch",
+	}
+	pinned := map[string]bool{}
+	for _, k := range core.OverrideKeys() {
+		pinned[k] = true
+	}
+	for _, k := range measured {
+		if !pinned[k] {
+			t.Errorf("paper-measured pair %s has no pinned calibration", k)
+		}
+	}
+}

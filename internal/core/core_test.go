@@ -1,0 +1,391 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/framework"
+	"edgebench/internal/paperdata"
+	"edgebench/internal/stats"
+)
+
+func mustSession(t *testing.T, m, fw, dev string) *core.Session {
+	t.Helper()
+	s, err := core.New(m, fw, dev)
+	if err != nil {
+		t.Fatalf("New(%s,%s,%s): %v", m, fw, dev, err)
+	}
+	return s
+}
+
+func seconds(t *testing.T, m, fw, dev string) float64 {
+	t.Helper()
+	return mustSession(t, m, fw, dev).InferenceSeconds()
+}
+
+func TestSessionErrors(t *testing.T) {
+	if _, err := core.New("NoNet", "PyTorch", "RPi3"); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := core.New("ResNet-18", "NoFW", "RPi3"); err == nil {
+		t.Error("unknown framework should error")
+	}
+	if _, err := core.New("ResNet-18", "PyTorch", "NoDev"); err == nil {
+		t.Error("unknown device should error")
+	}
+	// Platform lock: TensorRT is Nvidia-only.
+	if _, err := core.New("ResNet-18", "TensorRT", "Xeon"); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("TensorRT on Xeon = %v, want ErrUnsupported", err)
+	}
+	// Table V: SSD's base code is incompatible with RPi.
+	var inc *core.ErrIncompatible
+	if _, err := core.New("SSD-MobileNet-v1", "TensorFlow", "RPi3"); !errors.As(err, &inc) {
+		t.Errorf("SSD on RPi = %v, want ErrIncompatible", err)
+	} else if inc.Status != framework.CodeIncompatible {
+		t.Errorf("SSD status = %v", inc.Status)
+	}
+	// Table V: EdgeTPU conversion barrier for ResNet-18.
+	if _, err := core.New("ResNet-18", "TFLite", "EdgeTPU"); !errors.As(err, &inc) {
+		t.Errorf("ResNet-18 on EdgeTPU = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestStaticOOMOnRPi(t *testing.T) {
+	// Table V "^": AlexNet/VGG16/C3D exceed RPi memory under static
+	// graphs; TensorFlow fails, PyTorch runs.
+	for _, m := range []string{"AlexNet", "VGG16", "C3D"} {
+		if _, err := core.New(m, "TensorFlow", "RPi3"); !errors.Is(err, core.ErrOOM) {
+			t.Errorf("%s on RPi3/TF = %v, want ErrOOM", m, err)
+		}
+		if _, err := core.New(m, "PyTorch", "RPi3"); err != nil {
+			t.Errorf("%s on RPi3/PyTorch should run: %v", m, err)
+		}
+	}
+	// ResNet-101 fits statically (Fig. 8 measures TF on it).
+	if _, err := core.New("ResNet-101", "TensorFlow", "RPi3"); err != nil {
+		t.Errorf("ResNet-101 on RPi3/TF should fit: %v", err)
+	}
+}
+
+func TestMemoryEstimates(t *testing.T) {
+	s := mustSession(t, "VGG16", "PyTorch", "JetsonTX2")
+	if s.DynamicMemBytes() >= s.StaticMemBytes() {
+		t.Error("dynamic footprint should undercut static for a deep chain")
+	}
+	if s.StaticMemBytes() < 500e6 {
+		t.Errorf("VGG16 static bytes = %v, implausibly small", s.StaticMemBytes())
+	}
+}
+
+func TestInferenceDeterminism(t *testing.T) {
+	a := seconds(t, "ResNet-18", "PyTorch", "JetsonTX2")
+	b := seconds(t, "ResNet-18", "PyTorch", "JetsonTX2")
+	if a != b {
+		t.Fatal("InferenceSeconds must be deterministic")
+	}
+	if a <= 0 {
+		t.Fatal("non-positive inference time")
+	}
+}
+
+func TestRunNoiseSeeded(t *testing.T) {
+	s := mustSession(t, "ResNet-18", "TFLite", "RPi3")
+	r1 := s.Run(50, 7)
+	r2 := s.Run(50, 7)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("same seed must reproduce the run")
+		}
+	}
+	r3 := s.Run(50, 8)
+	same := true
+	for i := range r1 {
+		if r1[i] != r3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+	sum := s.Summary(200, 1)
+	base := s.InferenceSeconds()
+	if math.Abs(sum.Mean/base-1) > 0.02 {
+		t.Fatalf("noisy mean %v drifted from base %v", sum.Mean, base)
+	}
+	if sum.StdDev == 0 || sum.StdDev > 0.1*base {
+		t.Fatalf("noise sd %v implausible", sum.StdDev)
+	}
+}
+
+func TestDockerOverheadWithinFivePercent(t *testing.T) {
+	s := mustSession(t, "ResNet-50", "TensorFlow", "RPi3")
+	bare := s.InferenceSeconds()
+	s.Docker = true
+	dockered := s.InferenceSeconds()
+	slow := dockered/bare - 1
+	if slow <= 0 || slow > 0.05 {
+		t.Fatalf("docker slowdown = %.1f%%, want within (0, 5%%]", slow*100)
+	}
+}
+
+func TestLayerTimesSumToInference(t *testing.T) {
+	s := mustSession(t, "ResNet-50", "PyTorch", "JetsonTX2")
+	var sum float64
+	for _, lt := range s.LayerTimes() {
+		sum += lt.Seconds
+		if lt.Seconds < 0 || lt.ComputeSec < 0 || lt.MemorySec < 0 {
+			t.Fatal("negative layer time component")
+		}
+	}
+	total := s.InferenceSeconds()
+	if sum >= total {
+		t.Fatal("layer sum should be below total (session overhead missing)")
+	}
+	if total-sum > 0.1*total+0.05 {
+		t.Fatalf("session overhead %v implausibly large vs total %v", total-sum, total)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	for _, c := range [][3]string{
+		{"ResNet-50", "PyTorch", "JetsonTX2"},
+		{"MobileNet-v2", "TFLite", "EdgeTPU"},
+		{"VGG16", "PyTorch", "GTXTitanX"},
+	} {
+		s := mustSession(t, c[0], c[1], c[2])
+		u := s.Utilization()
+		if u < 0 || u > 1 {
+			t.Errorf("%v utilization = %v", c, u)
+		}
+		f := s.ComputeBoundFraction()
+		if f < 0 || f > 1 {
+			t.Errorf("%v compute-bound fraction = %v", c, f)
+		}
+	}
+}
+
+// --- Figure-level shape assertions against the paper ---
+
+func within(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if rel := math.Abs(got/want - 1); rel > tol {
+		t.Errorf("%s = %.3g, paper %.3g (off %.0f%% > %.0f%%)", what, got, want, rel*100, tol*100)
+	}
+}
+
+func TestFig8SpeedupAverages(t *testing.T) {
+	var spTF, spPT []float64
+	for m := range paperdata.Fig8RPi {
+		pt := seconds(t, m, "PyTorch", "RPi3")
+		tf := seconds(t, m, "TensorFlow", "RPi3")
+		tfl := seconds(t, m, "TFLite", "RPi3")
+		if !(tfl < tf && tf < pt) {
+			t.Errorf("%s: RPi ordering should be TFLite < TF < PyTorch (%.2f, %.2f, %.2f)", m, tfl, tf, pt)
+		}
+		spTF = append(spTF, tf/tfl)
+		spPT = append(spPT, pt/tfl)
+	}
+	within(t, "Fig8 TFLite-over-TF avg speedup", stats.Mean(spTF), paperdata.Fig8AvgSpeedupTF, 0.30)
+	within(t, "Fig8 TFLite-over-PyTorch avg speedup", stats.Mean(spPT), paperdata.Fig8AvgSpeedupPT, 0.30)
+}
+
+func TestFig7SpeedupAverage(t *testing.T) {
+	var sp []float64
+	for m := range paperdata.Fig7Nano {
+		pt := seconds(t, m, "PyTorch", "JetsonNano")
+		rt := seconds(t, m, "TensorRT", "JetsonNano")
+		if rt >= pt {
+			t.Errorf("%s: TensorRT should beat PyTorch on Nano", m)
+		}
+		sp = append(sp, pt/rt)
+	}
+	within(t, "Fig7 TensorRT avg speedup", stats.Mean(sp), paperdata.Fig7AvgSpeedup, 0.30)
+}
+
+func TestFig10GeomeanSpeedup(t *testing.T) {
+	models := []string{"ResNet-18", "ResNet-50", "ResNet-101", "MobileNet-v2",
+		"Inception-v4", "AlexNet", "VGG16", "VGG19", "YOLOv3", "TinyYolo", "C3D"}
+	hpc := []string{"Xeon", "GTXTitanX", "TitanXp", "RTX2080"}
+	var speedups []float64
+	for _, m := range models {
+		tx2 := seconds(t, m, "PyTorch", "JetsonTX2")
+		for _, d := range hpc {
+			speedups = append(speedups, tx2/seconds(t, m, "PyTorch", d))
+		}
+	}
+	within(t, "Fig10 HPC geomean speedup over TX2", stats.GeoMean(speedups), paperdata.Fig10GeomeanSpeedup, 0.35)
+}
+
+func TestXeonIsPoorAtSingleBatch(t *testing.T) {
+	// §VI-C: "on several benchmarks, the Xeon CPU performance is lower
+	// than that of all platforms" — except memory-bound VGG-class models
+	// where its cache hierarchy helps.
+	for _, m := range []string{"ResNet-50", "Inception-v4", "MobileNet-v2"} {
+		xeon := seconds(t, m, "PyTorch", "Xeon")
+		tx2 := seconds(t, m, "PyTorch", "JetsonTX2")
+		if xeon <= tx2 {
+			t.Errorf("%s: Xeon (%v) should trail TX2 (%v) on compute-bound models", m, xeon, tx2)
+		}
+	}
+	vggXeon := seconds(t, "VGG16", "PyTorch", "Xeon")
+	vggTX2 := seconds(t, "VGG16", "PyTorch", "JetsonTX2")
+	if r := vggXeon / vggTX2; r > 1.6 || r < 0.5 {
+		t.Errorf("VGG16: Xeon/TX2 = %.2f, paper reports near-parity", r)
+	}
+}
+
+func TestFig2DeviceOrdering(t *testing.T) {
+	// For the models every accelerator supports, the paper's Figure 2
+	// ordering: EdgeTPU fastest, Jetsons next, Movidius behind on
+	// compute-heavy models, RPi slowest by 1-2 orders of magnitude.
+	for _, m := range []string{"ResNet-50", "MobileNet-v2", "Inception-v4"} {
+		tpu := seconds(t, m, "TFLite", "EdgeTPU")
+		nano := seconds(t, m, "TensorRT", "JetsonNano")
+		tx2 := seconds(t, m, "PyTorch", "JetsonTX2")
+		mov := seconds(t, m, "NCSDK", "Movidius")
+		rpi := seconds(t, m, "TFLite", "RPi3")
+		if !(tpu < mov && nano < mov && tx2 < mov) {
+			t.Errorf("%s: accelerators should beat Movidius (tpu %.4f nano %.4f tx2 %.4f mov %.4f)", m, tpu, nano, tx2, mov)
+		}
+		if rpi < 10*mov {
+			t.Errorf("%s: RPi (%.3f) should be >10x slower than Movidius (%.3f)", m, rpi, mov)
+		}
+	}
+	// EdgeTPU wins outright on MobileNet-v2 (weights fit on chip) but
+	// loses to the Jetson Nano on ResNet-50/Inception-v4, whose weights
+	// overflow its 8 MB SRAM — exactly Figure 2's pattern.
+	if tpu, nano := seconds(t, "MobileNet-v2", "TFLite", "EdgeTPU"),
+		seconds(t, "MobileNet-v2", "TensorRT", "JetsonNano"); tpu >= nano {
+		t.Errorf("MobileNet-v2: EdgeTPU (%.4f) should beat Nano (%.4f)", tpu, nano)
+	}
+	if tpu, nano := seconds(t, "ResNet-50", "TFLite", "EdgeTPU"),
+		seconds(t, "ResNet-50", "TensorRT", "JetsonNano"); tpu <= nano {
+		t.Errorf("ResNet-50: Nano (%.4f) should beat EdgeTPU (%.4f) once weights spill", nano, tpu)
+	}
+}
+
+func TestFig2AnchorBand(t *testing.T) {
+	// Absolute times for the calibrated Figure 2 anchors stay within a
+	// 2x band (most are far closer; per-bar deviations are recorded in
+	// EXPERIMENTS.md).
+	fw := map[string]string{
+		"RPi3": "TFLite", "JetsonTX2": "PyTorch", "JetsonNano": "TensorRT",
+		"EdgeTPU": "TFLite", "Movidius": "NCSDK", "PYNQ-Z1": "TVM",
+	}
+	exceptions := map[string]bool{
+		// Documented deviations (EXPERIMENTS.md): the paper's TinyYolo
+		// port is ~3x less efficient than its FLOPs imply, EdgeTPU SSD
+		// includes CPU post-processing outside the graph.
+		"JetsonTX2/TinyYolo":       true,
+		"EdgeTPU/SSD-MobileNet-v1": true,
+	}
+	for dev, models := range paperdata.Fig2BestSeconds {
+		for m, paper := range models {
+			f := fw[dev]
+			switch {
+			case dev == "RPi3" && (m == "AlexNet" || m == "VGG16" || m == "C3D"):
+				f = "PyTorch"
+			case dev == "RPi3" && m == "TinyYolo":
+				f = "TensorFlow"
+			}
+			s, err := core.New(m, f, dev)
+			if err != nil {
+				t.Errorf("%s/%s/%s: %v", m, f, dev, err)
+				continue
+			}
+			if exceptions[dev+"/"+m] {
+				continue
+			}
+			got := s.InferenceSeconds()
+			if got > 2*paper || got < paper/2.1 {
+				t.Errorf("%s on %s: pred %.4fs vs paper %.4fs outside 2x band", m, dev, got, paper)
+			}
+		}
+	}
+}
+
+func TestQuantizationHelpsWhereHardwareSupports(t *testing.T) {
+	// §VI-B2: TFLite's INT8 gains come from fusion/graph slimming on
+	// RPi (no native INT8) but engage the systolic array on EdgeTPU.
+	tpuMobile := seconds(t, "MobileNet-v2", "TFLite", "EdgeTPU")
+	rpiMobile := seconds(t, "MobileNet-v2", "TFLite", "RPi3")
+	if tpuMobile > rpiMobile/50 {
+		t.Errorf("EdgeTPU MobileNet (%v) should be >>50x faster than RPi TFLite (%v)", tpuMobile, rpiMobile)
+	}
+}
+
+func TestBRAMOverflowPenalty(t *testing.T) {
+	ok, err := core.New("ResNet-18", "TVM", "PYNQ-Z1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := core.New("ResNet-50", "TVM", "PYNQ-Z1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r18 := ok.InferenceSeconds()
+	r50 := over.InferenceSeconds()
+	// ResNet-50 has ~2.3x the FLOPs but must run >10x slower due to
+	// DDR3 thrashing (Table V "^^").
+	if r50 < 8*r18 {
+		t.Errorf("BRAM overflow penalty missing: ResNet-50 %.3fs vs ResNet-18 %.3fs", r50, r18)
+	}
+	if over.Status() != framework.BRAMOverflow {
+		t.Error("status should record BRAM overflow")
+	}
+}
+
+func TestCalibrateDefaultsForUncalibratedPair(t *testing.T) {
+	// DarkNet on Nano has no pinned calibration; the class baseline must
+	// produce a sane positive prediction.
+	s := mustSession(t, "TinyYolo", "DarkNet", "JetsonNano")
+	if ts := s.InferenceSeconds(); ts <= 0 || ts > 10 {
+		t.Errorf("uncalibrated pair time = %v", ts)
+	}
+}
+
+// TestFig2MedianDeviation summarizes calibration quality across every
+// reliable Figure 2 anchor: the median absolute deviation must stay
+// within 25% and no anchor outside the documented exceptions may exceed
+// 2.2x.
+func TestFig2MedianDeviation(t *testing.T) {
+	fw := map[string]string{
+		"RPi3": "TFLite", "JetsonTX2": "PyTorch", "JetsonNano": "TensorRT",
+		"EdgeTPU": "TFLite", "Movidius": "NCSDK", "PYNQ-Z1": "TVM",
+	}
+	exceptions := map[string]bool{
+		"JetsonTX2/TinyYolo":       true,
+		"EdgeTPU/SSD-MobileNet-v1": true,
+	}
+	var devs []float64
+	for devName, models := range paperdata.Fig2BestSeconds {
+		for m, paper := range models {
+			f := fw[devName]
+			switch {
+			case devName == "RPi3" && (m == "AlexNet" || m == "VGG16" || m == "C3D"):
+				f = "PyTorch"
+			case devName == "RPi3" && m == "TinyYolo":
+				f = "TensorFlow"
+			}
+			if exceptions[devName+"/"+m] {
+				continue
+			}
+			s, err := core.New(m, f, devName)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m, devName, err)
+			}
+			devs = append(devs, math.Abs(s.InferenceSeconds()/paper-1))
+		}
+	}
+	if len(devs) < 30 {
+		t.Fatalf("only %d anchors audited", len(devs))
+	}
+	if med := stats.Median(devs); med > 0.25 {
+		t.Fatalf("median anchor deviation %.0f%% exceeds 25%%", med*100)
+	}
+	if worst := stats.Max(devs); worst > 1.2 {
+		t.Fatalf("worst non-exception anchor off by %.0f%%", worst*100)
+	}
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"edgebench/internal/core"
+)
+
+// ExampleNew shows the basic characterization flow: bind a Table I model
+// to a framework and device, then read the modeled single-batch latency.
+func ExampleNew() {
+	s, err := core.New("MobileNet-v2", "TFLite", "EdgeTPU")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s graph, %d ops\n", s.Lowered().Mode, s.Lowered().NumOps())
+	fmt.Printf("latency %.1f ms\n", s.InferenceSeconds()*1e3)
+	// Output:
+	// static graph, 65 ops
+	// latency 3.1 ms
+}
+
+// ExampleNew_incompatible shows deployment rules surfacing as errors:
+// the EdgeTPU compiler cannot convert ResNet-18 (Table V).
+func ExampleNew_incompatible() {
+	_, err := core.New("ResNet-18", "TFLite", "EdgeTPU")
+	fmt.Println(err)
+	// Output:
+	// ResNet-18 on EdgeTPU: conversion-barrier
+}
+
+// ExampleSession_BatchInferenceSeconds shows multi-batch throughput
+// scaling on an HPC GPU (§VI-C's regime).
+func ExampleSession_BatchInferenceSeconds() {
+	s, err := core.New("ResNet-50", "PyTorch", "GTXTitanX")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("batch 1: %.0f samples/s\n", s.ThroughputPerSecond(1))
+	fmt.Printf("batch 32: %.0f samples/s\n", s.ThroughputPerSecond(32))
+	// Output:
+	// batch 1: 92 samples/s
+	// batch 32: 530 samples/s
+}

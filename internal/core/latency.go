@@ -1,0 +1,147 @@
+package core
+
+import (
+	"edgebench/internal/framework"
+	"edgebench/internal/graph"
+)
+
+// LayerTime is the predicted cost of one node, with the roofline
+// attribution the profiler and the ablation benches consume.
+type LayerTime struct {
+	Node        *graph.Node
+	ComputeSec  float64 // arithmetic at the calibrated rate
+	MemorySec   float64 // weight + activation traffic at calibrated bandwidth
+	DispatchSec float64 // framework per-op overhead
+	// WeightMemSec and ActMemSec split MemorySec into the part that
+	// amortizes across a batch (weights) and the part that scales with
+	// it (activations).
+	WeightMemSec float64
+	ActMemSec    float64
+	// Seconds is the node's contribution: max(compute, memory) + dispatch.
+	Seconds float64
+	// MemoryBound records which side of the roofline the node sits on.
+	MemoryBound bool
+}
+
+// LayerTimes returns the per-node timeline of one inference.
+func (s *Session) LayerTimes() []LayerTime {
+	g := s.lowered
+	cal := s.calib
+	dev := s.Device
+
+	// Weights resident in on-chip memory do not stream per inference;
+	// the overflow beyond the accelerator cache does (this is what makes
+	// EdgeTPU fast on MobileNet yet slow on VGG16, §VI-A).
+	var totalWeightBytes float64
+	for _, n := range g.Nodes {
+		totalWeightBytes += float64(n.WeightBytes())
+	}
+	streamFrac := 1.0
+	if cache := float64(dev.CacheBytes); cache > 0 && totalWeightBytes > 0 {
+		streamFrac = 1 - cache/totalWeightBytes
+		if streamFrac < 0 {
+			streamFrac = 0
+		}
+	}
+
+	out := make([]LayerTime, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpInput {
+			continue
+		}
+		c := graph.NodeCost(n)
+		flops := c.FLOPs
+		if s.Framework.Opts.PruningExploit && n.Sparsity > 0 {
+			flops *= 1 - n.Sparsity
+		}
+		kindEff := cal.kindEff(n.Kind)
+		rate := dev.Peak(n.DType) * 1e9 * cal.ComputeEff * kindEff
+		var compute float64
+		if flops > 0 {
+			compute = flops / rate
+		}
+		// Weight overflow streams at the (possibly slower) weight path;
+		// activations that fit on-chip never touch DRAM.
+		weightMem := c.WeightBytes * streamFrac /
+			(dev.MemBandwidthGBs * 1e9 * cal.weightMemEff())
+		var actMem float64
+		if acts := c.ActInBytes + c.ActOutBytes; acts > float64(dev.CacheBytes) {
+			actMem = acts / (dev.MemBandwidthGBs * 1e9 * cal.MemEff)
+		}
+		memory := weightMem + actMem
+
+		dispatch := cal.DispatchSec
+		if cal.DispatchHeavyOnly && n.WShape == nil {
+			dispatch = 0
+		}
+		lt := LayerTime{
+			Node:         n,
+			ComputeSec:   compute,
+			MemorySec:    memory,
+			WeightMemSec: weightMem,
+			ActMemSec:    actMem,
+			DispatchSec:  dispatch,
+		}
+		body := compute
+		if memory > compute {
+			body = memory
+			lt.MemoryBound = true
+		}
+		lt.Seconds = body + dispatch
+		out = append(out, lt)
+	}
+	return out
+}
+
+// graphSeconds sums the layer timeline, session overhead, and any
+// Table V degradation penalty.
+func (s *Session) graphSeconds() float64 {
+	var t float64
+	for _, lt := range s.LayerTimes() {
+		t += lt.Seconds
+	}
+	t += s.calib.SessionSec
+	if s.status == framework.BRAMOverflow {
+		// FPGA models beyond BRAM thrash host DDR3 (Table V "^^").
+		t *= bramThrashFactor
+	}
+	return t
+}
+
+// Utilization estimates the fraction of runtime spent in arithmetic —
+// the knob the power model uses to place a workload between idle and
+// average power.
+func (s *Session) Utilization() float64 {
+	var compute, total float64
+	for _, lt := range s.LayerTimes() {
+		compute += lt.ComputeSec
+		total += lt.Seconds
+	}
+	total += s.calib.SessionSec
+	if total == 0 {
+		return 0
+	}
+	u := compute / total
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ComputeBoundFraction reports the share of layer time on the compute
+// side of the roofline (used by the edge-vs-HPC analysis, §VI-C).
+func (s *Session) ComputeBoundFraction() float64 {
+	var bound, total float64
+	for _, lt := range s.LayerTimes() {
+		total += lt.Seconds
+		if !lt.MemoryBound {
+			bound += lt.Seconds
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return bound / total
+}
+
+const bramThrashFactor = 25.0

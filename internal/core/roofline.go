@@ -1,0 +1,102 @@
+package core
+
+import (
+	"edgebench/internal/device"
+	"edgebench/internal/graph"
+)
+
+// Roofline describes where a deployment sits on its device's roofline —
+// the formal version of the paper's FLOP/Param compute-intensity proxy
+// (§II): a model whose operational intensity falls below the device's
+// ridge point is bandwidth-bound there, above it compute-bound.
+type Roofline struct {
+	// OperationalIntensity is FLOPs per byte of memory traffic for the
+	// lowered graph (weights at the deployed datatype + activations).
+	OperationalIntensity float64
+	// RidgePoint is the device's peak-compute / bandwidth ratio in
+	// FLOPs per byte (at the deployment's datatype and calibrated
+	// efficiencies): the intensity at which compute and memory balance.
+	RidgePoint float64
+	// ComputeBound reports which side of the ridge the deployment is on.
+	ComputeBound bool
+	// AttainableGFLOPS is the roofline ceiling at this intensity:
+	// min(peak, intensity * bandwidth), with calibrated efficiencies.
+	AttainableGFLOPS float64
+	// AchievedGFLOPS is the effective rate the full latency model
+	// predicts (including dispatch and session overheads), always at or
+	// below the roofline.
+	AchievedGFLOPS float64
+}
+
+// Roofline computes the deployment's roofline position.
+func (s *Session) Roofline() Roofline {
+	g := s.lowered
+	cal := s.calib
+
+	var flops, bytes float64
+	dtype := g.Nodes[len(g.Nodes)-1].DType
+	for _, n := range g.Nodes {
+		c := graph.NodeCost(n)
+		flops += c.FLOPs
+		bytes += c.Bytes()
+		dtype = n.DType
+	}
+	peak := s.Device.Peak(dtype) * 1e9 * cal.ComputeEff
+	bw := s.Device.MemBandwidthGBs * 1e9 * cal.MemEff
+
+	r := Roofline{RidgePoint: peak / bw}
+	if bytes > 0 {
+		r.OperationalIntensity = flops / bytes
+	}
+	r.ComputeBound = r.OperationalIntensity >= r.RidgePoint
+	ceiling := peak
+	if v := r.OperationalIntensity * bw; v < ceiling {
+		ceiling = v
+	}
+	r.AttainableGFLOPS = ceiling / 1e9
+	if t := s.InferenceSeconds(); t > 0 {
+		r.AchievedGFLOPS = flops / t / 1e9
+	}
+	return r
+}
+
+// ColdStartSeconds estimates the first-inference penalty the paper's
+// methodology deliberately excludes (§V: "we do not include any
+// initialization time... a one-time cost that occurs during device
+// setup"): library load, graph construction, and parameter
+// initialization/transfer, from the same one-time model Fig. 5's
+// profiler uses.
+func (s *Session) ColdStartSeconds() float64 {
+	g := s.lowered
+	// Library import scales with the framework footprint and host speed.
+	slow := hostSlowness(s.Device)
+	t := float64(s.Framework.BaselineBytes) / 30e6 * slow
+	params := float64(g.Params())
+	numOps := float64(g.NumOps())
+	if g.Mode == graph.Static {
+		t += numOps*0.10*slow + params*4/9e6*slow
+	} else {
+		t += numOps * 0.012 * slow
+		if s.Device.GPU != "" {
+			t += 4.0*slow + params*4/0.8e9
+		} else {
+			t += params * 4 / 40e6 * slow
+		}
+	}
+	return t
+}
+
+// hostSlowness mirrors the profiler's CPU scaling (duplicated here to
+// keep the packages independent; both encode the same §VI-B3 story).
+func hostSlowness(d *device.Device) float64 {
+	switch d.Class {
+	case device.EdgeCPU:
+		return 6.0
+	case device.EdgeGPU:
+		return 2.5
+	case device.EdgeAccel, device.FPGA:
+		return 5.0
+	default:
+		return 1.0
+	}
+}

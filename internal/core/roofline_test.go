@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/model"
+)
+
+func TestRooflinePositions(t *testing.T) {
+	// MobileNet-v2 (90 FLOP/param) vs VGG16 (112) vs C3D (716): the
+	// roofline's operational intensity must order them like Fig. 1's
+	// proxy, and the FC-heavy AlexNet must sit memory-bound on a GPU.
+	mob := mustSession(t, "MobileNet-v2", "PyTorch", "JetsonTX2").Roofline()
+	alex := mustSession(t, "AlexNet", "PyTorch", "JetsonTX2").Roofline()
+	c3d := mustSession(t, "C3D", "PyTorch", "JetsonTX2").Roofline()
+	if !(alex.OperationalIntensity < mob.OperationalIntensity &&
+		mob.OperationalIntensity < c3d.OperationalIntensity) {
+		t.Fatalf("intensity ordering wrong: alex %.1f mob %.1f c3d %.1f",
+			alex.OperationalIntensity, mob.OperationalIntensity, c3d.OperationalIntensity)
+	}
+	if alex.ComputeBound {
+		t.Fatal("the 102M-parameter AlexNet must be memory-bound on the TX2")
+	}
+	if !c3d.ComputeBound {
+		t.Fatal("C3D (716 FLOP/param) must be compute-bound on the TX2")
+	}
+}
+
+func TestRooflineCeilingRespected(t *testing.T) {
+	for _, m := range []string{"ResNet-50", "VGG16", "MobileNet-v2", "C3D"} {
+		for _, d := range [][2]string{{"PyTorch", "JetsonTX2"}, {"TensorRT", "JetsonNano"}, {"TFLite", "RPi3"}} {
+			s, err := core.New(m, d[0], d[1])
+			if err != nil {
+				continue // Table V / memory wall (VGG16+C3D on the RPi)
+			}
+			r := s.Roofline()
+			if r.AchievedGFLOPS > r.AttainableGFLOPS*1.001 {
+				t.Errorf("%s on %s: achieved %.1f GF exceeds roofline %.1f GF",
+					m, d[1], r.AchievedGFLOPS, r.AttainableGFLOPS)
+			}
+			if r.RidgePoint <= 0 || r.OperationalIntensity <= 0 {
+				t.Errorf("%s on %s: degenerate roofline %+v", m, d[1], r)
+			}
+		}
+	}
+}
+
+func TestRooflineDTypeShiftsIntensity(t *testing.T) {
+	// Quantized TFLite deployments move 4x fewer weight bytes, raising
+	// operational intensity vs the fp32 PyTorch lowering of the same
+	// model on the same device.
+	fp32 := mustSession(t, "ResNet-50", "PyTorch", "RPi3").Roofline()
+	int8 := mustSession(t, "ResNet-50", "TFLite", "RPi3").Roofline()
+	if int8.OperationalIntensity <= fp32.OperationalIntensity {
+		t.Fatalf("int8 intensity %.1f should exceed fp32 %.1f",
+			int8.OperationalIntensity, fp32.OperationalIntensity)
+	}
+}
+
+func TestColdStartExceedsInference(t *testing.T) {
+	// §V excludes initialization because it dwarfs a single inference.
+	for _, c := range [][3]string{
+		{"ResNet-18", "TensorFlow", "RPi3"},
+		{"ResNet-18", "PyTorch", "JetsonTX2"},
+	} {
+		s := mustSession(t, c[0], c[1], c[2])
+		cold := s.ColdStartSeconds()
+		if cold <= s.InferenceSeconds() {
+			t.Errorf("%v: cold start %.2fs should dwarf one inference %.4fs", c, cold, s.InferenceSeconds())
+		}
+	}
+	// TF's static graph construction makes its cold start far heavier
+	// than PyTorch's on the same host (Fig. 5's base_layer story).
+	tf := mustSession(t, "ResNet-18", "TensorFlow", "RPi3").ColdStartSeconds()
+	pt := mustSession(t, "ResNet-18", "PyTorch", "RPi3").ColdStartSeconds()
+	if tf <= pt {
+		t.Fatalf("TF cold start %.1fs should exceed PyTorch's %.1fs", tf, pt)
+	}
+}
+
+func TestRooflineAllTableIModels(t *testing.T) {
+	// Smoke the roofline across the zoo on one device.
+	for _, spec := range model.All() {
+		s, err := core.New(spec.Name, "PyTorch", "JetsonTX2")
+		if err != nil {
+			continue // incompatible on this device
+		}
+		r := s.Roofline()
+		if r.AttainableGFLOPS <= 0 {
+			t.Errorf("%s: bad roofline %+v", spec.Name, r)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package core is the characterization engine of edgebench: it binds a
+// model, a framework, and a device into a Session, lowers the model
+// through the framework's real optimization pipeline, and predicts
+// single-batch inference latency with a calibrated roofline model
+// (compute vs. memory bound per layer, plus per-op dispatch and
+// per-inference session overheads).
+//
+// The latency model is analytic because the paper's observable — wall
+// time on ten physical platforms — cannot be reproduced by host-CPU
+// execution. Its parameters are calibrated against the paper's measured
+// anchors (Figs. 2, 7, 8) in calibration.go, and its structure makes the
+// paper's qualitative findings emerge rather than being hardcoded:
+// dynamic graphs pay dispatch per op per inference, fusion removes ops,
+// quantization shrinks traffic and engages native INT8 units, memory-
+// bound layers ride bandwidth.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/stats"
+	"edgebench/internal/virt"
+)
+
+// ErrOOM reports that a static-graph framework cannot fit the model in
+// device memory (Table V "^": only a dynamic-graph framework runs it).
+var ErrOOM = errors.New("model exceeds device memory under a static graph")
+
+// ErrUnsupported reports that the framework does not deploy on the
+// platform (Table III platform row).
+var ErrUnsupported = errors.New("framework not available on platform")
+
+// ErrIncompatible reports a Table V incompatibility (code issues or
+// conversion barriers).
+type ErrIncompatible struct {
+	Model, Device string
+	Status        framework.Status
+}
+
+func (e *ErrIncompatible) Error() string {
+	return fmt.Sprintf("%s on %s: %s", e.Model, e.Device, e.Status)
+}
+
+// Session is one (model, framework, device) deployment.
+type Session struct {
+	Model     *model.Spec
+	Framework *framework.Framework
+	Device    *device.Device
+
+	// Docker applies the virtualization overhead of §VI-D.
+	Docker bool
+
+	lowered *graph.Graph
+	calib   Calib
+	status  framework.Status
+}
+
+// New prepares a session, enforcing the paper's deployment rules:
+// platform-framework locks, Table V compatibility, and the static-graph
+// memory wall.
+func New(modelName, fwName, devName string) (*Session, error) {
+	spec, ok := model.Get(modelName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model %q", modelName)
+	}
+	fw, ok := framework.Get(fwName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown framework %q", fwName)
+	}
+	dev, ok := device.Get(devName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown device %q", devName)
+	}
+	if !fw.SupportedOn(devName) {
+		return nil, fmt.Errorf("core: %s on %s: %w", fwName, devName, ErrUnsupported)
+	}
+	status := framework.TableVStatus(modelName, devName)
+	if !status.Runnable() {
+		return nil, &ErrIncompatible{Model: modelName, Device: devName, Status: status}
+	}
+	s := &Session{
+		Model:     spec,
+		Framework: fw,
+		Device:    dev,
+		calib:     Calibrate(dev, fw),
+		status:    status,
+	}
+	s.lowered = fw.Lower(spec.Build(nn.Options{}), dev)
+
+	if status == framework.DynamicGraphRequired && fw.Mode == graph.Static {
+		return nil, fmt.Errorf("core: %s on %s with %s: %w", modelName, devName, fwName, ErrOOM)
+	}
+	if fw.Mode == graph.Static && s.StaticMemBytes() > float64(dev.MemBytes) {
+		return nil, fmt.Errorf("core: %s on %s with %s: %w", modelName, devName, fwName, ErrOOM)
+	}
+	return s, nil
+}
+
+// NewFromGraph prices an arbitrary pre-lowered graph on a device under a
+// framework's calibration, bypassing the registry, compatibility, and
+// memory checks. It exists for ablation studies (fusion on/off,
+// quantization on/off, pruning sweeps) where the caller composes graph
+// passes directly.
+func NewFromGraph(g *graph.Graph, fwName, devName string) (*Session, error) {
+	fw, ok := framework.Get(fwName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown framework %q", fwName)
+	}
+	dev, ok := device.Get(devName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown device %q", devName)
+	}
+	return &Session{
+		Framework: fw,
+		Device:    dev,
+		calib:     Calibrate(dev, fw),
+		status:    framework.OK,
+		lowered:   g,
+	}, nil
+}
+
+// Lowered returns the framework-optimized executable graph.
+func (s *Session) Lowered() *graph.Graph { return s.lowered }
+
+// Status returns the Table V classification the session runs under.
+func (s *Session) Status() framework.Status { return s.status }
+
+// StaticMemBytes estimates the resident footprint of a static-graph
+// deployment: weights plus all activation buffers, scaled by the
+// framework's bookkeeping factor, plus its baseline.
+func (s *Session) StaticMemBytes() float64 {
+	var weights, acts float64
+	for _, n := range s.lowered.Nodes {
+		weights += float64(n.WeightBytes())
+		acts += float64(n.OutShape.NumElems()) * float64(n.DType.Bytes())
+	}
+	return (weights+acts)*s.Framework.MemoryFactor + float64(s.Framework.BaselineBytes)
+}
+
+// DynamicMemBytes estimates the peak footprint of a define-by-run
+// deployment: weights plus the peak of live activations.
+func (s *Session) DynamicMemBytes() float64 {
+	var weights float64
+	for _, n := range s.lowered.Nodes {
+		weights += float64(n.WeightBytes())
+	}
+	return weights + s.lowered.PeakActivationBytes() + float64(s.Framework.BaselineBytes)
+}
+
+// InferenceSeconds returns the deterministic model-predicted time of one
+// single-batch inference, excluding one-time initialization (§V's
+// methodology).
+func (s *Session) InferenceSeconds() float64 {
+	t := s.graphSeconds()
+	if s.Docker {
+		t *= virt.Docker.Slowdown()
+	}
+	return t
+}
+
+// Run simulates iters single-batch inferences and returns their
+// durations in seconds, with measurement noise drawn from a seeded
+// source (reproducible, per the paper's open-harness goal). One-time
+// costs are excluded, matching §V.
+func (s *Session) Run(iters int, seed int64) []float64 {
+	base := s.InferenceSeconds()
+	rng := stats.NewRNG(seed)
+	out := make([]float64, iters)
+	for i := range out {
+		noise := 1 + stats.GaussianNoise(rng, measurementNoiseSigma)
+		if noise < 0.5 {
+			noise = 0.5
+		}
+		out[i] = base * noise
+	}
+	return out
+}
+
+// Summary runs iters inferences and summarizes them.
+func (s *Session) Summary(iters int, seed int64) stats.Summary {
+	return stats.Summarize(s.Run(iters, seed))
+}
+
+// measurementNoiseSigma matches the few-percent run-to-run variation of
+// repeated single-batch inference loops.
+const measurementNoiseSigma = 0.02

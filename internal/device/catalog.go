@@ -1,0 +1,245 @@
+package device
+
+import "edgebench/internal/tensor"
+
+// The catalog below transcribes Table III (organization, memory, measured
+// idle/average power) and Table VI (cooling, idle temperature). Peak
+// throughput figures are achievable-peak estimates for single-batch
+// kernels derived from the microarchitectures Table III names; the
+// per-(device, framework) calibration in internal/core absorbs the
+// remaining efficiency gap against the paper's measured latencies.
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+func init() {
+	register(&Device{
+		Name:  "RPi3",
+		Class: EdgeCPU,
+		CPU:   "4-core Cortex-A53 @ 1.2 GHz",
+		PeakGFLOPS: map[tensor.DType]float64{
+			// NEON: 4 fp32 MACs/cycle/core at realistic occupancy.
+			tensor.FP32: 9.6,
+			// No native fp16 arithmetic or int8 dot product on A53 NEON
+			// (§VI-B2: "TFLite supports low-precision inferencing, but
+			// the RPi hardware does not support it").
+		},
+		MemBandwidthGBs: 2.0,
+		MemBytes:        1 * gb,
+		CacheBytes:      512 * kb,
+		IdleWatts:       1.33,
+		AvgWatts:        2.73,
+		Cooling:         Cooling{},
+		Thermal: Thermal{
+			ResistanceCPerW:  18,
+			CapacitanceJPerC: 12,
+			ShutdownC:        80,
+			IdleC:            43.3,
+		},
+	})
+	register(&Device{
+		Name:  "JetsonTX2",
+		Class: EdgeGPU,
+		CPU:   "4-core Cortex-A57 + 2-core Denver2 @ 2 GHz",
+		GPU:   "256-core Pascal",
+		PeakGFLOPS: map[tensor.DType]float64{
+			tensor.FP32: 665,
+			tensor.FP16: 1330,
+		},
+		MemBandwidthGBs: 58.4,
+		MemBytes:        8 * gb,
+		CacheBytes:      2 * mb,
+		IdleWatts:       1.90,
+		AvgWatts:        9.65,
+		Cooling:         Cooling{Heatsink: true, Fan: true, FanOnC: 45},
+		Thermal: Thermal{
+			ResistanceCPerW:    4.5,
+			FanResistanceCPerW: 1.6,
+			CapacitanceJPerC:   60,
+			IdleC:              32.4,
+		},
+	})
+	register(&Device{
+		Name:  "JetsonNano",
+		Class: EdgeGPU,
+		CPU:   "4-core Cortex-A57 @ 1.43 GHz",
+		GPU:   "128-core Maxwell",
+		PeakGFLOPS: map[tensor.DType]float64{
+			tensor.FP32: 235,
+			tensor.FP16: 470,
+			// TensorRT INT8 runs through fp16 units on Maxwell.
+			tensor.INT8: 470,
+		},
+		MemBandwidthGBs: 25.6,
+		MemBytes:        4 * gb,
+		CacheBytes:      2 * mb,
+		IdleWatts:       1.25,
+		AvgWatts:        4.58,
+		Cooling:         Cooling{Heatsink: true},
+		Thermal: Thermal{
+			ResistanceCPerW:  6.5,
+			CapacitanceJPerC: 45,
+			// Fanless module: the firmware clocks down under sustained
+			// load instead of shutting off.
+			ThrottleC:      65,
+			ThrottleFactor: 0.7,
+			IdleC:          35.2,
+		},
+	})
+	register(&Device{
+		Name:  "EdgeTPU",
+		Class: EdgeAccel,
+		CPU:   "4-core Cortex-A53 + Cortex-M4 @ 1.5 GHz",
+		Accel: "Google Edge TPU ASIC",
+		PeakGFLOPS: map[tensor.DType]float64{
+			// Host CPU fallback for unsupported ops.
+			tensor.FP32: 12,
+			// 4 TOPS INT8 systolic array (MAC convention: 2 TMAC/s).
+			tensor.INT8: 2000,
+		},
+		MemBandwidthGBs: 4.0,
+		MemBytes:        1 * gb,
+		CacheBytes:      8 * mb,
+		IdleWatts:       3.24,
+		AvgWatts:        4.14,
+		Cooling:         Cooling{Heatsink: true, Fan: true, FanOnC: 60},
+		Thermal: Thermal{
+			ResistanceCPerW:    3.5,
+			FanResistanceCPerW: 1.8,
+			CapacitanceJPerC:   25,
+			IdleC:              33.9,
+		},
+	})
+	register(&Device{
+		Name:  "Movidius",
+		Class: EdgeAccel,
+		Accel: "Myriad 2 VPU, 12 SHAVE cores",
+		PeakGFLOPS: map[tensor.DType]float64{
+			// SHAVE VLIW/SIMD units natively execute fp16.
+			tensor.FP32: 50,
+			tensor.FP16: 100,
+			tensor.INT8: 100,
+		},
+		MemBandwidthGBs: 1.6,
+		MemBytes:        512 * mb,
+		CacheBytes:      2 * mb,
+		IdleWatts:       0.36,
+		AvgWatts:        1.52,
+		Cooling:         Cooling{Heatsink: true}, // the stick body is the heatsink
+		Thermal: Thermal{
+			ResistanceCPerW:  7,
+			CapacitanceJPerC: 8,
+			IdleC:            25.8,
+		},
+	})
+	register(&Device{
+		Name:  "PYNQ-Z1",
+		Class: FPGA,
+		CPU:   "2-core Cortex-A9 @ 650 MHz",
+		Accel: "Zynq XC7Z020 (13.3k slices, 220 DSP, 630 KB BRAM)",
+		PeakGFLOPS: map[tensor.DType]float64{
+			// 220 DSP slices at ~100 MHz overlay clock.
+			tensor.FP32: 11,
+			tensor.INT8: 44,
+		},
+		MemBandwidthGBs: 1.0,
+		MemBytes:        512 * mb,
+		CacheBytes:      630 * kb,
+		IdleWatts:       2.65,
+		AvgWatts:        5.24,
+		Cooling:         Cooling{Heatsink: true},
+		Thermal: Thermal{
+			ResistanceCPerW:  8,
+			CapacitanceJPerC: 20,
+			IdleC:            32,
+		},
+	})
+	register(&Device{
+		Name:  "Xeon",
+		Class: HPCCPU,
+		CPU:   "2x 22-core E5-2696 v4 @ 2.2 GHz",
+		PeakGFLOPS: map[tensor.DType]float64{
+			// AVX2 FMA across 44 cores; single-batch kernels cannot
+			// scale across sockets, captured by calibration.
+			tensor.FP32: 3100,
+		},
+		MemBandwidthGBs: 153,
+		MemBytes:        264 * gb,
+		CacheBytes:      110 * mb,
+		IdleWatts:       70,
+		AvgWatts:        300,
+		Cooling:         Cooling{Heatsink: true, Fan: true, FanOnC: 50},
+		Thermal: Thermal{
+			ResistanceCPerW:    0.3,
+			FanResistanceCPerW: 0.12,
+			CapacitanceJPerC:   300,
+			IdleC:              38,
+		},
+	})
+	register(&Device{
+		Name:  "RTX2080",
+		Class: HPCGPU,
+		GPU:   "2944-core Turing",
+		PeakGFLOPS: map[tensor.DType]float64{
+			tensor.FP32: 10000,
+			tensor.FP16: 20000,
+			tensor.INT8: 40000,
+		},
+		MemBandwidthGBs: 448,
+		MemBytes:        8 * gb,
+		CacheBytes:      4 * mb,
+		IdleWatts:       39,
+		AvgWatts:        110,
+		Cooling:         Cooling{Heatsink: true, Fan: true, FanOnC: 50},
+		Thermal: Thermal{
+			ResistanceCPerW:    0.5,
+			FanResistanceCPerW: 0.25,
+			CapacitanceJPerC:   200,
+			IdleC:              35,
+		},
+	})
+	register(&Device{
+		Name:  "GTXTitanX",
+		Class: HPCGPU,
+		GPU:   "3072-core Maxwell",
+		PeakGFLOPS: map[tensor.DType]float64{
+			tensor.FP32: 6100,
+		},
+		MemBandwidthGBs: 336,
+		MemBytes:        12 * gb,
+		CacheBytes:      3 * mb,
+		IdleWatts:       15,
+		AvgWatts:        100,
+		Cooling:         Cooling{Heatsink: true, Fan: true, FanOnC: 50},
+		Thermal: Thermal{
+			ResistanceCPerW:    0.5,
+			FanResistanceCPerW: 0.25,
+			CapacitanceJPerC:   220,
+			IdleC:              35,
+		},
+	})
+	register(&Device{
+		Name:  "TitanXp",
+		Class: HPCGPU,
+		GPU:   "3840-core Pascal",
+		PeakGFLOPS: map[tensor.DType]float64{
+			tensor.FP32: 12100,
+			tensor.FP16: 12100,
+		},
+		MemBandwidthGBs: 547,
+		MemBytes:        12 * gb,
+		CacheBytes:      3 * mb,
+		IdleWatts:       55,
+		AvgWatts:        120,
+		Cooling:         Cooling{Heatsink: true, Fan: true, FanOnC: 50},
+		Thermal: Thermal{
+			ResistanceCPerW:    0.45,
+			FanResistanceCPerW: 0.22,
+			CapacitanceJPerC:   230,
+			IdleC:              35,
+		},
+	})
+}

@@ -1,0 +1,210 @@
+// Package device models the paper's ten hardware platforms (Table III):
+// their compute throughput per datatype, memory system, measured power
+// envelope, and cooling configuration (Table VI). These descriptors feed
+// the roofline latency model in internal/core, the energy model in
+// internal/power, and the RC thermal model in internal/thermal.
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"edgebench/internal/tensor"
+)
+
+// Class buckets platforms the way Table III's header row does.
+type Class int
+
+const (
+	// EdgeCPU covers CPU-only single-board computers (Raspberry Pi).
+	EdgeCPU Class = iota
+	// EdgeGPU covers GPU-based edge boards (Jetson TX2/Nano).
+	EdgeGPU
+	// EdgeAccel covers custom-ASIC edge accelerators (EdgeTPU, Movidius).
+	EdgeAccel
+	// FPGA covers FPGA-based boards (PYNQ-Z1).
+	FPGA
+	// HPCCPU covers server CPUs (Xeon).
+	HPCCPU
+	// HPCGPU covers datacenter/desktop GPUs.
+	HPCGPU
+)
+
+func (c Class) String() string {
+	switch c {
+	case EdgeCPU:
+		return "edge-cpu"
+	case EdgeGPU:
+		return "edge-gpu"
+	case EdgeAccel:
+		return "edge-accelerator"
+	case FPGA:
+		return "fpga"
+	case HPCCPU:
+		return "hpc-cpu"
+	case HPCGPU:
+		return "hpc-gpu"
+	default:
+		return "unknown"
+	}
+}
+
+// IsEdge reports whether the class is an edge platform (everything but
+// the HPC rows).
+func (c Class) IsEdge() bool { return c != HPCCPU && c != HPCGPU }
+
+// Cooling describes a platform's thermal hardware (Table VI).
+type Cooling struct {
+	Heatsink bool
+	Fan      bool
+	// FanOnC is the junction temperature at which the fan spins up.
+	FanOnC float64
+}
+
+// Thermal holds the lumped-RC thermal parameters used by
+// internal/thermal: steady-state rise = R * power, time constant = R*C.
+type Thermal struct {
+	// ResistanceCPerW is the junction-to-ambient thermal resistance in
+	// degrees Celsius per Watt (with fan off).
+	ResistanceCPerW float64
+	// FanResistanceCPerW applies when the fan is active.
+	FanResistanceCPerW float64
+	// CapacitanceJPerC is the lumped heat capacity.
+	CapacitanceJPerC float64
+	// ShutdownC is the junction temperature that trips thermal
+	// shutdown; 0 means the device never shuts down.
+	ShutdownC float64
+	// ThrottleC, when positive, is the junction temperature at which the
+	// firmware clocks the device down; ThrottleFactor is the resulting
+	// speed fraction (and the dynamic-power fraction). Zero disables
+	// throttling.
+	ThrottleC      float64
+	ThrottleFactor float64
+	// IdleC is the measured idle surface temperature (Table VI).
+	IdleC float64
+}
+
+// Device describes one hardware platform.
+type Device struct {
+	Name  string
+	Class Class
+
+	// CPU/GPU/Accel are descriptive strings from Table III.
+	CPU   string
+	GPU   string
+	Accel string
+
+	// PeakGFLOPS is the achievable peak arithmetic throughput per
+	// execution datatype in GFLOP/s (MAC convention). A missing entry
+	// means the datatype executes at FP32 speed (e.g. INT8 on the
+	// Raspberry Pi's NEON pipeline gains nothing, §VI-B2).
+	PeakGFLOPS map[tensor.DType]float64
+
+	// MemBandwidthGBs is sustained memory bandwidth in GB/s.
+	MemBandwidthGBs float64
+	// MemBytes is the effective memory available for DNN execution.
+	MemBytes int64
+	// CacheBytes is on-chip weight storage (accelerator SRAM / last-level
+	// cache). Weights resident there do not stream per inference — the
+	// mechanism behind EdgeTPU's cliff between MobileNet-sized and
+	// VGG-sized models (§VI-A).
+	CacheBytes int64
+
+	// IdleWatts and AvgWatts are the measured power figures of
+	// Table III (average while executing DNNs).
+	IdleWatts float64
+	AvgWatts  float64
+
+	Cooling Cooling
+	Thermal Thermal
+}
+
+// Peak returns the achievable throughput for dtype, falling back to FP32
+// when the device has no native support for it.
+func (d *Device) Peak(dt tensor.DType) float64 {
+	if v, ok := d.PeakGFLOPS[dt]; ok {
+		return v
+	}
+	return d.PeakGFLOPS[tensor.FP32]
+}
+
+// SupportsNative reports whether dtype executes on dedicated hardware
+// (i.e. faster than FP32).
+func (d *Device) SupportsNative(dt tensor.DType) bool {
+	v, ok := d.PeakGFLOPS[dt]
+	return ok && v > d.PeakGFLOPS[tensor.FP32]
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%s)", d.Name, d.Class)
+}
+
+var catalog = map[string]*Device{}
+
+func register(d *Device) *Device {
+	if _, dup := catalog[d.Name]; dup {
+		panic(fmt.Sprintf("device: duplicate %q", d.Name))
+	}
+	if d.PeakGFLOPS[tensor.FP32] <= 0 {
+		panic(fmt.Sprintf("device: %q needs an FP32 peak", d.Name))
+	}
+	catalog[d.Name] = d
+	return d
+}
+
+// Get returns the device registered under name.
+func Get(name string) (*Device, bool) {
+	d, ok := catalog[name]
+	return d, ok
+}
+
+// MustGet returns the device or panics (experiment tables are
+// compile-time constants).
+func MustGet(name string) *Device {
+	d, ok := catalog[name]
+	if !ok {
+		panic(fmt.Sprintf("device: unknown device %q", name))
+	}
+	return d
+}
+
+// TableIIIOrder lists platforms in the paper's Table III column order.
+var TableIIIOrder = []string{
+	"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU", "Movidius", "PYNQ-Z1",
+	"Xeon", "RTX2080", "GTXTitanX", "TitanXp",
+}
+
+// All returns every registered device in Table III order, then extras by
+// name.
+func All() []*Device {
+	var out []*Device
+	seen := map[string]bool{}
+	for _, n := range TableIIIOrder {
+		if d, ok := catalog[n]; ok {
+			out = append(out, d)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range catalog {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		out = append(out, catalog[n])
+	}
+	return out
+}
+
+// Edge returns the six edge platforms in Table III order.
+func Edge() []*Device {
+	var out []*Device
+	for _, d := range All() {
+		if d.Class.IsEdge() {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package device_test
+
+import (
+	"testing"
+
+	"edgebench/internal/device"
+	"edgebench/internal/tensor"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	if got := len(device.All()); got != 10 {
+		t.Fatalf("catalog holds %d devices, want 10", got)
+	}
+	for _, n := range device.TableIIIOrder {
+		if _, ok := device.Get(n); !ok {
+			t.Errorf("Table III device %q missing", n)
+		}
+	}
+	if got := len(device.Edge()); got != 6 {
+		t.Fatalf("Edge() = %d devices, want 6", got)
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet unknown should panic")
+		}
+	}()
+	device.MustGet("Abacus")
+}
+
+func TestTableIIIPowerValues(t *testing.T) {
+	// Idle/average power straight from Table III.
+	cases := []struct {
+		name      string
+		idle, avg float64
+	}{
+		{"RPi3", 1.33, 2.73},
+		{"JetsonTX2", 1.90, 9.65},
+		{"JetsonNano", 1.25, 4.58},
+		{"EdgeTPU", 3.24, 4.14},
+		{"Movidius", 0.36, 1.52},
+		{"PYNQ-Z1", 2.65, 5.24},
+	}
+	for _, c := range cases {
+		d := device.MustGet(c.name)
+		if d.IdleWatts != c.idle || d.AvgWatts != c.avg {
+			t.Errorf("%s power = %v/%v, want %v/%v", c.name, d.IdleWatts, d.AvgWatts, c.idle, c.avg)
+		}
+		if d.AvgWatts <= d.IdleWatts {
+			t.Errorf("%s: average power must exceed idle", c.name)
+		}
+	}
+}
+
+func TestPeakFallsBackToFP32(t *testing.T) {
+	rpi := device.MustGet("RPi3")
+	if rpi.Peak(tensor.INT8) != rpi.Peak(tensor.FP32) {
+		t.Fatal("RPi INT8 should fall back to FP32 speed (no native int8)")
+	}
+	if rpi.SupportsNative(tensor.INT8) {
+		t.Fatal("RPi should not report native INT8")
+	}
+	tpu := device.MustGet("EdgeTPU")
+	if !tpu.SupportsNative(tensor.INT8) {
+		t.Fatal("EdgeTPU must be natively INT8")
+	}
+	if tpu.Peak(tensor.INT8) <= 100*tpu.Peak(tensor.FP32) {
+		t.Fatal("EdgeTPU INT8 peak should dwarf its host-CPU fallback")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !device.MustGet("RPi3").Class.IsEdge() {
+		t.Error("RPi3 is edge")
+	}
+	if device.MustGet("Xeon").Class.IsEdge() || device.MustGet("TitanXp").Class.IsEdge() {
+		t.Error("HPC devices are not edge")
+	}
+	for c := device.EdgeCPU; c <= device.HPCGPU; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("class %d missing name", c)
+		}
+	}
+}
+
+func TestCoolingTableVI(t *testing.T) {
+	// Table VI: RPi has neither heatsink nor fan; TX2 has both; Nano has
+	// heatsink only; Movidius' body is its heatsink.
+	if c := device.MustGet("RPi3").Cooling; c.Heatsink || c.Fan {
+		t.Error("RPi3 cooling wrong")
+	}
+	if c := device.MustGet("JetsonTX2").Cooling; !c.Heatsink || !c.Fan {
+		t.Error("TX2 cooling wrong")
+	}
+	if c := device.MustGet("JetsonNano").Cooling; !c.Heatsink || c.Fan {
+		t.Error("Nano cooling wrong")
+	}
+	if c := device.MustGet("Movidius").Cooling; !c.Heatsink || c.Fan {
+		t.Error("Movidius cooling wrong")
+	}
+}
+
+func TestIdleTemperatures(t *testing.T) {
+	cases := map[string]float64{
+		"RPi3": 43.3, "JetsonTX2": 32.4, "JetsonNano": 35.2,
+		"EdgeTPU": 33.9, "Movidius": 25.8,
+	}
+	for name, want := range cases {
+		if got := device.MustGet(name).Thermal.IdleC; got != want {
+			t.Errorf("%s idle temp = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestThermalParamsSane(t *testing.T) {
+	for _, d := range device.All() {
+		th := d.Thermal
+		if th.ResistanceCPerW <= 0 || th.CapacitanceJPerC <= 0 {
+			t.Errorf("%s: non-positive thermal params", d.Name)
+		}
+		if d.Cooling.Fan && th.FanResistanceCPerW >= th.ResistanceCPerW {
+			t.Errorf("%s: fan must lower thermal resistance", d.Name)
+		}
+		if d.Cooling.Fan && d.Cooling.FanOnC <= 0 {
+			t.Errorf("%s: fan without threshold", d.Name)
+		}
+	}
+}
+
+func TestEdgeVsHPCPeaks(t *testing.T) {
+	// HPC GPUs should dominate all edge devices in raw FP32 peak.
+	maxEdge := 0.0
+	for _, d := range device.Edge() {
+		if p := d.Peak(tensor.FP32); p > maxEdge {
+			maxEdge = p
+		}
+	}
+	for _, n := range []string{"GTXTitanX", "TitanXp", "RTX2080"} {
+		if device.MustGet(n).Peak(tensor.FP32) <= maxEdge {
+			t.Errorf("%s peak should exceed every edge device", n)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if device.MustGet("RPi3").String() == "" {
+		t.Error("Device.String empty")
+	}
+}

@@ -1,0 +1,44 @@
+package exchange
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+)
+
+// ImportInto checks whether a serialized model can be lowered by the
+// named framework's toolchain and returns framework-specific rejection
+// reasons — the §III-B/§VI-A compatibility wall reproduced at the
+// interchange layer:
+//
+//   - the EdgeTPU compiler path (TFLite for EdgeTPU) accepts only ops it
+//     can map to the systolic array, rejecting 3-D convolutions and
+//     leaky rectifiers (DarkNet models), matching Table V's "4" marks;
+//   - NCSDK rejects 3-D ops beyond its SHAVE kernels only when they are
+//     absent from its hand-tuned library — it ships a C3D kernel, so
+//     video models pass (Fig. 2 measures C3D on the stick);
+//   - the general frameworks import everything.
+func ImportInto(data []byte, framework string) (*graph.Graph, error) {
+	g, err := Import(data)
+	if err != nil {
+		return nil, err
+	}
+	switch framework {
+	case "TFLite-EdgeTPU":
+		for _, n := range g.Nodes {
+			switch n.Kind {
+			case graph.OpConv3D, graph.OpMaxPool3D:
+				return nil, fmt.Errorf("exchange: edgetpu compiler: op %s unsupported (no 3-D kernels)", n.Kind)
+			case graph.OpLeakyReLU:
+				return nil, fmt.Errorf("exchange: edgetpu compiler: op %s unsupported (quantized leaky relu unavailable)", n.Kind)
+			}
+		}
+	case "NCSDK":
+		for _, n := range g.Nodes {
+			if n.Kind == graph.OpUpsample {
+				return nil, fmt.Errorf("exchange: ncsdk: op %s requires a hand-tuned kernel that does not exist", n.Kind)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,262 @@
+// Package exchange implements an ONNX-style model interchange format
+// for the graph IR. The paper devotes §III-B to the interoperability
+// pain it hit — "we find limited compatibility among frameworks... each
+// framework usually requires its own model description format" — and
+// cites the then-nascent ONNX effort as the way out. This package is
+// that way out for the edgebench engine: a versioned, self-describing
+// JSON container that round-trips structure exactly and weights
+// optionally, plus per-framework import checks that reproduce the
+// paper's compatibility quirks (NCSDK and the EdgeTPU compiler reject
+// what they cannot lower).
+package exchange
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/tensor"
+)
+
+// FormatVersion guards decoding across releases.
+const FormatVersion = 1
+
+// File is the serialized model container.
+type File struct {
+	Version    int        `json:"version"`
+	Name       string     `json:"name"`
+	Mode       string     `json:"mode"`
+	InputShape []int      `json:"input_shape"`
+	Nodes      []NodeJSON `json:"nodes"`
+	// Output and Extra reference node indices.
+	Output int   `json:"output"`
+	Extra  []int `json:"extra,omitempty"`
+}
+
+// NodeJSON serializes one operation.
+type NodeJSON struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Inputs []int  `json:"inputs"` // indices into Nodes; -1 = graph input
+
+	Kernel  int     `json:"kernel,omitempty"`
+	KernelD int     `json:"kernel_d,omitempty"`
+	Stride  int     `json:"stride,omitempty"`
+	StrideD int     `json:"stride_d,omitempty"`
+	Pad     int     `json:"pad,omitempty"`
+	PadH    int     `json:"pad_h,omitempty"`
+	PadW    int     `json:"pad_w,omitempty"`
+	Asym    bool    `json:"asym,omitempty"`
+	Groups  int     `json:"groups,omitempty"`
+	Factor  int     `json:"factor,omitempty"`
+	Alpha   float32 `json:"alpha,omitempty"`
+
+	WShape     []int `json:"w_shape,omitempty"`
+	BiasLen    int   `json:"bias_len,omitempty"`
+	BNChannels int   `json:"bn_channels,omitempty"`
+
+	// Deployment annotations (set by lowering passes).
+	DType      string  `json:"dtype,omitempty"`
+	Activation string  `json:"activation,omitempty"`
+	FusedBN    bool    `json:"fused_bn,omitempty"`
+	Sparsity   float64 `json:"sparsity,omitempty"`
+
+	// Optional materialized parameters (Options.IncludeWeights).
+	Weights  []float32 `json:"weights,omitempty"`
+	Bias     []float32 `json:"bias,omitempty"`
+	Gamma    []float32 `json:"gamma,omitempty"`
+	Beta     []float32 `json:"beta,omitempty"`
+	Mean     []float32 `json:"mean,omitempty"`
+	Variance []float32 `json:"variance,omitempty"`
+	Eps      float32   `json:"eps,omitempty"`
+}
+
+// Options configures export.
+type Options struct {
+	// IncludeWeights embeds materialized parameters (large!). Structural
+	// exports carry shapes only — enough for cost modeling and timing.
+	IncludeWeights bool
+}
+
+// kindNames maps op kinds to stable wire names.
+var kindNames = map[graph.OpKind]string{
+	graph.OpInput: "input", graph.OpConv2D: "conv2d",
+	graph.OpDepthwiseConv2D: "dwconv2d", graph.OpConv3D: "conv3d",
+	graph.OpDense: "dense", graph.OpBatchNorm: "batchnorm",
+	graph.OpReLU: "relu", graph.OpReLU6: "relu6",
+	graph.OpLeakyReLU: "leaky_relu", graph.OpSigmoid: "sigmoid",
+	graph.OpTanh: "tanh", graph.OpMaxPool2D: "maxpool2d",
+	graph.OpAvgPool2D: "avgpool2d", graph.OpMaxPool3D: "maxpool3d",
+	graph.OpGlobalAvgPool: "global_avgpool", graph.OpAdd: "add",
+	graph.OpConcat: "concat", graph.OpFlatten: "flatten",
+	graph.OpSoftmax: "softmax", graph.OpPad: "pad",
+	graph.OpUpsample: "upsample", graph.OpLSTM: "lstm",
+	graph.OpShuffle: "shuffle",
+}
+
+var kindValues = func() map[string]graph.OpKind {
+	m := make(map[string]graph.OpKind, len(kindNames))
+	for k, v := range kindNames {
+		m[v] = k
+	}
+	return m
+}()
+
+var dtypeValues = map[string]tensor.DType{
+	"fp32": tensor.FP32, "fp16": tensor.FP16,
+	"int8": tensor.INT8, "fp64": tensor.FP64,
+}
+
+// Export serializes a graph.
+func Export(g *graph.Graph, opts Options) ([]byte, error) {
+	idx := make(map[*graph.Node]int, len(g.Nodes))
+	f := File{
+		Version:    FormatVersion,
+		Name:       g.Name,
+		Mode:       g.Mode.String(),
+		InputShape: append([]int(nil), g.Input.OutShape...),
+	}
+	for i, n := range g.Nodes {
+		idx[n] = i
+		kind, ok := kindNames[n.Kind]
+		if !ok {
+			return nil, fmt.Errorf("exchange: unsupported op %v", n.Kind)
+		}
+		nj := NodeJSON{
+			Name: n.Name, Kind: kind,
+			Kernel: n.Attrs.Kernel, KernelD: n.Attrs.KernelD,
+			Stride: n.Attrs.Stride, StrideD: n.Attrs.StrideD,
+			Pad: n.Attrs.Pad, PadH: n.Attrs.PadH, PadW: n.Attrs.PadW,
+			Asym: n.Attrs.Asym, Groups: n.Attrs.Groups,
+			Factor: n.Attrs.Factor, Alpha: n.Attrs.Alpha,
+			WShape: n.WShape, BiasLen: n.BiasLen, BNChannels: n.BNChannels,
+			FusedBN: n.FusedBN, Sparsity: n.Sparsity,
+		}
+		if n.DType != tensor.FP32 {
+			nj.DType = n.DType.String()
+		}
+		if n.Activation != 0 {
+			act, ok := kindNames[n.Activation]
+			if !ok {
+				return nil, fmt.Errorf("exchange: unsupported fused activation %v", n.Activation)
+			}
+			nj.Activation = act
+		}
+		for _, in := range n.Inputs {
+			j, ok := idx[in]
+			if !ok {
+				return nil, fmt.Errorf("exchange: node %s references an unserialized input", n)
+			}
+			nj.Inputs = append(nj.Inputs, j)
+		}
+		if opts.IncludeWeights {
+			if n.Weights != nil {
+				nj.Weights = n.Weights.Data
+			}
+			nj.Bias = n.Bias
+			if n.BN != nil {
+				nj.Gamma, nj.Beta = n.BN.Gamma, n.BN.Beta
+				nj.Mean, nj.Variance = n.BN.Mean, n.BN.Variance
+				nj.Eps = n.BN.Eps
+			}
+		}
+		f.Nodes = append(f.Nodes, nj)
+	}
+	f.Output = idx[g.Output]
+	for _, x := range g.Extra {
+		f.Extra = append(f.Extra, idx[x])
+	}
+	return json.Marshal(&f)
+}
+
+// Import deserializes a graph and validates it structurally.
+func Import(data []byte) (*graph.Graph, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("exchange: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("exchange: format version %d, want %d", f.Version, FormatVersion)
+	}
+	if len(f.Nodes) == 0 {
+		return nil, fmt.Errorf("exchange: empty model")
+	}
+	g := &graph.Graph{Name: f.Name}
+	if f.Mode == "dynamic" {
+		g.Mode = graph.Dynamic
+	}
+	nodes := make([]*graph.Node, len(f.Nodes))
+	for i, nj := range f.Nodes {
+		kind, ok := kindValues[nj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("exchange: node %d: unknown kind %q", i, nj.Kind)
+		}
+		n := &graph.Node{
+			ID: i, Name: nj.Name, Kind: kind,
+			Attrs: graph.Attrs{
+				Kernel: nj.Kernel, KernelD: nj.KernelD,
+				Stride: nj.Stride, StrideD: nj.StrideD,
+				Pad: nj.Pad, PadH: nj.PadH, PadW: nj.PadW,
+				Asym: nj.Asym, Groups: nj.Groups,
+				Factor: nj.Factor, Alpha: nj.Alpha,
+			},
+			WShape: nj.WShape, BiasLen: nj.BiasLen, BNChannels: nj.BNChannels,
+			FusedBN: nj.FusedBN, Sparsity: nj.Sparsity,
+		}
+		if nj.DType != "" {
+			dt, ok := dtypeValues[nj.DType]
+			if !ok {
+				return nil, fmt.Errorf("exchange: node %d: unknown dtype %q", i, nj.DType)
+			}
+			n.DType = dt
+		}
+		if nj.Activation != "" {
+			act, ok := kindValues[nj.Activation]
+			if !ok || !act.IsActivation() {
+				return nil, fmt.Errorf("exchange: node %d: bad fused activation %q", i, nj.Activation)
+			}
+			n.Activation = act
+		}
+		for _, j := range nj.Inputs {
+			if j < 0 || j >= i {
+				return nil, fmt.Errorf("exchange: node %d: input index %d violates topological order", i, j)
+			}
+			n.Inputs = append(n.Inputs, nodes[j])
+		}
+		if kind == graph.OpInput {
+			n.OutShape = tensor.Shape(f.InputShape).Clone()
+			g.Input = n
+		} else {
+			n.OutShape = graph.InferShape(n)
+		}
+		if nj.Weights != nil {
+			n.Weights = tensor.FromData(nj.Weights, nj.WShape...)
+		}
+		n.Bias = nj.Bias
+		if nj.Gamma != nil {
+			n.BN = &graph.BNParams{
+				Gamma: nj.Gamma, Beta: nj.Beta,
+				Mean: nj.Mean, Variance: nj.Variance, Eps: nj.Eps,
+			}
+		}
+		nodes[i] = n
+		g.Nodes = append(g.Nodes, n)
+	}
+	if f.Output < 0 || f.Output >= len(nodes) {
+		return nil, fmt.Errorf("exchange: output index %d out of range", f.Output)
+	}
+	g.Output = nodes[f.Output]
+	for _, j := range f.Extra {
+		if j < 0 || j >= len(nodes) {
+			return nil, fmt.Errorf("exchange: extra output index %d out of range", j)
+		}
+		g.Extra = append(g.Extra, nodes[j])
+	}
+	if g.Input == nil {
+		return nil, fmt.Errorf("exchange: model has no input node")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("exchange: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,222 @@
+package framework
+
+import "edgebench/internal/graph"
+
+// The catalog transcribes Table II. The DispatchWeight/SessionWeight/
+// MemoryFactor knobs encode the software-stack structure §VI-B3 profiles:
+// Python-dispatched dynamic graphs pay per-op cost every inference, static
+// runtimes amortize graph setup, C runtimes dispatch almost for free.
+
+const catalogMB = int64(1) << 20
+
+func init() {
+	register(&Framework{
+		Name:              "TensorFlow",
+		Language:          "Python",
+		IndustryBacked:    true,
+		TrainingFramework: true,
+		NoExtraSteps:      true,
+		Mobile:            NoMobile,
+		Usability:         3,
+		AddingModels:      2,
+		PreDefined:        3,
+		Documentation:     2,
+		LowLevel:          2,
+		Compatibility:     1,
+		Opts: Optimizations{
+			Quantization:  false, // experimental flags hidden; not applied in the paper's runs (§VI-B1)
+			Fusion:        false, // experimental, not enabled by default
+			HalfPrecision: false,
+		},
+		Mode:           graph.Static,
+		DispatchWeight: 1.0,
+		SessionWeight:  3.0, // TF_SessionRunCallable dominates Fig. 5b
+		MemoryFactor:   2.0, // static graph duplication on load
+		BaselineBytes:  220 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "Keras",
+		Language:          "Python",
+		IndustryBacked:    true,
+		TrainingFramework: true,
+		NoExtraSteps:      true,
+		Mobile:            NoMobile,
+		Usability:         3,
+		AddingModels:      3,
+		PreDefined:        3,
+		Documentation:     3,
+		LowLevel:          1,
+		Compatibility:     1,
+		Opts:              Optimizations{},
+		Mode:              graph.Static,
+		DispatchWeight:    1.1, // thin layer over the TensorFlow engine
+		SessionWeight:     3.2,
+		MemoryFactor:      2.1,
+		BaselineBytes:     240 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "TFLite",
+		Language:          "Python",
+		IndustryBacked:    true,
+		TrainingFramework: false,
+		NoExtraSteps:      false, // quantization-aware conversion, freezing
+		Mobile:            FullMobile,
+		Usability:         1,
+		AddingModels:      1,
+		PreDefined:        1,
+		Documentation:     1,
+		LowLevel:          1,
+		Compatibility:     1,
+		Opts: Optimizations{
+			Quantization:   true,
+			PruningExploit: true,
+			Fusion:         true,
+			HalfPrecision:  true,
+		},
+		Mode:           graph.Static,
+		DispatchWeight: 0.25, // flat interpreter over a frozen flatbuffer
+		SessionWeight:  0.5,
+		MemoryFactor:   1.1, // arena allocator, no graph duplication
+		BaselineBytes:  40 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "Caffe",
+		Language:          "C++/Python",
+		IndustryBacked:    true,
+		TrainingFramework: true,
+		NoExtraSteps:      true,
+		Mobile:            PartialMobile,
+		Usability:         2,
+		AddingModels:      3,
+		PreDefined:        2,
+		Documentation:     1,
+		LowLevel:          2,
+		Compatibility:     1,
+		Opts: Optimizations{
+			Quantization: false,
+		},
+		Mode:           graph.Static,
+		DispatchWeight: 0.6, // C++ layer loop, no Python per-op cost
+		SessionWeight:  1.0,
+		MemoryFactor:   1.6,
+		BaselineBytes:  120 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "NCSDK",
+		Language:          "Python",
+		IndustryBacked:    true,
+		TrainingFramework: false,
+		NoExtraSteps:      false, // compile + hand-tuning per model (§III-A)
+		Mobile:            NoMobile,
+		Usability:         1,
+		AddingModels:      1,
+		PreDefined:        1,
+		Documentation:     1,
+		LowLevel:          1,
+		Compatibility:     1,
+		Opts: Optimizations{
+			Quantization:  false,
+			Fusion:        true,
+			HalfPrecision: true, // Myriad 2 natively runs fp16
+		},
+		Mode:           graph.Static,
+		DispatchWeight: 0.3,
+		SessionWeight:  2.0, // USB transfer to the stick each inference
+		MemoryFactor:   1.2,
+		BaselineBytes:  30 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "PyTorch",
+		Language:          "Python",
+		IndustryBacked:    true,
+		TrainingFramework: true,
+		NoExtraSteps:      true,
+		Mobile:            PartialMobile, // via Caffe2 merge
+		Usability:         3,
+		AddingModels:      3,
+		PreDefined:        3,
+		Documentation:     3,
+		LowLevel:          1,
+		Compatibility:     1,
+		Opts: Optimizations{
+			DynamicGraph: true,
+		},
+		Mode:           graph.Dynamic,
+		DispatchWeight: 1.6, // define-by-run pays per-op Python dispatch
+		SessionWeight:  0.8, // no session machinery; Fig. 5a setup is negligible
+		MemoryFactor:   1.0, // frees intermediates eagerly
+		BaselineBytes:  140 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "TensorRT",
+		Language:          "Python/C++",
+		IndustryBacked:    true,
+		TrainingFramework: false,
+		NoExtraSteps:      true, // imports models with auto-tuning
+		Mobile:            NoMobile,
+		Usability:         2,
+		AddingModels:      2,
+		PreDefined:        2,
+		Documentation:     1,
+		LowLevel:          1,
+		Compatibility:     2,
+		Opts: Optimizations{
+			Quantization:   true,
+			MixedPrecision: true,
+			DynamicGraph:   true,
+			PruningExploit: true,
+			Fusion:         true,
+			AutoTuning:     true,
+			HalfPrecision:  true,
+		},
+		Mode:           graph.Static, // built engine executes a fixed plan
+		DispatchWeight: 0.15,         // fused engine, enqueue-only dispatch
+		SessionWeight:  0.4,
+		MemoryFactor:   1.2,
+		BaselineBytes:  180 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "DarkNet",
+		Language:          "C",
+		IndustryBacked:    false,
+		TrainingFramework: true,
+		NoExtraSteps:      true,
+		Mobile:            NoMobile,
+		Usability:         2,
+		AddingModels:      3,
+		PreDefined:        2,
+		Documentation:     1,
+		LowLevel:          3,
+		Compatibility:     1,
+		Opts:              Optimizations{}, // plain C fp32 loops, no opts
+		Mode:              graph.Static,
+		DispatchWeight:    0.2,
+		SessionWeight:     0.3,
+		MemoryFactor:      1.1,
+		BaselineBytes:     15 * catalogMB,
+	})
+	register(&Framework{
+		Name:              "TVM",
+		Language:          "Python",
+		IndustryBacked:    false,
+		TrainingFramework: false,
+		NoExtraSteps:      false, // VTA bitstream + JIT compilation
+		Mobile:            NoMobile,
+		Usability:         1,
+		AddingModels:      1,
+		PreDefined:        1,
+		Documentation:     1,
+		LowLevel:          3,
+		Compatibility:     1,
+		Opts: Optimizations{
+			Quantization: true, // VTA executes int8 tensor ops
+			Fusion:       true,
+			AutoTuning:   true,
+		},
+		Mode:           graph.Static,
+		DispatchWeight: 0.8, // RPC to the overlay per operator group
+		SessionWeight:  2.5,
+		MemoryFactor:   1.3,
+		BaselineBytes:  60 * catalogMB,
+	})
+}

@@ -1,0 +1,152 @@
+package framework
+
+import "fmt"
+
+// Status classifies a (model, platform) pairing per Table V.
+type Status int
+
+const (
+	// OK means the model deploys and runs normally.
+	OK Status = iota
+	// DynamicGraphRequired (Table V "^") means the model exceeds the
+	// device's memory under a static graph; only a dynamic-graph
+	// framework (PyTorch) runs it, an order of magnitude slower.
+	DynamicGraphRequired
+	// CodeIncompatible (Table V "O") means base-code incompatibility
+	// (SSD's extra image-processing library on RPi).
+	CodeIncompatible
+	// ConversionBarrier (Table V "4") means the EdgeTPU TFLite compiler
+	// rejects the model (quantization-aware-training requirements,
+	// §VI-A).
+	ConversionBarrier
+	// BRAMOverflow (Table V "^^") means the model exceeds the FPGA's
+	// BRAM and thrashes host DDR3, slowing execution severely.
+	BRAMOverflow
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case DynamicGraphRequired:
+		return "dynamic-graph-required"
+	case CodeIncompatible:
+		return "code-incompatible"
+	case ConversionBarrier:
+		return "conversion-barrier"
+	case BRAMOverflow:
+		return "bram-overflow"
+	default:
+		return "unknown"
+	}
+}
+
+// Runnable reports whether the pairing executes at all (possibly
+// degraded).
+func (s Status) Runnable() bool {
+	return s == OK || s == DynamicGraphRequired || s == BRAMOverflow
+}
+
+// tableV transcribes the paper's compatibility matrix. Missing entries
+// default to OK.
+var tableV = map[string]map[string]Status{
+	"ResNet-18":    {"EdgeTPU": ConversionBarrier},
+	"ResNet-50":    {"PYNQ-Z1": BRAMOverflow},
+	"MobileNet-v2": {"PYNQ-Z1": BRAMOverflow},
+	"Inception-v4": {"PYNQ-Z1": BRAMOverflow},
+	"AlexNet": {
+		"RPi3":    DynamicGraphRequired,
+		"EdgeTPU": ConversionBarrier,
+		"PYNQ-Z1": BRAMOverflow,
+	},
+	"VGG16": {
+		"RPi3":    DynamicGraphRequired,
+		"PYNQ-Z1": BRAMOverflow,
+	},
+	"SSD-MobileNet-v1": {
+		"RPi3":    CodeIncompatible,
+		"PYNQ-Z1": BRAMOverflow,
+	},
+	"TinyYolo": {
+		"EdgeTPU": ConversionBarrier,
+		"PYNQ-Z1": BRAMOverflow,
+	},
+	"C3D": {
+		"RPi3":    DynamicGraphRequired,
+		"EdgeTPU": ConversionBarrier,
+		"PYNQ-Z1": BRAMOverflow,
+	},
+	// Models beyond Table V's nine rows, filled from §VI context: the
+	// remaining large classifiers behave like VGG16 on memory-limited
+	// platforms, and nothing beyond CifarNet/ResNet-18 fits PYNQ.
+	"VGG19":      {"RPi3": DynamicGraphRequired, "PYNQ-Z1": BRAMOverflow},
+	"VGG-S":      {"RPi3": DynamicGraphRequired, "PYNQ-Z1": BRAMOverflow},
+	"VGG-S-32":   {"PYNQ-Z1": BRAMOverflow},
+	"ResNet-101": {"PYNQ-Z1": BRAMOverflow},
+	"Xception":   {"EdgeTPU": ConversionBarrier, "PYNQ-Z1": BRAMOverflow},
+	"YOLOv3":     {"EdgeTPU": ConversionBarrier, "PYNQ-Z1": BRAMOverflow},
+}
+
+// TableVStatus returns the compatibility status for a model on a
+// platform.
+func TableVStatus(modelName, deviceName string) Status {
+	if row, ok := tableV[modelName]; ok {
+		if s, ok := row[deviceName]; ok {
+			return s
+		}
+	}
+	return OK
+}
+
+// platformFrameworks records which frameworks deploy on each platform
+// (Table III "Platform" row): the accelerator platforms are locked to
+// their vendor toolchains.
+var platformFrameworks = map[string][]string{
+	"RPi3": {"TensorFlow", "TFLite", "Keras", "Caffe", "PyTorch", "DarkNet"},
+	// The paper's TX2 software stack never deployed TensorRT (Table IV
+	// runs TensorRT only on the Jetson Nano); its TX2 numbers are
+	// PyTorch/TF/Caffe/DarkNet.
+	"JetsonTX2":  {"TensorFlow", "TFLite", "Keras", "Caffe", "PyTorch", "DarkNet"},
+	"JetsonNano": {"TensorFlow", "TFLite", "Keras", "Caffe", "PyTorch", "TensorRT", "DarkNet"},
+	"EdgeTPU":    {"TFLite"},
+	"Movidius":   {"NCSDK"},
+	"PYNQ-Z1":    {"TVM"},
+	"Xeon":       {"TensorFlow", "TFLite", "Keras", "Caffe", "PyTorch", "DarkNet"},
+	"RTX2080":    {"TensorFlow", "Keras", "Caffe", "PyTorch", "TensorRT", "DarkNet"},
+	"GTXTitanX":  {"TensorFlow", "Keras", "Caffe", "PyTorch", "TensorRT", "DarkNet"},
+	"TitanXp":    {"TensorFlow", "Keras", "Caffe", "PyTorch", "TensorRT", "DarkNet"},
+}
+
+// SupportedOn reports whether the framework deploys on the platform.
+func (f *Framework) SupportedOn(deviceName string) bool {
+	fws, ok := platformFrameworks[deviceName]
+	if !ok {
+		return false
+	}
+	for _, n := range fws {
+		if n == f.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// FrameworksFor returns the frameworks deployable on the platform, in
+// Table II order.
+func FrameworksFor(deviceName string) ([]*Framework, error) {
+	names, ok := platformFrameworks[deviceName]
+	if !ok {
+		return nil, fmt.Errorf("framework: no platform entry for device %q", deviceName)
+	}
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	var out []*Framework
+	for _, f := range All() {
+		if set[f.Name] {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package framework_test
+
+import (
+	"testing"
+
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	if got := len(framework.All()); got != 9 {
+		t.Fatalf("catalog holds %d frameworks, want 9", got)
+	}
+	for _, n := range framework.TableIIOrder {
+		if _, ok := framework.Get(n); !ok {
+			t.Errorf("framework %q missing", n)
+		}
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet unknown should panic")
+		}
+	}()
+	framework.MustGet("Chainer")
+}
+
+func TestTableIIFeatureMatrix(t *testing.T) {
+	tf := framework.MustGet("TensorFlow")
+	pt := framework.MustGet("PyTorch")
+	trt := framework.MustGet("TensorRT")
+	tfl := framework.MustGet("TFLite")
+	dn := framework.MustGet("DarkNet")
+
+	if !tf.IndustryBacked || dn.IndustryBacked {
+		t.Error("industry-backed flags wrong")
+	}
+	if !tf.TrainingFramework || tfl.TrainingFramework || trt.TrainingFramework {
+		t.Error("training-framework flags wrong")
+	}
+	if tf.Mode != graph.Static || pt.Mode != graph.Dynamic {
+		t.Error("graph modes wrong")
+	}
+	if !trt.Opts.MixedPrecision || tf.Opts.MixedPrecision {
+		t.Error("mixed precision: TensorRT only (Table II)")
+	}
+	if !trt.Opts.AutoTuning || tfl.Opts.AutoTuning {
+		t.Error("auto tuning: TensorRT only (Table II)")
+	}
+	if !tfl.Opts.Fusion || !trt.Opts.Fusion || pt.Opts.Fusion {
+		t.Error("fusion flags wrong")
+	}
+	if tfl.Mobile != framework.FullMobile || pt.Mobile != framework.PartialMobile {
+		t.Error("mobile deployment grades wrong")
+	}
+	if tfl.NoExtraSteps || framework.MustGet("NCSDK").NoExtraSteps {
+		t.Error("TFLite/NCSDK require extra deployment steps")
+	}
+}
+
+func TestStarsString(t *testing.T) {
+	if framework.Stars(2).String() != "**" || framework.Stars(3).String() != "***" {
+		t.Error("Stars rendering wrong")
+	}
+	if framework.Stars(0).String() != "?" {
+		t.Error("invalid stars should render ?")
+	}
+}
+
+func buildSmall(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("m", nn.Options{Materialize: true, Seed: 5}, 3, 16, 16)
+	b.ConvBNReLU("b1", 8, 3, 1, 1)
+	b.ConvBNReLU("b2", 16, 3, 2, 1)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("p")
+	return b.Build()
+}
+
+func TestLowerTensorRTFusesAndCasts(t *testing.T) {
+	g := buildSmall(t)
+	nano := device.MustGet("JetsonNano")
+	out := framework.MustGet("TensorRT").Lower(g, nano)
+	if out.NumOps() >= g.NumOps() {
+		t.Fatal("TensorRT lowering should fuse ops away")
+	}
+	// Nano executes INT8 natively, so TensorRT quantizes.
+	for _, n := range out.Nodes {
+		if n.DType != tensor.INT8 {
+			t.Fatalf("node %s dtype = %v, want int8", n, n.DType)
+		}
+	}
+	if !out.Frozen {
+		t.Fatal("static lowering should freeze")
+	}
+	// The original graph is untouched.
+	if g.Frozen || g.NumOps() == out.NumOps() {
+		t.Fatal("Lower must not mutate its input")
+	}
+}
+
+func TestLowerTFLiteQuantizesEverywhere(t *testing.T) {
+	g := buildSmall(t)
+	rpi := device.MustGet("RPi3")
+	out := framework.MustGet("TFLite").Lower(g, rpi)
+	// TFLite deploys quantized even where the CPU gains nothing.
+	for _, n := range out.Nodes {
+		if n.DType != tensor.INT8 {
+			t.Fatalf("TFLite should quantize; node %s is %v", n, n.DType)
+		}
+	}
+}
+
+func TestLowerPyTorchKeepsDynamicFP32(t *testing.T) {
+	g := buildSmall(t)
+	tx2 := device.MustGet("JetsonTX2")
+	out := framework.MustGet("PyTorch").Lower(g, tx2)
+	if out.Mode != graph.Dynamic {
+		t.Fatal("PyTorch lowering must be dynamic")
+	}
+	if out.Frozen {
+		t.Fatal("dynamic graphs are not frozen")
+	}
+	if out.NumOps() != g.NumOps() {
+		t.Fatal("PyTorch applies no structural optimization")
+	}
+	for _, n := range out.Nodes {
+		if n.DType != tensor.FP32 {
+			t.Fatal("PyTorch executes fp32")
+		}
+	}
+}
+
+func TestLowerNCSDKCastsFP16(t *testing.T) {
+	g := buildSmall(t)
+	mov := device.MustGet("Movidius")
+	out := framework.MustGet("NCSDK").Lower(g, mov)
+	for _, n := range out.Nodes {
+		if n.DType != tensor.FP16 {
+			t.Fatalf("NCSDK on Movidius should run fp16, node %s is %v", n, n.DType)
+		}
+	}
+}
+
+func TestLowerPreservesSemanticsModuloPrecision(t *testing.T) {
+	g := buildSmall(t)
+	in := tensor.New(3, 16, 16).Fill(0.2)
+	ref, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := framework.MustGet("TensorRT").Lower(g, device.MustGet("JetsonNano"))
+	got, err := (&graph.Executor{}).Run(out, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Data {
+		d := float64(ref.Data[i] - got.Data[i])
+		if d > 0.15 || d < -0.15 {
+			t.Fatalf("lowered output diverges at %d: %v vs %v", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestTableVStatus(t *testing.T) {
+	cases := []struct {
+		model, dev string
+		want       framework.Status
+	}{
+		{"ResNet-18", "RPi3", framework.OK},
+		{"ResNet-18", "EdgeTPU", framework.ConversionBarrier},
+		{"AlexNet", "RPi3", framework.DynamicGraphRequired},
+		{"VGG16", "RPi3", framework.DynamicGraphRequired},
+		{"SSD-MobileNet-v1", "RPi3", framework.CodeIncompatible},
+		{"C3D", "EdgeTPU", framework.ConversionBarrier},
+		{"ResNet-50", "PYNQ-Z1", framework.BRAMOverflow},
+		{"MobileNet-v2", "JetsonTX2", framework.OK},
+		{"CifarNet", "PYNQ-Z1", framework.OK},
+	}
+	for _, c := range cases {
+		if got := framework.TableVStatus(c.model, c.dev); got != c.want {
+			t.Errorf("TableVStatus(%s, %s) = %v, want %v", c.model, c.dev, got, c.want)
+		}
+	}
+}
+
+func TestStatusPredicates(t *testing.T) {
+	if !framework.OK.Runnable() || !framework.DynamicGraphRequired.Runnable() || !framework.BRAMOverflow.Runnable() {
+		t.Error("runnable statuses wrong")
+	}
+	if framework.CodeIncompatible.Runnable() || framework.ConversionBarrier.Runnable() {
+		t.Error("non-runnable statuses wrong")
+	}
+	for s := framework.OK; s <= framework.BRAMOverflow; s++ {
+		if s.String() == "unknown" {
+			t.Errorf("status %d missing name", s)
+		}
+	}
+}
+
+func TestPlatformFrameworkLock(t *testing.T) {
+	// Accelerators are locked to vendor toolchains (Table III).
+	tfl := framework.MustGet("TFLite")
+	if !tfl.SupportedOn("EdgeTPU") || !tfl.SupportedOn("RPi3") {
+		t.Error("TFLite support wrong")
+	}
+	if framework.MustGet("TensorFlow").SupportedOn("EdgeTPU") {
+		t.Error("EdgeTPU accepts only TFLite")
+	}
+	if !framework.MustGet("NCSDK").SupportedOn("Movidius") ||
+		framework.MustGet("NCSDK").SupportedOn("RPi3") {
+		t.Error("NCSDK is Movidius-only")
+	}
+	if !framework.MustGet("TensorRT").SupportedOn("JetsonNano") ||
+		framework.MustGet("TensorRT").SupportedOn("Xeon") {
+		t.Error("TensorRT is Nvidia-only")
+	}
+	if framework.MustGet("TensorRT").SupportedOn("JetsonTX2") {
+		t.Error("the paper's TX2 stack never deployed TensorRT (Table IV)")
+	}
+
+	fws, err := framework.FrameworksFor("JetsonTX2")
+	if err != nil || len(fws) != 6 {
+		t.Fatalf("FrameworksFor(TX2) = %d frameworks (%v), want 6", len(fws), err)
+	}
+	if _, err := framework.FrameworksFor("Abacus"); err == nil {
+		t.Fatal("unknown device should error")
+	}
+}
+
+func TestEveryTableVModelExists(t *testing.T) {
+	// The compat matrix must reference only registered models/devices.
+	for _, name := range []string{"ResNet-18", "ResNet-50", "MobileNet-v2",
+		"Inception-v4", "AlexNet", "VGG16", "SSD-MobileNet-v1", "TinyYolo", "C3D"} {
+		if _, ok := model.Get(name); !ok {
+			t.Errorf("Table V model %q not in zoo", name)
+		}
+	}
+	for _, name := range []string{"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU", "Movidius", "PYNQ-Z1"} {
+		if _, ok := device.Get(name); !ok {
+			t.Errorf("Table V device %q not in catalog", name)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format for inspection and
+// documentation: one box per op annotated with shape and parameter
+// count, fused activations and folded batch-norms marked, edges
+// following dataflow.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
+	for _, n := range g.Nodes {
+		label := fmt.Sprintf("%s\\n%s %v", n.Name, n.Kind, []int(n.OutShape))
+		if p := n.ParamCount(); p > 0 {
+			label += fmt.Sprintf("\\n%d params", p)
+		}
+		var marks []string
+		if n.FusedBN {
+			marks = append(marks, "+bn")
+		}
+		if n.Activation != 0 {
+			marks = append(marks, "+"+n.Activation.String())
+		}
+		if n.Sparsity > 0 {
+			marks = append(marks, fmt.Sprintf("%.0f%% sparse", n.Sparsity*100))
+		}
+		if len(marks) > 0 {
+			label += "\\n[" + strings.Join(marks, " ") + "]"
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		switch {
+		case n.Kind == OpInput:
+			attrs += ", style=filled, fillcolor=lightblue"
+		case n == g.Output || isExtra(g, n):
+			attrs += ", style=filled, fillcolor=lightyellow"
+		case n.Kind.HasWeights():
+			attrs += ", style=filled, fillcolor=whitesmoke"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func isExtra(g *Graph, n *Node) bool {
+	for _, x := range g.Extra {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package graph_test
+
+import (
+	"strings"
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+func TestDOTRendering(t *testing.T) {
+	b := nn.NewBuilder("dotnet", nn.Options{}, 3, 8, 8)
+	b.ConvBNReLU("blk", 4, 3, 1, 1)
+	b.Dense("fc", 2, true)
+	g := b.Build()
+	graph.FoldBN(g)
+	graph.FuseActivations(g)
+	graph.Prune(0.5)(g)
+
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph \"dotnet\"",
+		"conv2d",
+		"lightblue",   // input highlighted
+		"lightyellow", // output highlighted
+		"+bn",         // folded batch-norm marked
+		"+relu",       // fused activation marked
+		"50% sparse",  // pruning marked
+		"->",
+		"params",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Edges must reference declared nodes only.
+	if strings.Count(dot, "digraph") != 1 || !strings.HasSuffix(dot, "}\n") {
+		t.Fatal("malformed DOT document")
+	}
+}

@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"fmt"
+
+	"edgebench/internal/tensor"
+)
+
+// Executor evaluates a graph numerically over real tensors. It backs the
+// functional-correctness path of the engine (the timing path uses the
+// analytic cost model in internal/core instead, since the paper's device
+// latencies cannot be reproduced by host-CPU wall time).
+type Executor struct {
+	// UseGEMMConv selects the im2col+GEMM convolution lowering instead of
+	// the direct loop nest. Both produce equal results; the ablation
+	// benchmarks compare their host cost.
+	UseGEMMConv bool
+
+	// lastValues retains the most recent forward pass's node values for
+	// RunValues (training) callers.
+	lastValues map[*Node]*tensor.Tensor
+}
+
+// RunValues evaluates g on input and returns the value of every node —
+// the retain-all forward pass training needs (backpropagation reads each
+// op's inputs). Dynamic-mode eager release is disabled.
+func (e *Executor) RunValues(g *Graph, input *tensor.Tensor) (map[*Node]*tensor.Tensor, error) {
+	saved := g.Mode
+	g.Mode = Static
+	defer func() { g.Mode = saved }()
+	if _, err := e.run(g, input); err != nil {
+		return nil, err
+	}
+	return e.lastValues, nil
+}
+
+// Run evaluates g on input and returns the output tensor. Intermediates
+// for nodes whose consumers have all executed are released eagerly in
+// Dynamic mode, mirroring define-by-run memory behaviour.
+func (e *Executor) Run(g *Graph, input *tensor.Tensor) (*tensor.Tensor, error) {
+	return e.run(g, input)
+}
+
+func (e *Executor) run(g *Graph, input *tensor.Tensor) (*tensor.Tensor, error) {
+	if !input.Shape.Equal(g.Input.OutShape) {
+		return nil, fmt.Errorf("graph %s: input shape %v, want %v", g.Name, input.Shape, g.Input.OutShape)
+	}
+	for _, n := range g.Nodes {
+		if !n.Materialized() {
+			return nil, fmt.Errorf("graph %s: node %s has structural-only parameters; build the model with materialized weights to execute it", g.Name, n)
+		}
+	}
+	// Count remaining consumers per node for eager release.
+	remaining := make(map[*Node]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			remaining[in]++
+		}
+	}
+	keep := make(map[*Node]bool, 1+len(g.Extra))
+	for _, root := range g.Roots() {
+		keep[root] = true
+	}
+	values := make(map[*Node]*tensor.Tensor, len(g.Nodes))
+	values[g.Input] = input
+	for _, n := range g.Nodes {
+		if n.Kind == OpInput {
+			continue
+		}
+		out, err := e.eval(n, values)
+		if err != nil {
+			return nil, fmt.Errorf("graph %s: node %s: %w", g.Name, n, err)
+		}
+		if n.Activation != 0 {
+			out = applyActivation(n.Activation, n.Attrs.Alpha, out)
+		}
+		values[n] = out
+		if g.Mode == Dynamic {
+			for _, in := range n.Inputs {
+				remaining[in]--
+				if remaining[in] == 0 && !keep[in] {
+					delete(values, in)
+				}
+			}
+		}
+	}
+	out, ok := values[g.Output]
+	if !ok {
+		return nil, fmt.Errorf("graph %s: output value missing", g.Name)
+	}
+	e.lastValues = values
+	return out, nil
+}
+
+func (e *Executor) eval(n *Node, values map[*Node]*tensor.Tensor) (*tensor.Tensor, error) {
+	get := func(i int) (*tensor.Tensor, error) {
+		v, ok := values[n.Inputs[i]]
+		if !ok {
+			return nil, fmt.Errorf("input %s not computed", n.Inputs[i])
+		}
+		return v, nil
+	}
+	switch n.Kind {
+	case OpConv2D:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		spec := n.Attrs.ConvSpec()
+		if g := n.Attrs.GroupCount(); g > 1 {
+			return e.groupedConv(n, in, g, spec)
+		}
+		if e.UseGEMMConv {
+			return tensor.Conv2DGEMM(in, n.Weights, n.Bias, spec), nil
+		}
+		return tensor.Conv2DAuto(in, n.Weights, n.Bias, spec), nil
+	case OpDepthwiseConv2D:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.DepthwiseConv2D(in, n.Weights, n.Bias, n.Attrs.ConvSpec()), nil
+	case OpConv3D:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		spec := tensor.Conv3DSpec{Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}
+		return tensor.Conv3D(in, n.Weights, n.Bias, spec), nil
+	case OpDense:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.Dense(n.Weights, n.Bias, in.Data)
+		return tensor.FromData(out, len(out)), nil
+	case OpBatchNorm:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.BatchNorm(in, n.BN.Gamma, n.BN.Beta, n.BN.Mean, n.BN.Variance, n.BN.Eps), nil
+	case OpReLU, OpReLU6, OpLeakyReLU, OpSigmoid, OpTanh:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return applyActivation(n.Kind, n.Attrs.Alpha, in.Clone()), nil
+	case OpMaxPool2D:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.MaxPool2D(in, tensor.PoolSpec{Kernel: n.Attrs.Kernel, Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}), nil
+	case OpAvgPool2D:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.AvgPool2D(in, tensor.PoolSpec{Kernel: n.Attrs.Kernel, Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}), nil
+	case OpMaxPool3D:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.MaxPool3DSpec(in, n.Attrs.Pool3DSpec()), nil
+	case OpUpsample:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.UpsampleNearest2D(in, n.Attrs.Factor), nil
+	case OpLSTM:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		h := tensor.LSTM(n.Weights, n.Bias, in)
+		return tensor.FromData(h, len(h)), nil
+	case OpShuffle:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.ShuffleChannels(in, n.Attrs.GroupCount()), nil
+	case OpGlobalAvgPool:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		v := tensor.GlobalAvgPool2D(in)
+		return tensor.FromData(v, len(v)), nil
+	case OpAdd:
+		a, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := get(1)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.Add(a, b), nil
+	case OpConcat:
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for i := range n.Inputs {
+			v, err := get(i)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = v
+		}
+		return tensor.ConcatChannels(ins...), nil
+	case OpFlatten:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return in.Reshape(in.Shape.NumElems()), nil
+	case OpSoftmax:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		out := tensor.Softmax(in.Data)
+		return tensor.FromData(out, len(out)), nil
+	case OpPad:
+		in, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.Pad2D(in, n.Attrs.Pad), nil
+	default:
+		return nil, fmt.Errorf("unsupported op %v", n.Kind)
+	}
+}
+
+// groupedConv splits the input channels into groups and convolves each
+// group with its own filter slice (AlexNet's two-GPU heritage layout).
+// Weights are [Cout, Cin/groups, KH, KW]; output channels partition evenly
+// across groups.
+func (e *Executor) groupedConv(n *Node, in *tensor.Tensor, groups int, spec tensor.Conv2DSpec) (*tensor.Tensor, error) {
+	cin, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	cout := n.WShape[0]
+	if cin%groups != 0 || cout%groups != 0 {
+		return nil, fmt.Errorf("grouped conv: channels %d/%d not divisible by %d groups", cin, cout, groups)
+	}
+	cinG, coutG := cin/groups, cout/groups
+	kh, kw := n.WShape[2], n.WShape[3]
+	outs := make([]*tensor.Tensor, groups)
+	plane := h * w
+	wPer := coutG * cinG * kh * kw
+	for gi := 0; gi < groups; gi++ {
+		gin := tensor.FromData(in.Data[gi*cinG*plane:(gi+1)*cinG*plane], cinG, h, w)
+		gw := tensor.FromData(n.Weights.Data[gi*wPer:(gi+1)*wPer], coutG, cinG, kh, kw)
+		var gb []float32
+		if n.Bias != nil {
+			gb = n.Bias[gi*coutG : (gi+1)*coutG]
+		}
+		if e.UseGEMMConv {
+			outs[gi] = tensor.Conv2DGEMM(gin, gw, gb, spec)
+		} else {
+			outs[gi] = tensor.Conv2D(gin, gw, gb, spec)
+		}
+	}
+	return tensor.ConcatChannels(outs...), nil
+}
+
+func applyActivation(k OpKind, alpha float32, t *tensor.Tensor) *tensor.Tensor {
+	switch k {
+	case OpReLU:
+		return tensor.ReLU(t)
+	case OpReLU6:
+		return tensor.ReLU6(t)
+	case OpLeakyReLU:
+		if alpha == 0 {
+			alpha = 0.1
+		}
+		return tensor.LeakyReLU(t, alpha)
+	case OpSigmoid:
+		return tensor.Sigmoid(t)
+	case OpTanh:
+		return tensor.Tanh(t)
+	default:
+		panic(fmt.Sprintf("graph: %v is not an activation", k))
+	}
+}

@@ -1,0 +1,295 @@
+package graph
+
+import (
+	"fmt"
+
+	"edgebench/internal/tensor"
+)
+
+// Mode distinguishes the two graph-construction disciplines the paper
+// contrasts (§III, Table II "Dynamic Graph" row).
+type Mode int
+
+const (
+	// Static graphs are built once, frozen, optimized offline, and reused
+	// across inferences (TensorFlow, TFLite, Caffe, TensorRT after build).
+	Static Mode = iota
+	// Dynamic graphs are constructed, used, and freed per inference
+	// (PyTorch define-by-run). They pay per-op dispatch each run but can
+	// execute models that exceed device memory by freeing intermediates.
+	Dynamic
+)
+
+func (m Mode) String() string {
+	if m == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Graph is a single-input, single-output computation DAG. Nodes is kept
+// in topological order by construction (every node is appended after its
+// inputs).
+type Graph struct {
+	Name   string
+	Nodes  []*Node
+	Input  *Node
+	Output *Node
+	// Extra holds additional graph outputs beyond Output — detection
+	// models (YOLOv3, SSD) emit one tensor per scale/head. Liveness
+	// analysis (dead-code elimination, dynamic-mode memory release)
+	// treats them as roots.
+	Extra []*Node
+	Mode  Mode
+
+	// Frozen marks a static graph as deployment-ready: variables have
+	// been converted to constants and no further building is allowed
+	// (TFLite's "freezing the computation graph", §III-A).
+	Frozen bool
+
+	nextID int
+}
+
+// New creates an empty graph with an input node of the given shape.
+func New(name string, inputShape ...int) *Graph {
+	g := &Graph{Name: name}
+	in := &Node{Kind: OpInput, Name: "input", OutShape: tensor.Shape(inputShape).Clone()}
+	g.add(in)
+	g.Input = in
+	g.Output = in
+	return g
+}
+
+func (g *Graph) add(n *Node) *Node {
+	if g.Frozen {
+		panic("graph: cannot add nodes to a frozen graph")
+	}
+	n.ID = g.nextID
+	g.nextID++
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("%s_%d", n.Kind, n.ID)
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.Output = n
+	return n
+}
+
+// Add appends a node computing kind over the given inputs, infers its
+// output shape, and returns it. Weight-bearing ops must have Weights set
+// before Add via the With* option funcs on Node, so model builders use the
+// helper constructors below instead.
+func (g *Graph) Add(n *Node) *Node {
+	if len(n.Inputs) == 0 && n.Kind != OpInput {
+		n.Inputs = []*Node{g.Output}
+	}
+	n.OutShape = InferShape(n)
+	return g.add(n)
+}
+
+// Freeze marks the graph as deployment-ready. Further structural changes
+// panic. Freezing an already frozen graph is a no-op.
+func (g *Graph) Freeze() { g.Frozen = true }
+
+// NumOps returns the count of non-input nodes (the per-inference dispatch
+// count in the cost model).
+func (g *Graph) NumOps() int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Kind != OpInput {
+			n++
+		}
+	}
+	return n
+}
+
+// Params returns the total learned-parameter count.
+func (g *Graph) Params() int64 {
+	var p int64
+	for _, n := range g.Nodes {
+		p += n.ParamCount()
+	}
+	return p
+}
+
+// Validate checks structural invariants: topological order, input arity,
+// and shape consistency. It returns the first violation found.
+func (g *Graph) Validate() error {
+	seen := make(map[*Node]bool, len(g.Nodes))
+	ids := make(map[int]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if ids[n.ID] {
+			return fmt.Errorf("graph %s: duplicate node id %d", g.Name, n.ID)
+		}
+		ids[n.ID] = true
+		for _, in := range n.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("graph %s: node %s uses input %s before definition", g.Name, n, in)
+			}
+		}
+		if want := arity(n.Kind); want >= 0 && len(n.Inputs) != want {
+			return fmt.Errorf("graph %s: node %s has %d inputs, want %d", g.Name, n, len(n.Inputs), want)
+		}
+		if n.Kind != OpInput {
+			inferred := InferShape(n)
+			if !inferred.Equal(n.OutShape) {
+				return fmt.Errorf("graph %s: node %s shape %v, inferred %v", g.Name, n, n.OutShape, inferred)
+			}
+		}
+		seen[n] = true
+	}
+	if g.Output == nil || !seen[g.Output] {
+		return fmt.Errorf("graph %s: output node not in graph", g.Name)
+	}
+	for _, x := range g.Extra {
+		if !seen[x] {
+			return fmt.Errorf("graph %s: extra output %s not in graph", g.Name, x)
+		}
+	}
+	return nil
+}
+
+// Roots returns all output nodes (primary plus extras).
+func (g *Graph) Roots() []*Node {
+	return append([]*Node{g.Output}, g.Extra...)
+}
+
+// arity returns the required input count for an op kind, or -1 for
+// variadic ops.
+func arity(k OpKind) int {
+	switch k {
+	case OpInput:
+		return 0
+	case OpAdd:
+		return 2
+	case OpConcat:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Clone returns a structurally independent copy of the graph. Weight
+// tensors are deep-copied so optimization passes on the clone do not
+// disturb the original (frameworks each lower the same model).
+func (g *Graph) Clone() *Graph {
+	mapping := make(map[*Node]*Node, len(g.Nodes))
+	out := &Graph{Name: g.Name, Mode: g.Mode, Frozen: false, nextID: g.nextID}
+	for _, n := range g.Nodes {
+		cp := &Node{
+			ID:         n.ID,
+			Name:       n.Name,
+			Kind:       n.Kind,
+			Attrs:      n.Attrs,
+			WShape:     n.WShape.Clone(),
+			BiasLen:    n.BiasLen,
+			BNChannels: n.BNChannels,
+			OutShape:   n.OutShape.Clone(),
+			DType:      n.DType,
+			Activation: n.Activation,
+			FusedBN:    n.FusedBN,
+			Sparsity:   n.Sparsity,
+			BN:         n.BN.Clone(),
+		}
+		if n.Weights != nil {
+			cp.Weights = n.Weights.Clone()
+		}
+		if n.Bias != nil {
+			cp.Bias = append([]float32(nil), n.Bias...)
+		}
+		for _, in := range n.Inputs {
+			cp.Inputs = append(cp.Inputs, mapping[in])
+		}
+		mapping[n] = cp
+		out.Nodes = append(out.Nodes, cp)
+	}
+	out.Input = mapping[g.Input]
+	out.Output = mapping[g.Output]
+	for _, x := range g.Extra {
+		out.Extra = append(out.Extra, mapping[x])
+	}
+	return out
+}
+
+// InferShape computes a node's output shape from its inputs and
+// attributes. It panics on inconsistent structure, which Validate converts
+// into errors during graph checking.
+func InferShape(n *Node) tensor.Shape {
+	switch n.Kind {
+	case OpInput:
+		return n.OutShape
+	case OpConv2D:
+		in := n.in(0).OutShape
+		w := n.WShape
+		h, wd := n.Attrs.ConvSpec().OutDims(in[1], in[2], w[2], w[3])
+		return tensor.Shape{w[0], h, wd}
+	case OpDepthwiseConv2D:
+		in := n.in(0).OutShape
+		w := n.WShape
+		h, wd := n.Attrs.ConvSpec().OutDims(in[1], in[2], w[1], w[2])
+		return tensor.Shape{in[0], h, wd}
+	case OpConv3D:
+		in := n.in(0).OutShape
+		w := n.WShape
+		spec := tensor.Conv3DSpec{Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}
+		return tensor.Shape{w[0], spec.OutDim(in[1], w[2]), spec.OutDim(in[2], w[3]), spec.OutDim(in[3], w[4])}
+	case OpDense:
+		return tensor.Shape{n.WShape[0]}
+	case OpLSTM:
+		in := n.in(0).OutShape
+		hidden := n.WShape[0] / 4
+		if len(in) != 2 || n.WShape[1] != in[1]+hidden {
+			panic(fmt.Sprintf("graph: LSTM weights %v incompatible with input %v", n.WShape, in))
+		}
+		return tensor.Shape{hidden}
+	case OpMaxPool2D, OpAvgPool2D:
+		in := n.in(0).OutShape
+		spec := tensor.PoolSpec{Kernel: n.Attrs.Kernel, Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}
+		return tensor.Shape{in[0], spec.OutDim(in[1]), spec.OutDim(in[2])}
+	case OpMaxPool3D:
+		in := n.in(0).OutShape
+		d, h, w := n.Attrs.Pool3DSpec().OutDims(in[1], in[2], in[3])
+		return tensor.Shape{in[0], d, h, w}
+	case OpUpsample:
+		in := n.in(0).OutShape
+		f := n.Attrs.Factor
+		if f < 1 {
+			f = 1
+		}
+		return tensor.Shape{in[0], in[1] * f, in[2] * f}
+	case OpGlobalAvgPool:
+		return tensor.Shape{n.in(0).OutShape[0]}
+	case OpFlatten:
+		return tensor.Shape{n.in(0).OutShape.NumElems()}
+	case OpAdd:
+		a, b := n.in(0).OutShape, n.in(1).OutShape
+		if !a.Equal(b) {
+			panic(fmt.Sprintf("graph: add shape mismatch %v vs %v", a, b))
+		}
+		return a.Clone()
+	case OpConcat:
+		first := n.in(0).OutShape
+		c := 0
+		for _, in := range n.Inputs {
+			s := in.OutShape
+			if len(s) != 3 || s[1] != first[1] || s[2] != first[2] {
+				panic(fmt.Sprintf("graph: concat spatial mismatch %v vs %v", s, first))
+			}
+			c += s[0]
+		}
+		return tensor.Shape{c, first[1], first[2]}
+	case OpPad:
+		in := n.in(0).OutShape
+		p := n.Attrs.Pad
+		return tensor.Shape{in[0], in[1] + 2*p, in[2] + 2*p}
+	case OpBatchNorm, OpReLU, OpReLU6, OpLeakyReLU, OpSigmoid, OpTanh, OpSoftmax:
+		return n.in(0).OutShape.Clone()
+	case OpShuffle:
+		in := n.in(0).OutShape
+		if g := n.Attrs.GroupCount(); in[0]%g != 0 {
+			panic(fmt.Sprintf("graph: shuffle groups %d do not divide channels %d", g, in[0]))
+		}
+		return in.Clone()
+	default:
+		panic(fmt.Sprintf("graph: cannot infer shape for op %v", n.Kind))
+	}
+}

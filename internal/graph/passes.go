@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+
+	"edgebench/internal/tensor"
+)
+
+// A Pass transforms a graph in place. Frameworks compose passes into
+// their lowering pipelines (Table II optimization rows); each pass is
+// individually testable and semantics-preserving (asserted by the
+// equivalence property tests).
+type Pass func(*Graph)
+
+// consumers returns a map from node to the nodes that read it.
+func consumers(g *Graph) map[*Node][]*Node {
+	m := make(map[*Node][]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			m[in] = append(m[in], n)
+		}
+	}
+	return m
+}
+
+// replaceUses rewires every reference to old so it points at repl, and
+// moves the graph output if necessary.
+func replaceUses(g *Graph, old, repl *Node) {
+	for _, n := range g.Nodes {
+		for i, in := range n.Inputs {
+			if in == old {
+				n.Inputs[i] = repl
+			}
+		}
+	}
+	if g.Output == old {
+		g.Output = repl
+	}
+}
+
+// removeNodes drops the given set from the node list.
+func removeNodes(g *Graph, dead map[*Node]bool) {
+	if len(dead) == 0 {
+		return
+	}
+	kept := g.Nodes[:0]
+	for _, n := range g.Nodes {
+		if !dead[n] {
+			kept = append(kept, n)
+		}
+	}
+	g.Nodes = kept
+}
+
+// FoldBN folds every batch-norm whose producer is a convolution or dense
+// layer with no other consumers into that producer's weights, then removes
+// the BN node. This is the conv+BN half of kernel fusion (§III-B).
+func FoldBN(g *Graph) {
+	cons := consumers(g)
+	dead := map[*Node]bool{}
+	for _, n := range g.Nodes {
+		if n.Kind != OpBatchNorm {
+			continue
+		}
+		prod := n.Inputs[0]
+		if len(cons[prod]) != 1 {
+			continue // producer feeds other nodes; folding would change them
+		}
+		switch prod.Kind {
+		case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense:
+			if prod.Weights != nil && n.BN != nil {
+				fw, fb := tensor.FoldBatchNorm(prod.Weights, prod.Bias,
+					n.BN.Gamma, n.BN.Beta, n.BN.Mean, n.BN.Variance, n.BN.Eps)
+				prod.Weights = fw
+				prod.Bias = fb
+			}
+			// Structurally, folding moves the BN's scale/shift into the
+			// producer's weights and a bias of one value per channel
+			// (WShape[0] is Cout for convs, channels for depthwise).
+			prod.BiasLen = prod.WShape[0]
+			prod.FusedBN = true
+			replaceUses(g, n, prod)
+			dead[n] = true
+		}
+	}
+	removeNodes(g, dead)
+}
+
+// FuseActivations merges activation nodes into their single producer when
+// the producer is a compute op — the second half of kernel fusion. The
+// activation still executes but without a separate kernel dispatch.
+func FuseActivations(g *Graph) {
+	cons := consumers(g)
+	dead := map[*Node]bool{}
+	for _, n := range g.Nodes {
+		if !n.Kind.IsActivation() {
+			continue
+		}
+		prod := n.Inputs[0]
+		if dead[prod] || prod.Activation != 0 || len(cons[prod]) != 1 {
+			continue
+		}
+		switch prod.Kind {
+		case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense, OpAdd:
+			prod.Activation = n.Kind
+			prod.Attrs.Alpha = n.Attrs.Alpha
+			replaceUses(g, n, prod)
+			dead[n] = true
+		}
+	}
+	removeNodes(g, dead)
+}
+
+// EliminateDead removes nodes unreachable from the graph output —
+// TFLite's "removing several redundant and unnecessary operations" when
+// freezing a graph (§III-A).
+func EliminateDead(g *Graph) {
+	reachable := map[*Node]bool{}
+	var mark func(*Node)
+	mark = func(n *Node) {
+		if reachable[n] {
+			return
+		}
+		reachable[n] = true
+		for _, in := range n.Inputs {
+			mark(in)
+		}
+	}
+	for _, root := range g.Roots() {
+		mark(root)
+	}
+	dead := map[*Node]bool{}
+	for _, n := range g.Nodes {
+		if !reachable[n] {
+			dead[n] = true
+		}
+	}
+	removeNodes(g, dead)
+}
+
+// QuantizeINT8 applies post-training symmetric INT8 quantization to every
+// weight-bearing node: weights are round-tripped through int8 (so the
+// functional path sees quantization error) and the node's execution
+// datatype drops to INT8 (so the cost model sees 4x smaller weights and
+// the device's INT8 throughput).
+func QuantizeINT8(g *Graph) {
+	for _, n := range g.Nodes {
+		if n.Weights != nil {
+			n.Weights = tensor.QuantizeSymmetric(n.Weights).Dequantize()
+		}
+		n.DType = tensor.INT8
+	}
+}
+
+// QuantizeINT8PerChannel applies post-training quantization with one
+// scale per output channel on weight-bearing compute ops (the TFLite
+// convolution scheme) and per-tensor scales elsewhere. Numerically
+// tighter than QuantizeINT8; identical cost-model consequences.
+func QuantizeINT8PerChannel(g *Graph) {
+	for _, n := range g.Nodes {
+		if n.Weights != nil {
+			switch n.Kind {
+			case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense:
+				n.Weights, _ = tensor.QuantizePerChannelRoundTrip(n.Weights)
+			default:
+				n.Weights = tensor.QuantizeSymmetric(n.Weights).Dequantize()
+			}
+		}
+		n.DType = tensor.INT8
+	}
+}
+
+// ErrNotMaterialized is a sentinel message fragment used when numeric
+// execution is requested on a structural-only graph; see Executor.Run.
+const ErrNotMaterialized = "structural-only parameters"
+
+// CastFP16 converts execution to half precision: weights are
+// round-tripped through binary16 and the datatype drops to FP16.
+func CastFP16(g *Graph) {
+	for _, n := range g.Nodes {
+		if n.Weights != nil {
+			n.Weights = tensor.RoundTripFP16(n.Weights)
+		}
+		n.DType = tensor.FP16
+	}
+}
+
+// Prune applies global magnitude pruning at the given fraction to every
+// convolution and dense layer, recording per-node sparsity. Whether the
+// zeros translate into compute savings depends on the framework's
+// sparse-execution support (Table II ‡‡), which the cost model consults.
+func Prune(fraction float64) Pass {
+	return func(g *Graph) {
+		for _, n := range g.Nodes {
+			switch n.Kind {
+			case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense:
+				if n.Weights != nil {
+					tensor.PruneMagnitude(n.Weights, fraction)
+					n.Sparsity = tensor.Sparsity(n.Weights)
+				} else {
+					// Structural graph: record the target sparsity for the
+					// cost model without weight data to prune.
+					n.Sparsity = fraction
+				}
+			}
+		}
+	}
+}
+
+// FreezeGraph marks the graph deployment-ready (static frameworks run it
+// after their offline passes).
+func FreezeGraph(g *Graph) { g.Freeze() }
+
+// Pipeline composes passes into one.
+func Pipeline(passes ...Pass) Pass {
+	return func(g *Graph) {
+		for _, p := range passes {
+			p(g)
+		}
+	}
+}
+
+// CheckAfterPass validates the graph and panics with context on
+// violation. Passes are internal transformations, so a violation is a
+// programming error, not a runtime condition.
+func CheckAfterPass(g *Graph, pass string) {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("graph: pass %s broke invariants: %v", pass, err))
+	}
+}

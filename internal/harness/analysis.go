@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgebench/internal/model"
+	"edgebench/internal/stats"
+)
+
+// Analysis post-processes a characterization sweep into the summaries a
+// deployment engineer reads: winners per model, energy-delay rankings,
+// and per-device scaling fits — the downstream half of the paper's
+// open-harness workflow.
+
+// BestDeployment is the fastest legal deployment of a model.
+type BestDeployment struct {
+	Model, Device, Framework string
+	InferenceSec             float64
+	EnergyJ                  float64
+}
+
+// BestPerModel returns each model's fastest deployment across the sweep
+// (edge devices only when edgeOnly is set), sorted by model name.
+func BestPerModel(rows []SweepRow, edgeOnly bool) []BestDeployment {
+	hpc := map[string]bool{"Xeon": true, "GTXTitanX": true, "TitanXp": true, "RTX2080": true}
+	best := map[string]BestDeployment{}
+	for _, r := range rows {
+		if r.Status != "ok" {
+			continue
+		}
+		if edgeOnly && hpc[r.Device] {
+			continue
+		}
+		cur, ok := best[r.Model]
+		if !ok || r.InferenceSec < cur.InferenceSec {
+			best[r.Model] = BestDeployment{
+				Model: r.Model, Device: r.Device, Framework: r.Framework,
+				InferenceSec: r.InferenceSec, EnergyJ: r.EnergyJ,
+			}
+		}
+	}
+	out := make([]BestDeployment, 0, len(best))
+	for _, b := range best {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+// EDPRanking ranks ok-deployments of one model by energy-delay product
+// (J·s), the efficiency metric that punishes both slow and hungry
+// designs. Lower is better.
+func EDPRanking(rows []SweepRow, modelName string) []SweepRow {
+	var out []SweepRow
+	for _, r := range rows {
+		if r.Status == "ok" && r.Model == modelName {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].EnergyJ*out[i].InferenceSec < out[j].EnergyJ*out[j].InferenceSec
+	})
+	return out
+}
+
+// ScalingFit is a per-(device, framework) log-log fit of inference time
+// against model GFLOPs: the exponent says how close the stack is to
+// ideal linear scaling (1.0), and R² how well FLOPs alone predict time.
+type ScalingFit struct {
+	Device, Framework string
+	Exponent          float64
+	R2                float64
+	Samples           int
+}
+
+// FitScaling computes scaling fits for every (device, framework) pair
+// with at least three ok models in the sweep.
+func FitScaling(rows []SweepRow) []ScalingFit {
+	type key struct{ dev, fw string }
+	groups := map[key][][2]float64{} // (log gflop, log sec)
+	for _, r := range rows {
+		if r.Status != "ok" {
+			continue
+		}
+		spec, ok := model.Get(r.Model)
+		if !ok {
+			continue
+		}
+		gf := spec.GFLOPs()
+		if gf <= 0 || r.InferenceSec <= 0 {
+			continue
+		}
+		k := key{r.Device, r.Framework}
+		groups[k] = append(groups[k], [2]float64{math.Log(gf), math.Log(r.InferenceSec)})
+	}
+	var out []ScalingFit
+	for k, pts := range groups {
+		if len(pts) < 3 {
+			continue
+		}
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i] = p[0]
+			ys[i] = p[1]
+		}
+		slope, intercept := stats.LinearFit(xs, ys)
+		// R² from residuals.
+		my := stats.Mean(ys)
+		var ssTot, ssRes float64
+		for i := range xs {
+			pred := slope*xs[i] + intercept
+			ssRes += (ys[i] - pred) * (ys[i] - pred)
+			ssTot += (ys[i] - my) * (ys[i] - my)
+		}
+		r2 := 1.0
+		if ssTot > 0 {
+			r2 = 1 - ssRes/ssTot
+		}
+		out = append(out, ScalingFit{Device: k.dev, Framework: k.fw,
+			Exponent: slope, R2: r2, Samples: len(pts)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Framework < out[j].Framework
+	})
+	return out
+}
+
+// SummarizeSweep renders the analysis tables for a sweep.
+func SummarizeSweep(rows []SweepRow) []Table {
+	best := Table{Title: "fastest deployment per model (edge devices)",
+		Header: []string{"Model", "Device", "Framework", "time", "energy (mJ)"}}
+	for _, b := range BestPerModel(rows, true) {
+		best.Rows = append(best.Rows, []string{
+			b.Model, b.Device, b.Framework, fmtSeconds(b.InferenceSec),
+			fmt.Sprintf("%.1f", b.EnergyJ*1e3)})
+	}
+
+	edp := Table{Title: "energy-delay ranking, ResNet-50",
+		Header: []string{"Device", "Framework", "time", "energy (mJ)", "EDP (mJ·s)"}}
+	for _, r := range EDPRanking(rows, "ResNet-50") {
+		edp.Rows = append(edp.Rows, []string{
+			r.Device, r.Framework, fmtSeconds(r.InferenceSec),
+			fmt.Sprintf("%.1f", r.EnergyJ*1e3),
+			fmt.Sprintf("%.2f", r.EnergyJ*r.InferenceSec*1e3)})
+	}
+
+	fits := Table{Title: "time vs GFLOPs scaling (log-log fit)",
+		Header: []string{"Device", "Framework", "exponent", "R²", "models"}}
+	for _, f := range FitScaling(rows) {
+		fits.Rows = append(fits.Rows, []string{
+			f.Device, f.Framework, fmt.Sprintf("%.2f", f.Exponent),
+			fmt.Sprintf("%.2f", f.R2), fmt.Sprint(f.Samples)})
+	}
+	fits.Notes = append(fits.Notes,
+		"exponent < 1: per-op overheads dominate small models; ~1: FLOP-proportional scaling")
+	return []Table{best, edp, fits}
+}

@@ -1,0 +1,117 @@
+package harness_test
+
+import (
+	"testing"
+
+	"edgebench/internal/harness"
+	"edgebench/internal/model"
+)
+
+func sweepOnce(t *testing.T) []harness.SweepRow {
+	t.Helper()
+	return harness.Sweep(nil)
+}
+
+func TestBestPerModel(t *testing.T) {
+	rows := sweepOnce(t)
+	best := harness.BestPerModel(rows, true)
+	if len(best) != 16 {
+		t.Fatalf("best-per-model covers %d models, want 16", len(best))
+	}
+	byModel := map[string]harness.BestDeployment{}
+	for _, b := range best {
+		byModel[b.Model] = b
+		// Winner must actually be the minimum among ok edge rows.
+		for _, r := range rows {
+			if r.Status == "ok" && r.Model == b.Model && !isHPC(r.Device) &&
+				r.InferenceSec < b.InferenceSec {
+				t.Fatalf("%s: %s/%s (%.4fs) beats the reported winner (%.4fs)",
+					b.Model, r.Device, r.Framework, r.InferenceSec, b.InferenceSec)
+			}
+		}
+	}
+	// Known winners: MobileNet-v2 on the EdgeTPU (Fig. 2).
+	if w := byModel["MobileNet-v2"]; w.Device != "EdgeTPU" || w.Framework != "TFLite" {
+		t.Fatalf("MobileNet-v2 winner = %s/%s, want EdgeTPU/TFLite", w.Device, w.Framework)
+	}
+	// edgeOnly=false admits HPC GPUs, which must win on at least some
+	// models.
+	all := harness.BestPerModel(rows, false)
+	hpcWins := 0
+	for _, b := range all {
+		if isHPC(b.Device) {
+			hpcWins++
+		}
+	}
+	if hpcWins == 0 {
+		t.Fatal("HPC GPUs should win some models in the open ranking")
+	}
+}
+
+func isHPC(dev string) bool {
+	switch dev {
+	case "Xeon", "GTXTitanX", "TitanXp", "RTX2080":
+		return true
+	}
+	return false
+}
+
+func TestEDPRanking(t *testing.T) {
+	rows := sweepOnce(t)
+	ranked := harness.EDPRanking(rows, "ResNet-50")
+	if len(ranked) < 8 {
+		t.Fatalf("only %d ResNet-50 deployments ranked", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		prev := ranked[i-1].EnergyJ * ranked[i-1].InferenceSec
+		cur := ranked[i].EnergyJ * ranked[i].InferenceSec
+		if cur < prev {
+			t.Fatal("EDP ranking not sorted")
+		}
+	}
+	// An edge accelerator must top the efficiency ranking, not the RPi.
+	if top := ranked[0]; top.Device == "RPi3" {
+		t.Fatalf("RPi cannot top the energy-delay ranking: %+v", top)
+	}
+}
+
+func TestFitScaling(t *testing.T) {
+	rows := sweepOnce(t)
+	fits := harness.FitScaling(rows)
+	if len(fits) < 10 {
+		t.Fatalf("only %d scaling fits", len(fits))
+	}
+	for _, f := range fits {
+		if f.Samples < 3 {
+			t.Fatalf("fit with %d samples emitted", f.Samples)
+		}
+		if f.Exponent < 0.05 || f.Exponent > 1.6 {
+			t.Errorf("%s/%s: implausible scaling exponent %.2f", f.Device, f.Framework, f.Exponent)
+		}
+		if f.R2 < 0.2 || f.R2 > 1.0001 {
+			t.Errorf("%s/%s: R² %.2f out of band", f.Device, f.Framework, f.R2)
+		}
+	}
+	// Dispatch-heavy stacks scale sublinearly; find PyTorch on the TX2
+	// and check it sits below perfect linearity.
+	for _, f := range fits {
+		if f.Device == "JetsonTX2" && f.Framework == "PyTorch" {
+			if f.Exponent >= 1.0 {
+				t.Errorf("TX2/PyTorch exponent %.2f; per-op overhead should make it sublinear", f.Exponent)
+			}
+		}
+	}
+}
+
+func TestSummarizeSweep(t *testing.T) {
+	tables := harness.SummarizeSweep(sweepOnce(t))
+	if len(tables) != 3 {
+		t.Fatalf("summary tables = %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("summary table %q empty", tab.Title)
+		}
+	}
+	_ = model.TableIOrder // anchor the import
+}

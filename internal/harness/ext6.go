@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+
+	"edgebench/internal/core"
+	"edgebench/internal/serving"
+)
+
+func init() {
+	register("ext6", "Extension: real-time serving capacity per edge device (§VI-C)", Ext6Serving)
+}
+
+// Ext6Serving answers the provisioning question behind §VI-C's
+// "real-time performance is crucial": how many requests per second can
+// each edge deployment sustain before its P99 latency breaks a 100 ms
+// interactive budget, and what happens at overload.
+func Ext6Serving() (*Report, error) {
+	const (
+		p99Budget = 0.100 // 100 ms interactive budget
+		duration  = 90.0
+	)
+	deployments := []struct{ model, fw, dev string }{
+		{"MobileNet-v2", "TFLite", "EdgeTPU"},
+		{"MobileNet-v2", "TensorRT", "JetsonNano"},
+		{"MobileNet-v2", "PyTorch", "JetsonTX2"},
+		{"MobileNet-v2", "NCSDK", "Movidius"},
+		{"MobileNet-v2", "TFLite", "RPi3"},
+		{"SSD-MobileNet-v1", "TFLite", "EdgeTPU"},
+		{"SSD-MobileNet-v1", "TensorRT", "JetsonNano"},
+	}
+	t := Table{Header: []string{"Deployment", "ms/inf", "max req/s @ p99<100ms", "p99 @ 80% load", "drops @ 2x overload"}}
+	for _, d := range deployments {
+		s, err := core.New(d.model, d.fw, d.dev)
+		if err != nil {
+			return nil, err
+		}
+		base := s.InferenceSeconds()
+		maxRate, err := serving.MaxSustainableRate(s, p99Budget, duration, 11)
+		if err != nil {
+			return nil, err
+		}
+		maxCell := fmt.Sprintf("%.1f", maxRate)
+		if maxRate == 0 {
+			maxCell = "0 (misses alone)"
+		}
+		// P99 at 80% utilization.
+		eighty, err := serving.Simulate(s, serving.Config{
+			ArrivalPerSec: 0.8 / base, DurationSec: duration, Seed: 12,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Drop rate at 2x overload with a 4-deep queue.
+		over, err := serving.Simulate(s, serving.Config{
+			ArrivalPerSec: 2 / base, DurationSec: duration, Seed: 13, QueueCap: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dropPct := 0.0
+		if over.Arrived > 0 {
+			dropPct = 100 * float64(over.Dropped) / float64(over.Arrived)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s/%s/%s", d.model, d.fw, d.dev),
+			fmt.Sprintf("%.1f", base*1e3),
+			maxCell,
+			fmtSeconds(eighty.P99),
+			fmt.Sprintf("%.0f%%", dropPct),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Poisson arrivals into a FIFO single-server queue (seeded discrete-event simulation)",
+		"the RPi cannot meet an interactive budget at any rate; accelerators leave headroom for bursts")
+	return &Report{ID: "ext6", Title: "Real-time serving capacity", Tables: []Table{t}}, nil
+}

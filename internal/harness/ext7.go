@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/power"
+	"edgebench/internal/thermal"
+)
+
+func init() {
+	register("ext7", "Extension: burst vs sustained performance under thermal limits (§VI-F)", Ext7Sustained)
+}
+
+// Ext7Sustained closes the loop between the thermal model and the
+// latency model: Figure 2's numbers are burst performance, but a
+// continuously-loaded fanless device throttles (or, for the RPi, shuts
+// down), so its *sustained* throughput is lower. This is the
+// deployment-relevant consequence of §VI-F's temperature study.
+func Ext7Sustained() (*Report, error) {
+	deployments := []struct{ model, fw, dev string }{
+		{"ResNet-50", "TFLite", "RPi3"},
+		{"ResNet-50", "PyTorch", "JetsonTX2"},
+		{"ResNet-50", "TensorRT", "JetsonNano"},
+		{"ResNet-50", "TFLite", "EdgeTPU"},
+		{"ResNet-50", "NCSDK", "Movidius"},
+	}
+	t := Table{Header: []string{"Device", "burst ms/inf", "sustained factor", "sustained ms/inf", "thermal event"}}
+	for _, d := range deployments {
+		s, err := core.New(d.model, d.fw, d.dev)
+		if err != nil {
+			return nil, err
+		}
+		dev := device.MustGet(d.dev)
+		burst := s.InferenceSeconds()
+		// Continuous back-to-back inference stresses the whole SoC
+		// (cores, memory, I/O) beyond the per-model active power, so the
+		// sustained-load estimate governs the thermal fate.
+		watts := power.ActiveWatts(dev, s.Utilization())
+		if sw := thermal.SustainedWatts(dev); sw > watts {
+			watts = sw
+		}
+		sim := thermal.NewSimulator(dev)
+		factor := sim.SustainedFactor(watts)
+
+		event := "full speed"
+		sustained := "-"
+		switch {
+		case factor == 0:
+			event = "thermal shutdown"
+		case factor < 1:
+			event = fmt.Sprintf("throttles to %.0f%%", factor*100)
+			sustained = fmtSeconds(burst / factor)
+		default:
+			sustained = fmtSeconds(burst)
+		}
+		t.Rows = append(t.Rows, []string{d.dev, fmtSeconds(burst), fmt.Sprintf("%.2f", factor), sustained, event})
+	}
+	t.Notes = append(t.Notes,
+		"sustained factor from the RC thermal model under the deployment's own active power",
+		"the fanned TX2 and the low-power accelerators hold burst speed; the fanless Nano throttles; the bare RPi shuts down (Fig. 14)")
+	return &Report{ID: "ext7", Title: "Burst vs sustained performance", Tables: []Table{t}}, nil
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+
+	"edgebench/internal/device"
+	"edgebench/internal/thermal"
+)
+
+func init() {
+	register("fig14", "Temperature behaviour under sustained inference (paper Fig. 14)", Figure14)
+}
+
+// Figure14 runs the RC thermal simulation for each edge device under a
+// sustained heavy load (the paper runs Inception-v4 to steady state).
+func Figure14() (*Report, error) {
+	devices := []string{"RPi3", "JetsonNano", "JetsonTX2", "EdgeTPU", "Movidius"}
+	t := Table{Header: []string{"Device", "idle (°C)", "steady (°C)", "peak (°C)", "fan", "event"}}
+	trace := Table{Title: "junction traces (°C at 0/2/5/10/20/30 min)",
+		Header: []string{"Device", "0", "2m", "5m", "10m", "20m", "30m"}}
+	for _, name := range devices {
+		dev := device.MustGet(name)
+		sim := thermal.NewSimulator(dev)
+		load := thermal.SustainedWatts(dev)
+		pts := sim.Run(1800, func(float64) float64 { return load })
+		var peak float64
+		fanOn, shut := false, false
+		for _, p := range pts {
+			if p.JunctionC > peak {
+				peak = p.JunctionC
+			}
+			fanOn = fanOn || p.FanOn
+			shut = shut || p.Shutdown
+		}
+		event := "-"
+		if shut {
+			event = "device shutdown"
+		}
+		fan := "off"
+		if fanOn {
+			fan = "working"
+		}
+		final := pts[len(pts)-1].JunctionC
+		t.Rows = append(t.Rows, []string{name,
+			fmtFloat(dev.Thermal.IdleC, 1), fmtFloat(final, 1), fmtFloat(peak, 1), fan, event})
+
+		at := func(sec int) string {
+			if sec >= len(pts) {
+				sec = len(pts) - 1
+			}
+			return fmt.Sprintf("%.0f", pts[sec].JunctionC)
+		}
+		trace.Rows = append(trace.Rows, []string{name,
+			at(0), at(120), at(300), at(600), at(1200), at(1800)})
+	}
+	t.Notes = append(t.Notes,
+		"paper Fig. 14: RPi shuts down; TX2's fan activates; Movidius stays coolest; EdgeTPU's fan never trips")
+	return &Report{ID: "fig14", Title: "Thermal behaviour", Tables: []Table{t, trace}}, nil
+}

@@ -1,0 +1,352 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgebench/internal/core"
+	"edgebench/internal/framework"
+	"edgebench/internal/model"
+	"edgebench/internal/paperdata"
+	"edgebench/internal/power"
+	"edgebench/internal/stats"
+)
+
+func init() {
+	register("fig1", "Models sorted by FLOP/parameter (paper Fig. 1)", Figure1)
+	register("fig2", "Time per inference, best framework per edge device (paper Fig. 2)", Figure2)
+	register("fig3", "Framework comparison on Raspberry Pi (paper Fig. 3)", Figure3)
+	register("fig4", "Framework comparison on Jetson TX2 (paper Fig. 4)", Figure4)
+	register("fig6", "TensorFlow vs PyTorch on GTX Titan X (paper Fig. 6)", Figure6)
+	register("fig7", "PyTorch vs TensorRT on Jetson Nano (paper Fig. 7)", Figure7)
+	register("fig8", "PyTorch vs TensorFlow vs TFLite on RPi (paper Fig. 8)", Figure8)
+	register("fig9", "Edge vs HPC time per inference (paper Fig. 9)", Figure9)
+	register("fig10", "Speedup over Jetson TX2 (paper Fig. 10)", Figure10)
+	register("fig11", "Energy per inference (paper Fig. 11)", Figure11)
+	register("fig12", "Inference time vs active power (paper Fig. 12)", Figure12)
+	register("fig13", "Bare metal vs Docker on RPi (paper Fig. 13)", Figure13)
+}
+
+// seconds runs a session and returns the modeled inference time.
+func seconds(m, fw, dev string) (float64, error) {
+	s, err := core.New(m, fw, dev)
+	if err != nil {
+		return 0, err
+	}
+	return s.InferenceSeconds(), nil
+}
+
+// BestOnDevice finds the fastest deployable framework for a model on a
+// device — Figure 2's selection rule.
+func BestOnDevice(modelName, devName string) (sec float64, fwName string, err error) {
+	fws, err := framework.FrameworksFor(devName)
+	if err != nil {
+		return 0, "", err
+	}
+	best := math.Inf(1)
+	var lastErr error
+	for _, f := range fws {
+		s, err := core.New(modelName, f.Name, devName)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if t := s.InferenceSeconds(); t < best {
+			best, fwName = t, f.Name
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, "", fmt.Errorf("harness: no framework runs %s on %s: %w", modelName, devName, lastErr)
+	}
+	return best, fwName, nil
+}
+
+// Figure1 sorts the model zoo by FLOP/parameter.
+func Figure1() (*Report, error) {
+	specs := model.All()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].FLOPPerParam() < specs[j].FLOPPerParam() })
+	t := Table{Header: []string{"Model", "FLOP/Param", "character"}}
+	for _, s := range specs {
+		fpp := s.FLOPPerParam()
+		kind := "memory-intensive"
+		if fpp > 150 {
+			kind = "compute-intensive"
+		}
+		t.Rows = append(t.Rows, []string{s.Name, fmtFloat(fpp, 1), kind})
+	}
+	t.Notes = append(t.Notes, "higher FLOP/Param = more compute-intensive (§II)")
+	return &Report{ID: "fig1", Title: "FLOP per parameter", Tables: []Table{t}}, nil
+}
+
+// fig2Models lists Figure 2's nine models.
+var fig2Models = []string{"ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4",
+	"AlexNet", "VGG16", "SSD-MobileNet-v1", "TinyYolo", "C3D"}
+
+// fig2Devices lists Figure 2's six edge devices.
+var fig2Devices = []string{"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU", "Movidius", "PYNQ-Z1"}
+
+// Figure2 regenerates the per-device best-framework latencies.
+func Figure2() (*Report, error) {
+	t := Table{Header: []string{"Model", "Device", "Framework", "time", "paper", "Δ"}}
+	for _, m := range fig2Models {
+		for _, d := range fig2Devices {
+			sec, fw, err := BestOnDevice(m, d)
+			if err != nil {
+				t.Rows = append(t.Rows, []string{m, d, "-", "n/a (" + shortErr(err) + ")", "-", "-"})
+				continue
+			}
+			paper, ok := paperdata.Fig2BestSeconds[d][m]
+			paperCell, delta := "-", "-"
+			if ok {
+				paperCell, delta = fmtSeconds(paper), fmtDelta(sec, paper)
+			}
+			t.Rows = append(t.Rows, []string{m, d, fw, fmtSeconds(sec), paperCell, delta})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"n/a entries reproduce Table V barriers (EdgeTPU conversion, RPi SSD code issue, PYNQ constraints)")
+	return &Report{ID: "fig2", Title: "Best framework per device", Tables: []Table{t}}, nil
+}
+
+// figFrameworksModels lists Figures 3/4's model set.
+var fig34Models = []string{"ResNet-50", "ResNet-101", "Xception", "MobileNet-v2",
+	"Inception-v4", "AlexNet", "VGG16"}
+
+func frameworkComparison(id, title, dev string) (*Report, error) {
+	fws := []string{"DarkNet", "Caffe", "TensorFlow", "PyTorch"}
+	t := Table{Header: append([]string{"Model"}, fws...)}
+	for _, m := range fig34Models {
+		row := []string{m}
+		for _, fw := range fws {
+			sec, err := seconds(m, fw, dev)
+			if err != nil {
+				row = append(row, "mem-err/n.a.")
+				continue
+			}
+			row = append(row, fmtSeconds(sec))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"mem-err/n.a. mirrors the paper's 'Memory Error / Not Available' bars")
+	return &Report{ID: id, Title: title, Tables: []Table{t}}, nil
+}
+
+// Figure3 compares frameworks on the Raspberry Pi.
+func Figure3() (*Report, error) {
+	return frameworkComparison("fig3", "Frameworks on RPi", "RPi3")
+}
+
+// Figure4 compares frameworks on the Jetson TX2.
+func Figure4() (*Report, error) {
+	return frameworkComparison("fig4", "Frameworks on TX2", "JetsonTX2")
+}
+
+// Figure6 compares TensorFlow and PyTorch on the GTX Titan X.
+func Figure6() (*Report, error) {
+	models := []string{"ResNet-50", "MobileNet-v2", "VGG16", "VGG19"}
+	t := Table{Header: []string{"Model", "PyTorch", "TensorFlow", "speedup(PT)"}}
+	var sp []float64
+	for _, m := range models {
+		pt, err := seconds(m, "PyTorch", "GTXTitanX")
+		if err != nil {
+			return nil, err
+		}
+		tf, err := seconds(m, "TensorFlow", "GTXTitanX")
+		if err != nil {
+			return nil, err
+		}
+		sp = append(sp, tf/pt)
+		t.Rows = append(t.Rows, []string{m, fmtSeconds(pt), fmtSeconds(tf), fmtFloat(tf/pt, 2) + "x"})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("mean PyTorch speedup %.2fx (paper shows PyTorch ahead on the HPC GPU, §VI-B1)", stats.Mean(sp)))
+	return &Report{ID: "fig6", Title: "GTX Titan X: TF vs PyTorch", Tables: []Table{t}}, nil
+}
+
+// Figure7 compares PyTorch and TensorRT on the Jetson Nano.
+func Figure7() (*Report, error) {
+	t := Table{Header: []string{"Model", "PyTorch", "TensorRT", "speedup", "paper PT", "paper TRT"}}
+	var sp []float64
+	for _, m := range fig2Models {
+		pt, err := seconds(m, "PyTorch", "JetsonNano")
+		if err != nil {
+			return nil, err
+		}
+		rt, err := seconds(m, "TensorRT", "JetsonNano")
+		if err != nil {
+			return nil, err
+		}
+		sp = append(sp, pt/rt)
+		a := paperdata.Fig7Nano[m]
+		t.Rows = append(t.Rows, []string{m, fmtSeconds(pt), fmtSeconds(rt),
+			fmtFloat(pt/rt, 1) + "x", fmtSeconds(a.PyTorch), fmtSeconds(a.TensorRT)})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("average TensorRT speedup %.2fx (paper: %.1fx)",
+		stats.Mean(sp), paperdata.Fig7AvgSpeedup))
+	return &Report{ID: "fig7", Title: "Nano: PyTorch vs TensorRT", Tables: []Table{t}}, nil
+}
+
+// Figure8 compares PyTorch, TensorFlow, and TFLite on the RPi.
+func Figure8() (*Report, error) {
+	models := []string{"ResNet-18", "ResNet-50", "ResNet-101", "MobileNet-v2", "Inception-v4"}
+	t := Table{Header: []string{"Model", "PyTorch", "TensorFlow", "TFLite", "sp(TF)", "sp(PT)"}}
+	var spTF, spPT []float64
+	for _, m := range models {
+		pt, err := seconds(m, "PyTorch", "RPi3")
+		if err != nil {
+			return nil, err
+		}
+		tf, err := seconds(m, "TensorFlow", "RPi3")
+		if err != nil {
+			return nil, err
+		}
+		tfl, err := seconds(m, "TFLite", "RPi3")
+		if err != nil {
+			return nil, err
+		}
+		spTF = append(spTF, tf/tfl)
+		spPT = append(spPT, pt/tfl)
+		t.Rows = append(t.Rows, []string{m, fmtSeconds(pt), fmtSeconds(tf), fmtSeconds(tfl),
+			fmtFloat(tf/tfl, 2) + "x", fmtFloat(pt/tfl, 2) + "x"})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("TFLite average speedup: %.2fx over TF (paper %.2fx), %.2fx over PyTorch (paper %.2fx)",
+			stats.Mean(spTF), paperdata.Fig8AvgSpeedupTF, stats.Mean(spPT), paperdata.Fig8AvgSpeedupPT))
+	return &Report{ID: "fig8", Title: "RPi: PyTorch/TF/TFLite", Tables: []Table{t}}, nil
+}
+
+// fig9Models lists Figure 9/10's model set.
+var fig9Models = []string{"ResNet-18", "ResNet-50", "ResNet-101", "MobileNet-v2",
+	"Inception-v4", "AlexNet", "VGG16", "VGG19", "VGG-S", "VGG-S-32", "YOLOv3", "TinyYolo", "C3D"}
+
+// fig9Devices lists Figure 9/10's platforms (PyTorch everywhere).
+var fig9Devices = []string{"JetsonTX2", "Xeon", "GTXTitanX", "TitanXp", "RTX2080"}
+
+// Figure9 compares edge and HPC platforms under PyTorch.
+func Figure9() (*Report, error) {
+	t := Table{Header: append([]string{"Model"}, fig9Devices...)}
+	for _, m := range fig9Models {
+		row := []string{m}
+		for _, d := range fig9Devices {
+			sec, err := seconds(m, "PyTorch", d)
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmtSeconds(sec))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return &Report{ID: "fig9", Title: "Edge vs HPC (PyTorch)", Tables: []Table{t}}, nil
+}
+
+// Figure10 derives speedups over the TX2 with the geomean headline.
+func Figure10() (*Report, error) {
+	hpc := fig9Devices[1:]
+	t := Table{Header: append([]string{"Model"}, hpc...)}
+	var all []float64
+	for _, m := range fig9Models {
+		tx2, err := seconds(m, "PyTorch", "JetsonTX2")
+		if err != nil {
+			return nil, err
+		}
+		row := []string{m}
+		for _, d := range hpc {
+			sec, err := seconds(m, "PyTorch", d)
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			sp := tx2 / sec
+			all = append(all, sp)
+			row = append(row, fmtFloat(sp, 2)+"x")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("geomean speedup over TX2: %.2fx (paper ~%.0fx, §VI-C)",
+		stats.GeoMean(all), paperdata.Fig10GeomeanSpeedup))
+	return &Report{ID: "fig10", Title: "Speedup over TX2", Tables: []Table{t}}, nil
+}
+
+// fig11Models lists the energy figure's model set.
+var fig11Models = []string{"ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4"}
+
+// fig11Frameworks fixes the per-device frameworks to the paper's
+// Table IV assignment for the energy experiments.
+var fig11Frameworks = map[string]string{
+	"RPi3": "TFLite", "JetsonNano": "TensorRT", "JetsonTX2": "PyTorch",
+	"EdgeTPU": "TFLite", "Movidius": "NCSDK", "GTXTitanX": "PyTorch",
+}
+
+// fig11Devices lists the energy figure's platforms.
+var fig11Devices = []string{"RPi3", "JetsonNano", "JetsonTX2", "EdgeTPU", "Movidius", "GTXTitanX"}
+
+// Figure11 regenerates energy per inference.
+func Figure11() (*Report, error) {
+	t := Table{Header: []string{"Model", "Device", "Framework", "energy (mJ)", "paper (mJ)"}}
+	for _, m := range fig11Models {
+		for _, d := range fig11Devices {
+			fw := fig11Frameworks[d]
+			s, err := core.New(m, fw, d)
+			if err != nil {
+				t.Rows = append(t.Rows, []string{m, d, fw, "n/a", "-"})
+				continue
+			}
+			mj := power.EnergyPerInferenceJ(s) * 1e3
+			paperCell := "-"
+			if v, ok := paperdata.Fig11EnergyMJ[d][m]; ok {
+				paperCell = fmtFloat(v, 0)
+			}
+			t.Rows = append(t.Rows, []string{m, d, fw, fmtFloat(mj, 1), paperCell})
+		}
+	}
+	t.Notes = append(t.Notes, "log-scale figure in the paper; RPi highest, EdgeTPU as low as ~11 mJ (§VI-E)")
+	return &Report{ID: "fig11", Title: "Energy per inference", Tables: []Table{t}}, nil
+}
+
+// Figure12 regenerates the latency-vs-power scatter.
+func Figure12() (*Report, error) {
+	t := Table{Header: []string{"Device", "Model", "time", "active power (W)"}}
+	for _, d := range fig11Devices {
+		for _, m := range fig11Models {
+			sess, err := core.New(m, fig11Frameworks[d], d)
+			if err != nil {
+				continue
+			}
+			watts := power.ActiveWatts(sess.Device, sess.Utilization())
+			t.Rows = append(t.Rows, []string{d, m, fmtSeconds(sess.InferenceSeconds()), fmtFloat(watts, 2)})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper Fig. 12: GTX ~100 W far left; Movidius lowest power; EdgeTPU lowest latency; Nano balanced")
+	return &Report{ID: "fig12", Title: "Time vs power", Tables: []Table{t}}, nil
+}
+
+// Figure13 regenerates the virtualization-overhead experiment.
+func Figure13() (*Report, error) {
+	models := []string{"ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4", "TinyYolo"}
+	t := Table{Header: []string{"Model", "bare metal", "docker", "slowdown", "paper bare", "paper docker"}}
+	for _, m := range models {
+		s, err := core.New(m, "TensorFlow", "RPi3")
+		if err != nil {
+			return nil, err
+		}
+		bare := s.InferenceSeconds()
+		s.Docker = true
+		docker := s.InferenceSeconds()
+		a := paperdata.Fig13Docker[m]
+		t.Rows = append(t.Rows, []string{m, fmtSeconds(bare), fmtSeconds(docker),
+			fmtFloat(100*(docker/bare-1), 1) + "%", fmtSeconds(a.Bare), fmtSeconds(a.Docker)})
+	}
+	t.Notes = append(t.Notes, "paper: overhead within 5% in all cases (§VI-D)")
+	return &Report{ID: "fig13", Title: "Docker overhead", Tables: []Table{t}}, nil
+}
+
+func shortErr(err error) string {
+	s := err.Error()
+	if len(s) > 48 {
+		s = s[:48]
+	}
+	return s
+}

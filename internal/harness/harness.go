@@ -1,0 +1,190 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Table IV's experiment index): each experiment binds
+// models, frameworks, and devices through internal/core and renders a
+// typed report with the paper's reference values alongside, so
+// EXPERIMENTS.md's paper-vs-measured record is produced mechanically.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: a titled grid plus notes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Report is an experiment result: one or more tables.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].String())
+	}
+	return b.String()
+}
+
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "\n-- %s --\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as GitHub-flavored Markdown, for
+// generating results documents straight from the harness.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n", r.ID, r.Title)
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].Markdown())
+	}
+	return b.String()
+}
+
+// Markdown renders one table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "\n### %s\n", t.Title)
+	}
+	b.WriteByte('\n')
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", esc(n))
+	}
+	return b.String()
+}
+
+// Experiment pairs an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Report, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func() (*Report, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// orderKey sorts tables first, then figures, then extensions,
+// numerically within each group.
+func orderKey(id string) string {
+	var kind byte = 'z'
+	var n int
+	switch {
+	case strings.HasPrefix(id, "table"):
+		kind = 'a'
+		fmt.Sscanf(id, "table%d", &n)
+	case strings.HasPrefix(id, "fig"):
+		kind = 'b'
+		fmt.Sscanf(id, "fig%d", &n)
+	case strings.HasPrefix(id, "ext"):
+		kind = 'c'
+		fmt.Sscanf(id, "ext%d", &n)
+	}
+	return fmt.Sprintf("%c%02d", kind, n)
+}
+
+// fmtSeconds renders a duration with sensible units.
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1:
+		return fmt.Sprintf("%.1f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2f s", s)
+	}
+}
+
+// fmtDelta renders a prediction-vs-paper deviation.
+func fmtDelta(pred, paper float64) string {
+	if paper == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", 100*(pred/paper-1))
+}
+
+func fmtFloat(v float64, digits int) string {
+	return fmt.Sprintf("%.*f", digits, v)
+}

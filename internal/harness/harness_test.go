@@ -1,0 +1,235 @@
+package harness_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"edgebench/internal/harness"
+)
+
+func TestRegistryCoversEveryArtifact(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+	}
+	for _, id := range want {
+		if _, ok := harness.Get(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(harness.All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(harness.All()), len(want))
+	}
+	// Paper order: tables first, then figures numerically.
+	all := harness.All()
+	if all[0].ID != "table1" || all[6].ID != "fig1" || all[len(all)-1].ID != "ext7" {
+		t.Errorf("ordering wrong: first %s, seventh %s, last %s", all[0].ID, all[6].ID, all[len(all)-1].ID)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := harness.Get("fig99"); ok {
+		t.Fatal("unknown id should miss")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	rep, err := harness.TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := rep.Markdown()
+	for _, want := range []string{
+		"## table6", "| Device |", "| --- |", "| RPi3 | no | no |", "*Movidius",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Pipes in cells must be escaped.
+	tab := harness.Table{Header: []string{"a|b"}, Rows: [][]string{{"c|d"}}}
+	if out := tab.Markdown(); !strings.Contains(out, "a\\|b") || !strings.Contains(out, "c\\|d") {
+		t.Fatalf("pipe escaping missing: %q", out)
+	}
+}
+
+// TestAllExperimentsRun executes every experiment end to end — the
+// integration test for the whole stack.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range harness.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			out := rep.String()
+			if !strings.Contains(out, e.ID) || len(out) < 100 {
+				t.Fatalf("rendering too thin:\n%s", out)
+			}
+			for _, tab := range rep.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %q empty", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Errorf("table %q: row width %d != header %d", tab.Title, len(row), len(tab.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFig2ReproducesTableVHoles(t *testing.T) {
+	rep, err := harness.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	// The n/a holes must match Table V: EdgeTPU conversion barriers and
+	// the RPi SSD code issue.
+	for _, frag := range []string{
+		"ResNet-18         EdgeTPU     -",
+		"TinyYolo          EdgeTPU     -",
+		"C3D               EdgeTPU     -",
+		"AlexNet           EdgeTPU     -",
+		"SSD-MobileNet-v1  RPi3        -",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing expected n/a row: %q", frag)
+		}
+	}
+}
+
+func TestFig2FrameworkSelection(t *testing.T) {
+	// Figure 2's caption: best framework per device. The winners must
+	// match the paper's: TFLite on RPi for classifiers, PyTorch where
+	// dynamic graphs are forced, PyTorch on TX2, TensorRT on Nano.
+	rep, err := harness.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, frag := range []string{
+		"ResNet-18         RPi3        TFLite",
+		"VGG16             RPi3        PyTorch",
+		"ResNet-18         JetsonTX2   PyTorch",
+		"ResNet-18         JetsonNano  TensorRT",
+		"MobileNet-v2      EdgeTPU     TFLite",
+		"ResNet-18         Movidius    NCSDK",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("expected winner row missing: %q", frag)
+		}
+	}
+}
+
+func TestBestOnDeviceErrors(t *testing.T) {
+	if _, _, err := harness.BestOnDevice("ResNet-18", "Abacus"); err == nil {
+		t.Fatal("unknown device should error")
+	}
+	if _, _, err := harness.BestOnDevice("C3D", "EdgeTPU"); err == nil {
+		t.Fatal("conversion-barrier pair should error")
+	}
+	sec, fw, err := harness.BestOnDevice("MobileNet-v2", "EdgeTPU")
+	if err != nil || fw != "TFLite" || sec <= 0 {
+		t.Fatalf("EdgeTPU best = %v/%v/%v", sec, fw, err)
+	}
+}
+
+func TestFig3MemoryErrors(t *testing.T) {
+	rep, err := harness.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	// AlexNet and VGG16 rows must show memory errors for the static
+	// frameworks but a PyTorch time (Fig. 3's pattern).
+	if !strings.Contains(out, "mem-err/n.a.") {
+		t.Fatal("Fig. 3 should carry memory-error cells")
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "VGG16") {
+			if strings.Count(line, "mem-err/n.a.") != 3 {
+				t.Fatalf("VGG16 row should fail on DarkNet/Caffe/TF: %q", line)
+			}
+			if !strings.Contains(line, " s") && !strings.Contains(line, " ms") {
+				t.Fatalf("VGG16 row should carry a PyTorch time: %q", line)
+			}
+		}
+	}
+}
+
+func TestFig13WithinFivePercent(t *testing.T) {
+	rep, err := harness.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Tables[0].Rows {
+		slow := row[3]
+		if !strings.HasSuffix(slow, "%") {
+			t.Fatalf("slowdown cell %q", slow)
+		}
+		if strings.HasPrefix(slow, "-") {
+			t.Fatalf("docker should never be faster: %q", slow)
+		}
+	}
+}
+
+func TestFig14Events(t *testing.T) {
+	rep, err := harness.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "device shutdown") {
+		t.Fatal("Fig. 14 must show the RPi shutdown event")
+	}
+	if !strings.Contains(out, "working") {
+		t.Fatal("Fig. 14 must show the TX2 fan working")
+	}
+}
+
+func TestFig12ParetoExtremes(t *testing.T) {
+	// §VI-E / Fig. 12: Movidius is the lowest-power extreme, EdgeTPU the
+	// lowest-latency extreme among the edge accelerators.
+	rep, err := harness.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pt struct{ sec, watts float64 }
+	best := map[string]pt{}
+	for _, row := range rep.Tables[0].Rows {
+		dev := row[0]
+		var sec, watts float64
+		// Parse "x.x ms" / "x.xx s" and watts cells.
+		if strings.HasSuffix(row[2], " ms") {
+			fmt.Sscanf(row[2], "%f ms", &sec)
+			sec /= 1e3
+		} else {
+			fmt.Sscanf(row[2], "%f s", &sec)
+		}
+		fmt.Sscanf(row[3], "%f", &watts)
+		if cur, ok := best[dev]; !ok || sec < cur.sec {
+			best[dev] = pt{sec, watts}
+		}
+	}
+	for dev, p := range best {
+		if dev != "Movidius" && p.watts <= best["Movidius"].watts {
+			t.Errorf("%s power %.2fW undercuts Movidius %.2fW", dev, p.watts, best["Movidius"].watts)
+		}
+		if dev != "EdgeTPU" && dev != "GTXTitanX" && p.sec <= best["EdgeTPU"].sec {
+			t.Errorf("%s best latency %.4fs undercuts EdgeTPU %.4fs", dev, p.sec, best["EdgeTPU"].sec)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/model"
+	"edgebench/internal/power"
+)
+
+// SweepRow is one (model, device, framework) characterization — the
+// full-factorial record the paper's open-source harness collects across
+// its testbed ("our experiments are reproducible and extendable to new
+// platforms", §I).
+type SweepRow struct {
+	Model     string
+	Device    string
+	Framework string
+	// Status is "ok" or the deployment failure reason.
+	Status string
+	// The remaining fields are zero when Status != "ok".
+	InferenceSec  float64
+	EnergyJ       float64
+	ActiveWatts   float64
+	Utilization   float64
+	MemBytes      float64
+	GraphOps      int
+	ComputeBound  float64
+	ThroughputB16 float64 // samples/s at batch 16 (0 if it does not fit)
+}
+
+// Sweep characterizes every legal combination over the given model set
+// (nil means Table I). Illegal combinations are recorded with their
+// failure reason rather than skipped, so the sweep doubles as a
+// compatibility census.
+func Sweep(models []*model.Spec) []SweepRow {
+	if models == nil {
+		models = model.All()
+	}
+	var rows []SweepRow
+	for _, spec := range models {
+		for _, dev := range device.All() {
+			fws, err := framework.FrameworksFor(dev.Name)
+			if err != nil {
+				continue
+			}
+			for _, fw := range fws {
+				row := SweepRow{Model: spec.Name, Device: dev.Name, Framework: fw.Name}
+				s, err := core.New(spec.Name, fw.Name, dev.Name)
+				if err != nil {
+					row.Status = shortErr(err)
+					rows = append(rows, row)
+					continue
+				}
+				row.Status = "ok"
+				row.InferenceSec = s.InferenceSeconds()
+				row.EnergyJ = power.EnergyPerInferenceJ(s)
+				row.ActiveWatts = power.ActiveWatts(dev, s.Utilization())
+				row.Utilization = s.Utilization()
+				row.GraphOps = s.Lowered().NumOps()
+				row.ComputeBound = s.ComputeBoundFraction()
+				if s.Lowered().Mode.String() == "dynamic" {
+					row.MemBytes = s.DynamicMemBytes()
+				} else {
+					row.MemBytes = s.StaticMemBytes()
+				}
+				if s.MaxBatch(16) >= 16 {
+					row.ThroughputB16 = s.ThroughputPerSecond(16)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// WriteCSV emits sweep rows as CSV with a header.
+func WriteCSV(w io.Writer, rows []SweepRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"model", "device", "framework", "status",
+		"inference_ms", "energy_mj", "active_watts", "utilization",
+		"mem_mb", "graph_ops", "compute_bound_frac", "throughput_b16"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64, digits int) string {
+		return strconv.FormatFloat(v, 'f', digits, 64)
+	}
+	for _, r := range rows {
+		rec := []string{r.Model, r.Device, r.Framework, r.Status,
+			f(r.InferenceSec*1e3, 3), f(r.EnergyJ*1e3, 2), f(r.ActiveWatts, 2),
+			f(r.Utilization, 3), f(r.MemBytes/(1<<20), 1),
+			strconv.Itoa(r.GraphOps), f(r.ComputeBound, 3), f(r.ThroughputB16, 2)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("harness: csv: %w", err)
+	}
+	return nil
+}

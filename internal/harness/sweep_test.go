@@ -1,0 +1,91 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edgebench/internal/harness"
+	"edgebench/internal/model"
+)
+
+func TestSweepCoverage(t *testing.T) {
+	rows := harness.Sweep(nil)
+	// 16 models x (6 edge + 4 HPC devices) x their framework lists:
+	// every combination must appear exactly once.
+	seen := map[string]bool{}
+	okCount, failCount := 0, 0
+	for _, r := range rows {
+		key := r.Model + "|" + r.Device + "|" + r.Framework
+		if seen[key] {
+			t.Fatalf("duplicate sweep row %s", key)
+		}
+		seen[key] = true
+		if r.Status == "ok" {
+			okCount++
+			if r.InferenceSec <= 0 || r.EnergyJ <= 0 || r.MemBytes <= 0 || r.GraphOps <= 0 {
+				t.Fatalf("ok row with zero metrics: %+v", r)
+			}
+			if r.Utilization < 0 || r.Utilization > 1 || r.ComputeBound < 0 || r.ComputeBound > 1 {
+				t.Fatalf("fractions out of range: %+v", r)
+			}
+		} else {
+			failCount++
+			if r.InferenceSec != 0 {
+				t.Fatalf("failed row carries metrics: %+v", r)
+			}
+		}
+	}
+	if okCount < 500 {
+		t.Fatalf("only %d ok combinations", okCount)
+	}
+	// Table V / memory walls must surface as failures.
+	if failCount < 20 {
+		t.Fatalf("only %d failures recorded; compatibility census missing", failCount)
+	}
+}
+
+func TestSweepSubset(t *testing.T) {
+	spec := model.MustGet("MobileNet-v2")
+	rows := harness.Sweep([]*model.Spec{spec})
+	for _, r := range rows {
+		if r.Model != "MobileNet-v2" {
+			t.Fatalf("unexpected model %s", r.Model)
+		}
+	}
+	// MobileNet runs everywhere Table V allows; EdgeTPU TFLite row must
+	// be ok with batch-16 throughput on devices with memory headroom.
+	found := false
+	for _, r := range rows {
+		if r.Device == "EdgeTPU" && r.Framework == "TFLite" {
+			found = true
+			if r.Status != "ok" {
+				t.Fatalf("EdgeTPU MobileNet should deploy: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("EdgeTPU row missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := harness.Sweep([]*model.Spec{model.MustGet("CifarNet")})
+	var buf bytes.Buffer
+	if err := harness.WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("csv lines = %d, rows = %d", len(lines), len(rows))
+	}
+	if !strings.HasPrefix(lines[0], "model,device,framework,status,inference_ms") {
+		t.Fatalf("csv header wrong: %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if strings.Count(line, ",") != strings.Count(lines[0], ",") {
+			t.Fatalf("ragged csv row: %q", line)
+		}
+	}
+}

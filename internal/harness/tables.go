@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"fmt"
+
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+func init() {
+	register("table1", "DNN model inventory (paper Table I)", TableI)
+	register("table2", "Framework feature matrix (paper Table II)", TableII)
+	register("table3", "Hardware platform specifications (paper Table III)", TableIII)
+	register("table4", "Experiment index (paper Table IV)", TableIV)
+	register("table5", "Model-platform compatibility matrix (paper Table V)", TableV)
+	register("table6", "Cooling instruments and idle temperatures (paper Table VI)", TableVI)
+}
+
+// TableI regenerates the model inventory with measured GFLOP/parameter
+// totals next to the paper's.
+func TableI() (*Report, error) {
+	t := Table{
+		Header: []string{"Model", "Input", "GFLOP", "paperGFLOP", "Δ", "Params(M)", "paperM", "Δ", "FLOP/Param"},
+	}
+	for _, s := range model.All() {
+		gf, pm := s.GFLOPs(), s.ParamsM()
+		in := fmt.Sprint(s.InputShape[len(s.InputShape)-1])
+		if len(s.InputShape) == 4 {
+			in = fmt.Sprintf("%dx%d", s.InputShape[1], s.InputShape[3])
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Name, in,
+			fmtFloat(gf, 2), fmtFloat(s.PaperGFLOP, 2), fmtDelta(gf, s.PaperGFLOP),
+			fmtFloat(pm, 2), fmtFloat(s.PaperParamsM, 2), fmtDelta(pm, s.PaperParamsM),
+			fmtFloat(s.FLOPPerParam(), 1),
+		})
+		if s.Notes != "" {
+			t.Notes = append(t.Notes, s.Name+": "+s.Notes)
+		}
+	}
+	return &Report{ID: "table1", Title: "DNN models", Tables: []Table{t}}, nil
+}
+
+// TableII regenerates the framework feature matrix.
+func TableII() (*Report, error) {
+	fws := framework.All()
+	header := []string{"Property"}
+	for _, f := range fws {
+		header = append(header, f.Name)
+	}
+	t := Table{Header: header}
+	row := func(name string, get func(*framework.Framework) string) {
+		cells := []string{name}
+		for _, f := range fws {
+			cells = append(cells, get(f))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	row("Language", func(f *framework.Framework) string { return f.Language })
+	row("Industry backed", func(f *framework.Framework) string { return yn(f.IndustryBacked) })
+	row("Training framework", func(f *framework.Framework) string { return yn(f.TrainingFramework) })
+	row("Usability", func(f *framework.Framework) string { return f.Usability.String() })
+	row("Adding new models", func(f *framework.Framework) string { return f.AddingModels.String() })
+	row("Pre-defined models", func(f *framework.Framework) string { return f.PreDefined.String() })
+	row("Documentation", func(f *framework.Framework) string { return f.Documentation.String() })
+	row("No extra steps", func(f *framework.Framework) string { return yn(f.NoExtraSteps) })
+	row("Mobile deployment", func(f *framework.Framework) string {
+		switch f.Mobile {
+		case framework.FullMobile:
+			return "full"
+		case framework.PartialMobile:
+			return "partial"
+		default:
+			return "no"
+		}
+	})
+	row("Low-level mods", func(f *framework.Framework) string { return f.LowLevel.String() })
+	row("Quantization", func(f *framework.Framework) string { return yn(f.Opts.Quantization) })
+	row("Mixed precision", func(f *framework.Framework) string { return yn(f.Opts.MixedPrecision) })
+	row("Dynamic graph", func(f *framework.Framework) string { return yn(f.Opts.DynamicGraph) })
+	row("Pruning exploit", func(f *framework.Framework) string { return yn(f.Opts.PruningExploit) })
+	row("Fusion", func(f *framework.Framework) string { return yn(f.Opts.Fusion) })
+	row("Auto tuning", func(f *framework.Framework) string { return yn(f.Opts.AutoTuning) })
+	row("Half precision", func(f *framework.Framework) string { return yn(f.Opts.HalfPrecision) })
+	return &Report{ID: "table2", Title: "Frameworks", Tables: []Table{t}}, nil
+}
+
+// TableIII regenerates the platform-specification table.
+func TableIII() (*Report, error) {
+	t := Table{
+		Header: []string{"Platform", "Class", "CPU", "GPU/Accel", "Mem", "BW(GB/s)", "Peak fp32", "Idle(W)", "Avg(W)"},
+	}
+	for _, d := range device.All() {
+		gpu := d.GPU
+		if gpu == "" {
+			gpu = d.Accel
+		}
+		if gpu == "" {
+			gpu = "-"
+		}
+		cpu := d.CPU
+		if cpu == "" {
+			cpu = "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Name, d.Class.String(), cpu, gpu,
+			fmt.Sprintf("%.1f GB", float64(d.MemBytes)/(1<<30)),
+			fmtFloat(d.MemBandwidthGBs, 1),
+			fmt.Sprintf("%.0f GF", d.Peak(tensor.FP32)),
+			fmtFloat(d.IdleWatts, 2), fmtFloat(d.AvgWatts, 2),
+		})
+	}
+	return &Report{ID: "table3", Title: "Platforms", Tables: []Table{t}}, nil
+}
+
+// TableIV regenerates the experiment index.
+func TableIV() (*Report, error) {
+	t := Table{Header: []string{"Experiment", "Paper artifact", "Metric"}}
+	rows := [][3]string{
+		{"fig2", "Fig. 2 (§VI-A)", "time/inference, best framework per edge device"},
+		{"fig3", "Fig. 3 (§VI-B1)", "time/inference on RPi across frameworks"},
+		{"fig4", "Fig. 4 (§VI-B1)", "time/inference on TX2 across frameworks"},
+		{"fig5", "Fig. 5 (§VI-B3)", "software-stack latency breakdown"},
+		{"fig6", "Fig. 6 (§VI-B1)", "TF vs PyTorch on GTX Titan X + speedup"},
+		{"fig7", "Fig. 7 (§VI-B2)", "PyTorch vs TensorRT on Jetson Nano + speedup"},
+		{"fig8", "Fig. 8 (§VI-B2)", "PyTorch/TF/TFLite on RPi + speedups"},
+		{"fig9", "Fig. 9 (§VI-C)", "edge vs HPC time/inference (PyTorch)"},
+		{"fig10", "Fig. 10 (§VI-C)", "speedup over Jetson TX2, geomean"},
+		{"fig11", "Fig. 11 (§VI-E)", "energy per inference (log scale)"},
+		{"fig12", "Fig. 12 (§VI-E)", "inference time vs active power"},
+		{"fig13", "Fig. 13 (§VI-D)", "bare metal vs Docker on RPi"},
+		{"fig14", "Fig. 14 (§VI-F)", "temperature while executing DNNs"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r[0], r[1], r[2]})
+	}
+	return &Report{ID: "table4", Title: "Experiments", Tables: []Table{t}}, nil
+}
+
+// TableV regenerates the compatibility matrix, cross-checking the
+// transcribed statuses against the memory model where they interact.
+func TableV() (*Report, error) {
+	models := []string{"ResNet-18", "ResNet-50", "MobileNet-v2", "Inception-v4",
+		"AlexNet", "VGG16", "SSD-MobileNet-v1", "TinyYolo", "C3D"}
+	devs := []string{"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU", "Movidius", "PYNQ-Z1"}
+	t := Table{Header: append([]string{"Model"}, devs...)}
+	for _, m := range models {
+		row := []string{m}
+		for _, d := range devs {
+			st := framework.TableVStatus(m, d)
+			mark := map[framework.Status]string{
+				framework.OK:                   "ok",
+				framework.DynamicGraphRequired: "^dyn",
+				framework.CodeIncompatible:     "O code",
+				framework.ConversionBarrier:    "x conv",
+				framework.BRAMOverflow:         "^^bram",
+			}[st]
+			row = append(row, mark)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"^dyn: exceeds memory under a static graph; runs via PyTorch only",
+		"O code: base-code incompatibility; x conv: EdgeTPU compiler barrier; ^^bram: exceeds FPGA BRAM",
+	)
+
+	// Cross-check: the memory model must agree that ^dyn models OOM
+	// statically on the RPi while the others fit.
+	check := Table{Title: "memory-model cross-check (RPi3, static TensorFlow)",
+		Header: []string{"Model", "static MB", "fits 1 GB", "Table V"}}
+	for _, m := range models {
+		st := framework.TableVStatus(m, "RPi3")
+		if st == framework.CodeIncompatible {
+			continue
+		}
+		g := model.MustGet(m).Build(nn.Options{})
+		fw := framework.MustGet("TensorFlow")
+		low := fw.Lower(g, device.MustGet("RPi3"))
+		var bytes float64
+		for _, n := range low.Nodes {
+			bytes += float64(n.WeightBytes()) + float64(n.OutShape.NumElems()*4)
+		}
+		bytes = bytes*fw.MemoryFactor + float64(fw.BaselineBytes)
+		fits := bytes <= float64(device.MustGet("RPi3").MemBytes)
+		check.Rows = append(check.Rows, []string{
+			m, fmtFloat(bytes/(1<<20), 0), fmt.Sprint(fits), st.String(),
+		})
+	}
+	return &Report{ID: "table5", Title: "Compatibility", Tables: []Table{t, check}}, nil
+}
+
+// TableVI regenerates the cooling table.
+func TableVI() (*Report, error) {
+	t := Table{Header: []string{"Device", "Heatsink", "Fan", "Idle temp (°C)", "Fan-on (°C)"}}
+	for _, name := range []string{"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU", "Movidius"} {
+		d := device.MustGet(name)
+		yn := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		fanOn := "-"
+		if d.Cooling.Fan {
+			fanOn = fmtFloat(d.Cooling.FanOnC, 0)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, yn(d.Cooling.Heatsink), yn(d.Cooling.Fan),
+			fmtFloat(d.Thermal.IdleC, 1), fanOn,
+		})
+	}
+	t.Notes = append(t.Notes, "Movidius: the stick body is designed as a heatsink (Table VI †)")
+	return &Report{ID: "table6", Title: "Cooling", Tables: []Table{t}}, nil
+}

@@ -1,0 +1,52 @@
+package model
+
+import (
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// buildC3D constructs C3D (Tran et al. 2015) over the paper's 12-frame
+// 112x112 clips: homogeneous 3x3x3 convolutions, a temporal-preserving
+// first pool, 2x2x2 pools thereafter, and the 4096-4096-487 classifier
+// (Sports-1M head). The final pool pads spatially so fc6 sees the
+// canonical 512x4x4 map.
+func buildC3D(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("c3d", opts, 3, 12, 112, 112)
+	c3 := func(name string, cout int) *graph.Node {
+		b.Conv3D(name, cout, 3, 1, 1, true)
+		return b.ReLU(name + "_relu")
+	}
+	c3("conv1a", 64)
+	b.MaxPool3DAsym("pool1", 1, 2, 1, 2, 0) // keep all 12 frames
+	c3("conv2a", 128)
+	b.MaxPool3DAsym("pool2", 2, 2, 2, 2, 0) // 6 frames, 28x28
+	c3("conv3a", 256)
+	c3("conv3b", 256)
+	b.MaxPool3DAsym("pool3", 2, 2, 2, 2, 0) // 3 frames, 14x14
+	c3("conv4a", 512)
+	c3("conv4b", 512)
+	b.MaxPool3DAsym("pool4", 2, 2, 2, 2, 0) // 1 frame, 7x7
+	c3("conv5a", 512)
+	c3("conv5b", 512)
+	b.MaxPool3DAsym("pool5", 1, 2, 1, 2, 1) // 1 frame, 4x4 (padded)
+	b.Dense("fc6", 4096, true)
+	b.ReLU("fc6_relu")
+	b.Dense("fc7", 4096, true)
+	b.ReLU("fc7_relu")
+	b.Dense("fc8", 487, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:           "C3D",
+		InputShape:     []int{3, 12, 112, 112},
+		PaperGFLOP:     57.99,
+		PaperParamsM:   89.00,
+		FLOPConvention: 2,
+		Class:          Video,
+		Notes:          "12-frame clips per Table I; FLOP = 2 x MAC matches the paper's 57.99. Canonical C3D carries ~80 M parameters, ~10% below the paper's 89 M.",
+		build:          func(o nn.Options) *graph.Graph { return buildC3D(o) },
+	})
+}

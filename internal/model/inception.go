@@ -1,0 +1,157 @@
+package model
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// cbr appends conv + BN + ReLU with a square kernel ("same" or "valid"
+// padding is expressed via pad).
+func cbr(b *nn.Builder, name string, cout, k, stride, pad int) *graph.Node {
+	b.Conv2D(name, cout, k, stride, pad, false)
+	b.BatchNorm(name + "_bn")
+	return b.ReLU(name + "_relu")
+}
+
+// cbrRect appends conv + BN + ReLU with a rectangular kernel, padded
+// "same" per axis (Inception's 1x7/7x1/1x3/3x1 factorizations).
+func cbrRect(b *nn.Builder, name string, cout, kh, kw int) *graph.Node {
+	b.Conv2DRect(name, cout, kh, kw, 1, (kh-1)/2, (kw-1)/2, false)
+	b.BatchNorm(name + "_bn")
+	return b.ReLU(name + "_relu")
+}
+
+// inceptionStem builds the Inception-v4 stem: 299x299x3 -> 384x35x35.
+func inceptionStem(b *nn.Builder) *graph.Node {
+	cbr(b, "stem1", 32, 3, 2, 0) // 149
+	cbr(b, "stem2", 32, 3, 1, 0) // 147
+	cbr(b, "stem3", 64, 3, 1, 1) // 147
+	split := b.Current()
+	pool := b.MaxPool("stem4_pool", 3, 2, 0) // 73
+	conv := cbr(b.From(split), "stem4_conv", 96, 3, 2, 0)
+	b.Concat("stem4_cat", pool, conv) // 160x73x73
+
+	split = b.Current()
+	cbr(b, "stem5a_1", 64, 1, 1, 0)
+	left := cbr(b, "stem5a_2", 96, 3, 1, 0) // 71
+	b.From(split)
+	cbr(b, "stem5b_1", 64, 1, 1, 0)
+	cbrRect(b, "stem5b_2", 64, 1, 7)
+	cbrRect(b, "stem5b_3", 64, 7, 1)
+	right := cbr(b, "stem5b_4", 96, 3, 1, 0) // 71
+	b.Concat("stem5_cat", left, right)       // 192x71x71
+
+	split = b.Current()
+	conv = cbr(b, "stem6_conv", 192, 3, 2, 0)           // 35
+	pool = b.From(split).MaxPool("stem6_pool", 3, 2, 0) // 35
+	return b.Concat("stem6_cat", conv, pool)            // 384x35x35
+}
+
+// inceptionA appends one 35x35 Inception-A module (output 384 channels).
+func inceptionA(b *nn.Builder, name string) *graph.Node {
+	in := b.Current()
+	b.AvgPool(name+"_b1_pool", 3, 1, 1)
+	b1 := cbr(b, name+"_b1", 96, 1, 1, 0)
+	b2 := cbr(b.From(in), name+"_b2", 96, 1, 1, 0)
+	cbr(b.From(in), name+"_b3_1", 64, 1, 1, 0)
+	b3 := cbr(b, name+"_b3_2", 96, 3, 1, 1)
+	cbr(b.From(in), name+"_b4_1", 64, 1, 1, 0)
+	cbr(b, name+"_b4_2", 96, 3, 1, 1)
+	b4 := cbr(b, name+"_b4_3", 96, 3, 1, 1)
+	return b.Concat(name+"_cat", b1, b2, b3, b4)
+}
+
+// reductionA shrinks 384x35x35 to 1024x17x17.
+func reductionA(b *nn.Builder, name string) *graph.Node {
+	in := b.Current()
+	b1 := b.MaxPool(name+"_b1_pool", 3, 2, 0)
+	b2 := cbr(b.From(in), name+"_b2", 384, 3, 2, 0)
+	cbr(b.From(in), name+"_b3_1", 192, 1, 1, 0)
+	cbr(b, name+"_b3_2", 224, 3, 1, 1)
+	b3 := cbr(b, name+"_b3_3", 256, 3, 2, 0)
+	return b.Concat(name+"_cat", b1, b2, b3)
+}
+
+// inceptionB appends one 17x17 Inception-B module (output 1024 channels).
+func inceptionB(b *nn.Builder, name string) *graph.Node {
+	in := b.Current()
+	b.AvgPool(name+"_b1_pool", 3, 1, 1)
+	b1 := cbr(b, name+"_b1", 128, 1, 1, 0)
+	b2 := cbr(b.From(in), name+"_b2", 384, 1, 1, 0)
+	cbr(b.From(in), name+"_b3_1", 192, 1, 1, 0)
+	cbrRect(b, name+"_b3_2", 224, 1, 7)
+	b3 := cbrRect(b, name+"_b3_3", 256, 7, 1)
+	cbr(b.From(in), name+"_b4_1", 192, 1, 1, 0)
+	cbrRect(b, name+"_b4_2", 192, 1, 7)
+	cbrRect(b, name+"_b4_3", 224, 7, 1)
+	cbrRect(b, name+"_b4_4", 224, 1, 7)
+	b4 := cbrRect(b, name+"_b4_5", 256, 7, 1)
+	return b.Concat(name+"_cat", b1, b2, b3, b4)
+}
+
+// reductionB shrinks 1024x17x17 to 1536x8x8.
+func reductionB(b *nn.Builder, name string) *graph.Node {
+	in := b.Current()
+	b1 := b.MaxPool(name+"_b1_pool", 3, 2, 0)
+	cbr(b.From(in), name+"_b2_1", 192, 1, 1, 0)
+	b2 := cbr(b, name+"_b2_2", 192, 3, 2, 0)
+	cbr(b.From(in), name+"_b3_1", 256, 1, 1, 0)
+	cbrRect(b, name+"_b3_2", 256, 1, 7)
+	cbrRect(b, name+"_b3_3", 320, 7, 1)
+	b3 := cbr(b, name+"_b3_4", 320, 3, 2, 0)
+	return b.Concat(name+"_cat", b1, b2, b3)
+}
+
+// inceptionC appends one 8x8 Inception-C module (output 1536 channels).
+func inceptionC(b *nn.Builder, name string) *graph.Node {
+	in := b.Current()
+	b.AvgPool(name+"_b1_pool", 3, 1, 1)
+	b1 := cbr(b, name+"_b1", 256, 1, 1, 0)
+	b2 := cbr(b.From(in), name+"_b2", 256, 1, 1, 0)
+	fork := cbr(b.From(in), name+"_b3_1", 384, 1, 1, 0)
+	b3a := cbrRect(b, name+"_b3_2a", 256, 1, 3)
+	b3b := cbrRect(b.From(fork), name+"_b3_2b", 256, 3, 1)
+	cbr(b.From(in), name+"_b4_1", 384, 1, 1, 0)
+	cbrRect(b, name+"_b4_2", 448, 3, 1)
+	fork = cbrRect(b, name+"_b4_3", 512, 1, 3)
+	b4a := cbrRect(b, name+"_b4_4a", 256, 1, 3)
+	b4b := cbrRect(b.From(fork), name+"_b4_4b", 256, 3, 1)
+	return b.Concat(name+"_cat", b1, b2, b3a, b3b, b4a, b4b)
+}
+
+// buildInceptionV4 constructs the full Inception-v4 (Szegedy et al. 2017)
+// at its native 299x299 resolution: stem, 4xA, reduction-A, 7xB,
+// reduction-B, 3xC, global pooling, 1000-way classifier.
+func buildInceptionV4(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("inception-v4", opts, 3, 299, 299)
+	inceptionStem(b)
+	for i := 0; i < 4; i++ {
+		inceptionA(b, fmt.Sprintf("a%d", i+1))
+	}
+	reductionA(b, "ra")
+	for i := 0; i < 7; i++ {
+		inceptionB(b, fmt.Sprintf("b%d", i+1))
+	}
+	reductionB(b, "rb")
+	for i := 0; i < 3; i++ {
+		inceptionC(b, fmt.Sprintf("c%d", i+1))
+	}
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 1000, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:         "Inception-v4",
+		InputShape:   []int{3, 299, 299},
+		PaperGFLOP:   12.27,
+		PaperParamsM: 42.71,
+		Class:        Recognition,
+		Notes:        "Built at the architecture's native 299x299 (Table I's 224 column is nominal; its 12.27 GFLOP matches the published 299x299 figure).",
+		build:        func(o nn.Options) *graph.Graph { return buildInceptionV4(o) },
+	})
+}

@@ -1,0 +1,139 @@
+package model
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// Mobile-specific extension models from the paper's related-work survey
+// (§VIII, second group: "mobile-specific models... handcraft efficient
+// operations to reduce the number of parameters [SqueezeNet] or use
+// resource-efficient connections [ShuffleNet]"). Registered as
+// extensions (not Table I).
+
+// fireModule appends a SqueezeNet fire module: 1x1 squeeze, then
+// parallel 1x1 and 3x3 expands, concatenated.
+func fireModule(b *nn.Builder, name string, squeeze, expand int) *graph.Node {
+	b.Conv2D(name+"_sq", squeeze, 1, 1, 0, true)
+	sq := b.ReLU(name + "_sq_relu")
+	b.Conv2D(name+"_e1", expand, 1, 1, 0, true)
+	e1 := b.ReLU(name + "_e1_relu")
+	b.From(sq).Conv2D(name+"_e3", expand, 3, 1, 1, true)
+	e3 := b.ReLU(name + "_e3_relu")
+	return b.Concat(name+"_cat", e1, e3)
+}
+
+// buildSqueezeNet constructs SqueezeNet v1.1 (Iandola et al.:
+// "AlexNet-level accuracy with 50x fewer parameters").
+func buildSqueezeNet(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("squeezenet", opts, 3, 224, 224)
+	b.Conv2D("conv1", 64, 3, 2, 0, true)
+	b.ReLU("relu1")
+	b.MaxPool("pool1", 3, 2, 0)
+	fireModule(b, "fire2", 16, 64)
+	fireModule(b, "fire3", 16, 64)
+	b.MaxPool("pool3", 3, 2, 0)
+	fireModule(b, "fire4", 32, 128)
+	fireModule(b, "fire5", 32, 128)
+	b.MaxPool("pool5", 3, 2, 0)
+	fireModule(b, "fire6", 48, 192)
+	fireModule(b, "fire7", 48, 192)
+	fireModule(b, "fire8", 64, 256)
+	fireModule(b, "fire9", 64, 256)
+	b.Conv2D("conv10", 1000, 1, 1, 0, true)
+	b.ReLU("relu10")
+	b.GlobalAvgPool("gap")
+	b.Softmax("prob")
+	return b.Build()
+}
+
+// shuffleUnit appends a ShuffleNet v1 unit: grouped 1x1 reduce, channel
+// shuffle, 3x3 depthwise (optionally strided), grouped 1x1 expand, with
+// an identity-add shortcut (stride 1) or avg-pool-concat shortcut
+// (stride 2).
+func shuffleUnit(b *nn.Builder, name string, out, groups, stride int, firstOfStage bool) *graph.Node {
+	in := b.Current()
+	cin := in.OutShape[0]
+	branchOut := out
+	if stride == 2 {
+		branchOut = out - cin // concat shortcut supplies the rest
+	}
+	mid := out / 4
+	// The paper applies no grouping on the very first pointwise layer
+	// (stage 2's entry) because its input is tiny.
+	g1 := groups
+	if firstOfStage && cin < 48 {
+		g1 = 1
+	}
+	b.Conv2DG(name+"_pw1", mid, 1, 1, 0, g1, false)
+	b.BatchNorm(name + "_pw1_bn")
+	b.ReLU(name + "_pw1_relu")
+	if g1 > 1 {
+		b.Shuffle(name+"_shuffle", g1)
+	}
+	b.DepthwiseConv2D(name+"_dw", 3, stride, 1, false)
+	b.BatchNorm(name + "_dw_bn")
+	b.Conv2DG(name+"_pw2", branchOut, 1, 1, 0, groups, false)
+	branch := b.BatchNorm(name + "_pw2_bn")
+
+	if stride == 1 {
+		if cin != out {
+			panic(fmt.Sprintf("model: shuffle unit %s: stride-1 residual needs cin==out (%d vs %d)", name, cin, out))
+		}
+		b.Add(name+"_add", in, branch)
+	} else {
+		short := b.From(in).AvgPool(name+"_short", 3, 2, 1)
+		b.Concat(name+"_cat", short, branch)
+	}
+	return b.ReLU(name + "_out")
+}
+
+// buildShuffleNet constructs ShuffleNet v1 at 1x width with 3 groups
+// (Zhang et al. 2018).
+func buildShuffleNet(opts nn.Options) *graph.Graph {
+	const groups = 3
+	b := nn.NewBuilder("shufflenet", opts, 3, 224, 224)
+	b.Conv2D("conv1", 24, 3, 2, 1, false)
+	b.BatchNorm("conv1_bn")
+	b.ReLU("conv1_relu")
+	b.MaxPool("pool1", 3, 2, 1)
+	stages := []struct{ out, repeat int }{
+		{240, 3}, {480, 7}, {960, 3},
+	}
+	for si, st := range stages {
+		name := fmt.Sprintf("s%d", si+2)
+		shuffleUnit(b, name+"_u0", st.out, groups, 2, si == 0)
+		for u := 1; u <= st.repeat; u++ {
+			shuffleUnit(b, fmt.Sprintf("%s_u%d", name, u), st.out, groups, 1, false)
+		}
+	}
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 1000, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:         "SqueezeNet",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   0.357, // this implementation's own totals (extension)
+		PaperParamsM: 1.235,
+		Class:        Recognition,
+		Extension:    true,
+		Notes:        "Extension (§VIII mobile-specific models): SqueezeNet v1.1.",
+		build:        func(o nn.Options) *graph.Graph { return buildSqueezeNet(o) },
+	})
+	register(&Spec{
+		Name:         "ShuffleNet",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   0.149,
+		PaperParamsM: 1.890,
+		Class:        Recognition,
+		Extension:    true,
+		Notes:        "Extension (§VIII mobile-specific models): ShuffleNet v1, 1x width, 3 groups.",
+		build:        func(o nn.Options) *graph.Graph { return buildShuffleNet(o) },
+	})
+}

@@ -1,0 +1,132 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+func TestMobileModelTotals(t *testing.T) {
+	// Documented totals are regression pins; also check they land near
+	// the published numbers for these architectures.
+	sq := model.MustGet("SqueezeNet")
+	if rel := math.Abs(sq.ParamsM()/1.24 - 1); rel > 0.03 {
+		t.Errorf("SqueezeNet params = %.3f M, published ~1.24 M", sq.ParamsM())
+	}
+	sh := model.MustGet("ShuffleNet")
+	if sh.ParamsM() < 1.5 || sh.ParamsM() > 2.5 {
+		t.Errorf("ShuffleNet params = %.3f M, published ~1.9 M", sh.ParamsM())
+	}
+	// The efficiency story: both models undercut AlexNet's parameters by
+	// ~50-80x while staying in its FLOP class (SqueezeNet's pitch).
+	alex := model.MustGet("AlexNet")
+	if alex.ParamsM()/sq.ParamsM() < 40 {
+		t.Errorf("SqueezeNet should carry ~80x fewer params than the paper's AlexNet")
+	}
+}
+
+func TestShuffleNetUsesShuffleOps(t *testing.T) {
+	g := model.MustGet("ShuffleNet").Build(nn.Options{})
+	shuffles, grouped, dw := 0, 0, 0
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == graph.OpShuffle:
+			shuffles++
+		case n.Kind == graph.OpConv2D && n.Attrs.GroupCount() > 1:
+			grouped++
+		case n.Kind == graph.OpDepthwiseConv2D:
+			dw++
+		}
+	}
+	if shuffles < 14 || grouped < 20 || dw != 16 {
+		t.Fatalf("structure wrong: %d shuffles, %d grouped convs, %d depthwise", shuffles, grouped, dw)
+	}
+}
+
+func TestShuffleChannelsRoundTrip(t *testing.T) {
+	in := tensor.New(6, 2, 2)
+	for i := range in.Data {
+		in.Data[i] = float32(i / 4) // channel index
+	}
+	out := tensor.ShuffleChannels(in, 3)
+	// Channel i -> (i%3)*2 + i/3: 0->0, 1->2, 2->4, 3->1, 4->3, 5->5.
+	want := []float32{0, 3, 1, 4, 2, 5}
+	for ch, w := range want {
+		if out.Data[ch*4] != w {
+			t.Fatalf("channel %d = %v, want %v", ch, out.Data[ch*4], w)
+		}
+	}
+	// Applying the shuffle with swapped group factor inverts it.
+	back := tensor.ShuffleChannels(out, 2)
+	for i := range in.Data {
+		if back.Data[i] != in.Data[i] {
+			t.Fatal("shuffle(g)∘shuffle(C/g) should be identity")
+		}
+	}
+	if tensor.ShuffleChannels(in, 1).Data[4] != in.Data[4] {
+		t.Fatal("group 1 shuffle should copy")
+	}
+}
+
+func TestMobileModelsExecute(t *testing.T) {
+	// Execute reduced-size variants end to end by running the real
+	// models at a small synthetic input? The architectures are fixed at
+	// 224², so instead validate structure and run the latency model.
+	for _, name := range []string{"SqueezeNet", "ShuffleNet"} {
+		g := model.MustGet(name).Build(nn.Options{})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := core.New(name, "PyTorch", "JetsonTX2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := s.InferenceSeconds()
+		if ts <= 0 || ts > 1 {
+			t.Fatalf("%s latency %v", name, ts)
+		}
+	}
+	// Efficiency ordering on the TX2: both mobile models beat VGG16.
+	vgg, _ := core.New("VGG16", "PyTorch", "JetsonTX2")
+	sq, _ := core.New("SqueezeNet", "PyTorch", "JetsonTX2")
+	if sq.InferenceSeconds() >= vgg.InferenceSeconds() {
+		t.Fatal("SqueezeNet should be far faster than VGG16")
+	}
+}
+
+func TestShuffleOpSemanticEquivalence(t *testing.T) {
+	// A grouped conv after a shuffle sees mixed groups: verify via the
+	// executor that shuffle+gconv differs from gconv alone (the whole
+	// point of the op), while shuffle of group 1 is a no-op.
+	build := func(withShuffle bool) *tensor.Tensor {
+		b := nn.NewBuilder("t", nn.Options{Materialize: true, Seed: 9}, 6, 4, 4)
+		if withShuffle {
+			b.Shuffle("sh", 3)
+		}
+		b.Conv2DG("gc", 6, 1, 1, 0, 3, true)
+		g := b.Build()
+		in := tensor.New(6, 4, 4).Randomize(stats.NewRNG(10), 1)
+		out, err := (&graph.Executor{}).Run(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, bOut := build(false), build(true)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != bOut.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("channel shuffle should change grouped-conv results")
+	}
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// invertedResidual appends a MobileNet-v2 inverted-residual block:
+// 1x1 expand (ratio t), 3x3 depthwise (stride s), 1x1 linear project.
+// A residual connection joins input and output when shapes permit.
+func invertedResidual(b *nn.Builder, name string, cout, stride, expand int) *graph.Node {
+	in := b.Current()
+	cin := in.OutShape[0]
+	hidden := cin * expand
+	if expand != 1 {
+		b.Conv2D(name+"_expand", hidden, 1, 1, 0, false)
+		b.BatchNorm(name + "_expand_bn")
+		b.ReLU6(name + "_expand_relu6")
+	}
+	b.DepthwiseConv2D(name+"_dw", 3, stride, 1, false)
+	b.BatchNorm(name + "_dw_bn")
+	b.ReLU6(name + "_dw_relu6")
+	b.Conv2D(name+"_project", cout, 1, 1, 0, false)
+	out := b.BatchNorm(name + "_project_bn")
+	if stride == 1 && cin == cout {
+		out = b.Add(name+"_res", in, out)
+	}
+	return out
+}
+
+// buildMobileNetV2 constructs the standard 1.0-width MobileNet-v2 at
+// 224x224 (Sandler et al. 2018).
+func buildMobileNetV2(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("mobilenet-v2", opts, 3, 224, 224)
+	b.Conv2D("stem", 32, 3, 2, 1, false)
+	b.BatchNorm("stem_bn")
+	b.ReLU6("stem_relu6")
+	// (expand t, channels c, repeats n, stride s) per the paper.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	blk := 0
+	for _, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			invertedResidual(b, fmt.Sprintf("block%d", blk), c.c, stride, c.t)
+			blk++
+		}
+	}
+	b.Conv2D("head", 1280, 1, 1, 0, false)
+	b.BatchNorm("head_bn")
+	b.ReLU6("head_relu6")
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 1000, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+// mobileNetV1Trunk appends the MobileNet-v1 depthwise-separable trunk up
+// to and including the conv13 (1024-channel) stage, returning the conv11
+// (512-channel) node for SSD's first detection head.
+func mobileNetV1Trunk(b *nn.Builder) (conv11 *graph.Node) {
+	dwsep := func(name string, cout, stride int) *graph.Node {
+		b.DepthwiseConv2D(name+"_dw", 3, stride, 1, false)
+		b.BatchNorm(name + "_dw_bn")
+		b.ReLU6(name + "_dw_relu")
+		b.Conv2D(name+"_pw", cout, 1, 1, 0, false)
+		b.BatchNorm(name + "_pw_bn")
+		return b.ReLU6(name + "_pw_relu")
+	}
+	b.Conv2D("stem", 32, 3, 2, 1, false)
+	b.BatchNorm("stem_bn")
+	b.ReLU6("stem_relu")
+	dwsep("c1", 64, 1)
+	dwsep("c2", 128, 2)
+	dwsep("c3", 128, 1)
+	dwsep("c4", 256, 2)
+	dwsep("c5", 256, 1)
+	dwsep("c6", 512, 2)
+	for i := 7; i <= 10; i++ {
+		dwsep(fmt.Sprintf("c%d", i), 512, 1)
+	}
+	conv11 = dwsep("c11", 512, 1)
+	dwsep("c12", 1024, 2)
+	dwsep("c13", 1024, 1)
+	return conv11
+}
+
+func init() {
+	register(&Spec{
+		Name:         "MobileNet-v2",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   0.32,
+		PaperParamsM: 3.53,
+		Class:        Recognition,
+		build:        func(o nn.Options) *graph.Graph { return buildMobileNetV2(o) },
+	})
+}

@@ -1,0 +1,218 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+// tolerances holds per-model acceptance bands against the paper's
+// Table I. Defaults are tight (params are structural); wider bands carry
+// a documented reason in the model's Notes field.
+type tolerance struct{ flop, params float64 }
+
+var paperTolerances = map[string]tolerance{
+	// Deviations documented in Spec.Notes / EXPERIMENTS.md.
+	"VGG-S-32":         {flop: 0.20, params: 0.10}, // classifier shrinks at 32x32 input
+	"CifarNet":         {flop: 2.00, params: 0.03}, // paper's 0.01 is one significant figure
+	"SSD-MobileNet-v1": {flop: 0.20, params: 0.08}, // paper tracks backbone-dominated count
+	"TinyYolo":         {flop: 0.30, params: 0.02}, // paper FLOP sourced from tiny-yolov3
+	"C3D":              {flop: 0.05, params: 0.12}, // canonical C3D is ~80M params
+}
+
+func tol(name string) tolerance {
+	if t, ok := paperTolerances[name]; ok {
+		return t
+	}
+	return tolerance{flop: 0.03, params: 0.01}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(model.All()) != 16 {
+		t.Fatalf("registry holds %d models, want 16", len(model.All()))
+	}
+	for _, name := range model.TableIOrder {
+		if _, ok := model.Get(name); !ok {
+			t.Errorf("Table I model %q not registered", name)
+		}
+	}
+	if names := model.Names(); len(names) != 16 || names[0] != "ResNet-18" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestMustGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet of unknown model should panic")
+		}
+	}()
+	model.MustGet("NoSuchNet")
+}
+
+// TestTableIReproduction is the headline Table I check: every model's
+// parameter count and FLOP total (in the paper's per-model convention)
+// must land inside its documented band.
+func TestTableIReproduction(t *testing.T) {
+	for _, s := range model.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			band := tol(s.Name)
+			gf := s.GFLOPs()
+			pm := s.ParamsM()
+			if rel := math.Abs(gf/s.PaperGFLOP - 1); rel > band.flop {
+				t.Errorf("GFLOP = %.3f, paper %.3f (%.1f%% > %.0f%% band)",
+					gf, s.PaperGFLOP, rel*100, band.flop*100)
+			}
+			if rel := math.Abs(pm/s.PaperParamsM - 1); rel > band.params {
+				t.Errorf("ParamsM = %.3f, paper %.3f (%.1f%% > %.0f%% band)",
+					pm, s.PaperParamsM, rel*100, band.params*100)
+			}
+		})
+	}
+}
+
+// TestTableIExactPins are regression pins on the values our builders
+// produce, so architecture edits are deliberate.
+func TestTableIExactPins(t *testing.T) {
+	pins := map[string]struct {
+		params int64
+		ops    int
+	}{
+		"ResNet-18":    {11699112, 69},
+		"ResNet-50":    {25610152, 175},
+		"ResNet-101":   {44654504, 345},
+		"MobileNet-v2": {3538984, 152},
+		"VGG16":        {138357544, 38},
+		"VGG19":        {143667240, 44},
+		"TinyYolo":     {15867885, 31},
+	}
+	for name, pin := range pins {
+		g := model.MustGet(name).Build(nn.Options{})
+		if got := g.Params(); got != pin.params {
+			t.Errorf("%s params = %d, pinned %d", name, got, pin.params)
+		}
+		if got := g.NumOps(); got != pin.ops {
+			t.Errorf("%s ops = %d, pinned %d", name, got, pin.ops)
+		}
+	}
+}
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, s := range model.All() {
+		g := s.Build(nn.Options{})
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if !g.Input.OutShape.Equal(tensor.Shape(s.InputShape)) {
+			t.Errorf("%s input shape %v, spec %v", s.Name, g.Input.OutShape, s.InputShape)
+		}
+	}
+}
+
+func TestFLOPPerParamOrdering(t *testing.T) {
+	// Figure 1's qualitative shape: the FC-heavy models sit at the bottom
+	// and the video models at the top of the FLOP/param ordering.
+	fpp := func(name string) float64 { return model.MustGet(name).FLOPPerParam() }
+	low := []string{"VGG-S-32", "AlexNet", "CifarNet"}
+	high := []string{"C3D", "YOLOv3", "TinyYolo"}
+	for _, l := range low {
+		for _, h := range high {
+			if fpp(l) >= fpp(h) {
+				t.Errorf("FLOP/param(%s)=%.1f should be < FLOP/param(%s)=%.1f",
+					l, fpp(l), h, fpp(h))
+			}
+		}
+	}
+	// Spot values against Table I's column.
+	if v := fpp("ResNet-50"); v < 120 || v > 200 {
+		t.Errorf("ResNet-50 FLOP/param = %.1f, paper ~162", v)
+	}
+	if v := fpp("C3D"); v < 600 || v > 850 {
+		t.Errorf("C3D FLOP/param = %.1f, paper ~734", v)
+	}
+}
+
+func TestDetectionModelsHaveMultipleOutputs(t *testing.T) {
+	yolo := model.MustGet("YOLOv3").Build(nn.Options{})
+	if len(yolo.Extra) != 2 {
+		t.Fatalf("YOLOv3 extra outputs = %d, want 2 (3 scales)", len(yolo.Extra))
+	}
+	ssd := model.MustGet("SSD-MobileNet-v1").Build(nn.Options{})
+	if len(ssd.Extra) != 5 {
+		t.Fatalf("SSD extra outputs = %d, want 5 (6 heads)", len(ssd.Extra))
+	}
+	// Dead-code elimination must keep all heads alive.
+	before := len(yolo.Nodes)
+	graph.EliminateDead(yolo)
+	if len(yolo.Nodes) != before {
+		t.Fatal("EliminateDead removed live detection-head nodes")
+	}
+}
+
+func TestSmallModelsExecute(t *testing.T) {
+	// The two 32x32 models are small enough to run numerically end to
+	// end; this exercises every op kind those graphs contain.
+	for _, name := range []string{"CifarNet", "VGG-S-32"} {
+		s := model.MustGet(name)
+		g := s.Build(nn.Options{Materialize: true, Seed: 1})
+		in := tensor.New(s.InputShape...).Randomize(stats.NewRNG(2), 1)
+		out, err := (&graph.Executor{}).Run(g, in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var sum float32
+		for _, v := range out.Data {
+			if v < 0 {
+				t.Fatalf("%s: negative probability %v", name, v)
+			}
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s: probabilities sum to %v", name, sum)
+		}
+	}
+}
+
+func TestModelClassMetadata(t *testing.T) {
+	if model.MustGet("SSD-MobileNet-v1").Class != model.Detection {
+		t.Error("SSD should be Detection")
+	}
+	if model.MustGet("C3D").Class != model.Video {
+		t.Error("C3D should be Video")
+	}
+	if model.MustGet("ResNet-18").Class != model.Recognition {
+		t.Error("ResNet-18 should be Recognition")
+	}
+	for _, c := range []model.Class{model.Recognition, model.Detection, model.Video} {
+		if c.String() == "" {
+			t.Error("Class.String empty")
+		}
+	}
+}
+
+func TestDarkNetConventionFlag(t *testing.T) {
+	for _, name := range []string{"YOLOv3", "TinyYolo", "C3D"} {
+		if model.MustGet(name).FLOPConvention != 2 {
+			t.Errorf("%s should use the 2xMAC DarkNet FLOP convention", name)
+		}
+	}
+	if model.MustGet("VGG16").FLOPConvention != 1 {
+		t.Error("VGG16 should use the 1xMAC convention")
+	}
+}
+
+func TestStructuralBuildIsLight(t *testing.T) {
+	// Structural VGG16 (138M params) must not allocate weight data.
+	g := model.MustGet("VGG16").Build(nn.Options{})
+	for _, n := range g.Nodes {
+		if n.Weights != nil {
+			t.Fatal("structural build allocated weights")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package model
+
+import (
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// Recurrent extension models — the paper's declared future work (§II:
+// "we plan to extend our models to include more varieties of DNN
+// models, such as RNNs and LSTMs"). They are registered as extensions
+// (not Table I) and exercise the engine's recurrent path end to end:
+// cost accounting, lowering, latency modeling, numeric execution.
+
+// buildLSTMClassifier is a sequence classifier shaped like a sensor/
+// keyword-spotting workload: 64 timesteps of 128 features, a 256-unit
+// LSTM, and a 10-way head.
+func buildLSTMClassifier(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("lstm-classifier", opts, 64, 128)
+	b.LSTM("lstm", 256, true)
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+// buildCharLSTM is a character-model-sized network: 128 steps over a
+// 96-symbol alphabet with a 512-unit LSTM.
+func buildCharLSTM(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("char-lstm", opts, 128, 96)
+	b.LSTM("lstm", 512, true)
+	b.Dense("fc", 96, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:       "LSTM-Classifier",
+		InputShape: []int{64, 128},
+		// No paper reference values: extension model. The fields hold
+		// this implementation's own totals for documentation.
+		PaperGFLOP:   0.025,
+		PaperParamsM: 0.40,
+		Class:        Recognition,
+		Extension:    true,
+		Notes:        "Extension beyond Table I: the paper's declared RNN/LSTM future work.",
+		build:        func(o nn.Options) *graph.Graph { return buildLSTMClassifier(o) },
+	})
+	register(&Spec{
+		Name:         "CharLSTM",
+		InputShape:   []int{128, 96},
+		PaperGFLOP:   0.16,
+		PaperParamsM: 1.30,
+		Class:        Recognition,
+		Extension:    true,
+		Notes:        "Extension beyond Table I: character-model-sized LSTM.",
+		build:        func(o nn.Options) *graph.Graph { return buildCharLSTM(o) },
+	})
+}

@@ -1,0 +1,112 @@
+package model_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+func TestExtensionsSeparateFromTableI(t *testing.T) {
+	if len(model.All()) != 16 {
+		t.Fatalf("Table I set polluted: %d models", len(model.All()))
+	}
+	ext := model.AllWithExtensions()
+	if len(ext) != 20 {
+		t.Fatalf("extension set = %d models, want 20", len(ext))
+	}
+	for _, s := range ext[16:] {
+		if !s.Extension {
+			t.Errorf("%s should be flagged Extension", s.Name)
+		}
+	}
+}
+
+func TestLSTMModelsStructure(t *testing.T) {
+	for _, name := range []string{"LSTM-Classifier", "CharLSTM"} {
+		s := model.MustGet(name)
+		g := s.Build(nn.Options{})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The spec's documented totals must match the built graph.
+		if rel := math.Abs(s.GFLOPs()/s.PaperGFLOP - 1); rel > 0.05 {
+			t.Errorf("%s GFLOP = %.4f, documented %.4f", name, s.GFLOPs(), s.PaperGFLOP)
+		}
+		if rel := math.Abs(s.ParamsM()/s.PaperParamsM - 1); rel > 0.05 {
+			t.Errorf("%s params = %.3f M, documented %.3f M", name, s.ParamsM(), s.PaperParamsM)
+		}
+	}
+}
+
+func TestLSTMModelExecutes(t *testing.T) {
+	s := model.MustGet("LSTM-Classifier")
+	g := s.Build(nn.Options{Materialize: true, Seed: 3})
+	in := tensor.New(s.InputShape...).Randomize(stats.NewRNG(4), 1)
+	out, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float32
+	for _, p := range out.Data {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// Order sensitivity end to end: reversing the sequence changes the
+	// distribution.
+	rev := in.Clone()
+	steps, feats := s.InputShape[0], s.InputShape[1]
+	for step := 0; step < steps/2; step++ {
+		for f := 0; f < feats; f++ {
+			rev.Data[step*feats+f], rev.Data[(steps-1-step)*feats+f] =
+				rev.Data[(steps-1-step)*feats+f], rev.Data[step*feats+f]
+		}
+	}
+	out2, err := (&graph.Executor{}).Run(g, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range out.Data {
+		if math.Abs(float64(out.Data[i]-out2.Data[i])) > 1e-6 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("recurrent model should be order sensitive")
+	}
+}
+
+func TestLSTMModelDeploys(t *testing.T) {
+	// The latency model prices recurrent models across devices.
+	s, err := core.New("LSTM-Classifier", "PyTorch", "JetsonTX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := s.InferenceSeconds()
+	if tx2 <= 0 || tx2 > 1 {
+		t.Fatalf("TX2 LSTM time = %v", tx2)
+	}
+	rpi, err := core.New("LSTM-Classifier", "TensorFlow", "RPi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpi.InferenceSeconds() <= tx2 {
+		t.Fatal("the RPi should trail the TX2 on the LSTM too")
+	}
+	// CharLSTM does ~6x the work of LSTM-Classifier; time must scale up.
+	big, err := core.New("CharLSTM", "PyTorch", "JetsonTX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.InferenceSeconds() <= tx2 {
+		t.Fatal("CharLSTM should cost more than LSTM-Classifier")
+	}
+}

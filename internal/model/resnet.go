@@ -1,0 +1,103 @@
+package model
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// basicBlock appends a ResNet-18/34 basic block (two 3x3 convs) with an
+// identity or projection shortcut, returning the block output.
+func basicBlock(b *nn.Builder, name string, cout, stride int) *graph.Node {
+	in := b.Current()
+	b.ConvBNReLU(name+"_a", cout, 3, stride, 1)
+	b.Conv2D(name+"_b_conv", cout, 3, 1, 1, false)
+	main := b.BatchNorm(name + "_b_bn")
+
+	short := in
+	if stride != 1 || in.OutShape[0] != cout {
+		b.From(in).Conv2D(name+"_down_conv", cout, 1, stride, 0, false)
+		short = b.BatchNorm(name + "_down_bn")
+	}
+	b.Add(name+"_add", main, short)
+	return b.ReLU(name + "_out")
+}
+
+// bottleneckBlock appends a ResNet-50/101 bottleneck (1x1 reduce, 3x3,
+// 1x1 expand x4) with shortcut.
+func bottleneckBlock(b *nn.Builder, name string, width, stride int) *graph.Node {
+	in := b.Current()
+	b.ConvBNReLU(name+"_a", width, 1, 1, 0)
+	b.ConvBNReLU(name+"_b", width, 3, stride, 1)
+	b.Conv2D(name+"_c_conv", width*4, 1, 1, 0, false)
+	main := b.BatchNorm(name + "_c_bn")
+
+	short := in
+	if stride != 1 || in.OutShape[0] != width*4 {
+		b.From(in).Conv2D(name+"_down_conv", width*4, 1, stride, 0, false)
+		short = b.BatchNorm(name + "_down_bn")
+	}
+	b.Add(name+"_add", main, short)
+	return b.ReLU(name + "_out")
+}
+
+// buildResNet constructs a standard ImageNet ResNet with the given block
+// type and per-stage block counts.
+func buildResNet(opts nn.Options, bottleneck bool, blocks [4]int) *graph.Graph {
+	b := nn.NewBuilder("resnet", opts, 3, 224, 224)
+	b.ConvBNReLU("stem", 64, 7, 2, 3)
+	b.MaxPool("stem_pool", 3, 2, 1)
+	widths := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("s%d_b%d", stage+1, blk+1)
+			if bottleneck {
+				bottleneckBlock(b, name, widths[stage], stride)
+			} else {
+				basicBlock(b, name, widths[stage], stride)
+			}
+		}
+	}
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 1000, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:         "ResNet-18",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   1.83,
+		PaperParamsM: 11.69,
+		Class:        Recognition,
+		build: func(o nn.Options) *graph.Graph {
+			return buildResNet(o, false, [4]int{2, 2, 2, 2})
+		},
+	})
+	register(&Spec{
+		Name:         "ResNet-50",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   4.14,
+		PaperParamsM: 25.56,
+		Class:        Recognition,
+		build: func(o nn.Options) *graph.Graph {
+			return buildResNet(o, true, [4]int{3, 4, 6, 3})
+		},
+	})
+	register(&Spec{
+		Name:         "ResNet-101",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   7.87,
+		PaperParamsM: 44.55,
+		Class:        Recognition,
+		build: func(o nn.Options) *graph.Graph {
+			return buildResNet(o, true, [4]int{3, 4, 23, 3})
+		},
+	})
+}

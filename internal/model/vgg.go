@@ -1,0 +1,105 @@
+package model
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// buildVGG constructs a standard VGG: stages of 3x3 same-padded convs
+// separated by 2x2 max pools, then the 4096-4096-1000 classifier.
+// stageConvs gives conv counts per stage for widths 64..512.
+func buildVGG(opts nn.Options, name string, stageConvs [5]int) *graph.Graph {
+	b := nn.NewBuilder(name, opts, 3, 224, 224)
+	widths := [5]int{64, 128, 256, 512, 512}
+	for stage := 0; stage < 5; stage++ {
+		for c := 0; c < stageConvs[stage]; c++ {
+			b.Conv2D(fmt.Sprintf("s%d_c%d", stage+1, c+1), widths[stage], 3, 1, 1, true)
+			b.ReLU(fmt.Sprintf("s%d_r%d", stage+1, c+1))
+		}
+		b.MaxPool(fmt.Sprintf("s%d_pool", stage+1), 2, 2, 0)
+	}
+	b.Dense("fc6", 4096, true)
+	b.ReLU("fc6_relu")
+	b.Dense("fc7", 4096, true)
+	b.ReLU("fc7_relu")
+	b.Dense("fc8", 1000, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+// buildVGGS constructs VGG-S (Chatfield et al., "Return of the Devil in
+// the Details"): 5 convs (96/7x7s2, 256/5x5, 3x 512/3x3) with aggressive
+// 3x3-stride-3 pooling and the 4096-4096-1000 classifier. Padding is
+// chosen so the feature map entering fc6 is 512x6x6 at 224x224 input,
+// reproducing the implementation's 102.9 M parameters (Caffe ceil-mode
+// pooling emulated with explicit padding).
+func buildVGGS(opts nn.Options, input int) *graph.Graph {
+	b := nn.NewBuilder("vgg-s", opts, 3, input, input)
+	b.Conv2D("conv1", 96, 7, 2, 2, true)
+	b.ReLU("relu1")
+	b.MaxPool("pool1", 3, 3, 0)
+	b.Conv2D("conv2", 256, 5, 1, 2, true)
+	b.ReLU("relu2")
+	b.MaxPool("pool2", 2, 2, 1)
+	b.Conv2D("conv3", 512, 3, 1, 1, true)
+	b.ReLU("relu3")
+	b.Conv2D("conv4", 512, 3, 1, 1, true)
+	b.ReLU("relu4")
+	b.Conv2D("conv5", 512, 3, 1, 1, true)
+	b.ReLU("relu5")
+	b.MaxPool("pool5", 3, 3, 0)
+	b.Dense("fc6", 4096, true)
+	b.ReLU("fc6_relu")
+	b.Dense("fc7", 4096, true)
+	b.ReLU("fc7_relu")
+	b.Dense("fc8", 1000, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:         "VGG16",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   15.47,
+		PaperParamsM: 138.36,
+		Class:        Recognition,
+		build: func(o nn.Options) *graph.Graph {
+			return buildVGG(o, "vgg16", [5]int{2, 2, 3, 3, 3})
+		},
+	})
+	register(&Spec{
+		Name:         "VGG19",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   19.63,
+		PaperParamsM: 143.66,
+		Class:        Recognition,
+		build: func(o nn.Options) *graph.Graph {
+			return buildVGG(o, "vgg19", [5]int{2, 2, 4, 4, 4})
+		},
+	})
+	register(&Spec{
+		Name:         "VGG-S",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   3.27,
+		PaperParamsM: 102.91,
+		Class:        Recognition,
+		Notes:        "Caffe ceil-mode pooling emulated with explicit pads to keep the canonical 512x6x6 fc6 input.",
+		build: func(o nn.Options) *graph.Graph {
+			return buildVGGS(o, 224)
+		},
+	})
+	register(&Spec{
+		Name:         "VGG-S-32",
+		InputShape:   []int{3, 32, 32},
+		PaperGFLOP:   0.11,
+		PaperParamsM: 32.11,
+		Class:        Recognition,
+		Notes:        "Same trunk at 32x32; fc6 consumes a 512x1x1 map, so parameters land ~8% under the paper's 32.11 M.",
+		build: func(o nn.Options) *graph.Graph {
+			return buildVGGS(o, 32)
+		},
+	})
+}

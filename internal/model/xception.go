@@ -1,0 +1,88 @@
+package model
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// xsep appends a Keras-style SeparableConv2D + BN: depthwise 3x3 (same)
+// then pointwise 1x1, one batch-norm after the pair, no intermediate
+// activation.
+func xsep(b *nn.Builder, name string, cout int) *graph.Node {
+	b.DepthwiseConv2D(name+"_dw", 3, 1, 1, false)
+	b.Conv2D(name+"_pw", cout, 1, 1, 0, false)
+	return b.BatchNorm(name + "_bn")
+}
+
+// xentryBlock appends one Xception entry-flow module: optional leading
+// ReLU, two separable convs, 3x3/2 max pool, and a strided 1x1 residual
+// projection.
+func xentryBlock(b *nn.Builder, name string, cout int, leadingReLU bool) *graph.Node {
+	in := b.Current()
+	if leadingReLU {
+		b.ReLU(name + "_pre_relu")
+	}
+	xsep(b, name+"_sep1", cout)
+	b.ReLU(name + "_relu")
+	xsep(b, name+"_sep2", cout)
+	main := b.MaxPool(name+"_pool", 3, 2, 1)
+
+	b.From(in).Conv2D(name+"_skip_conv", cout, 1, 2, 0, false)
+	skip := b.BatchNorm(name + "_skip_bn")
+	return b.Add(name+"_add", main, skip)
+}
+
+// buildXception constructs Xception (Chollet 2017) at its native 299x299:
+// entry flow to 728 channels, 8 middle-flow residual modules, exit flow
+// to 2048 channels, classifier.
+func buildXception(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("xception", opts, 3, 224, 224)
+	// Entry flow.
+	cbr(b, "stem1", 32, 3, 2, 0) // 111
+	cbr(b, "stem2", 64, 3, 1, 0) // 109
+	xentryBlock(b, "entry128", 128, false)
+	xentryBlock(b, "entry256", 256, true)
+	xentryBlock(b, "entry728", 728, true)
+	// Middle flow: 8 modules of 3 separable convs with identity residual.
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("mid%d", i+1)
+		in := b.Current()
+		for j := 1; j <= 3; j++ {
+			b.ReLU(fmt.Sprintf("%s_relu%d", name, j))
+			xsep(b, fmt.Sprintf("%s_sep%d", name, j), 728)
+		}
+		b.Add(name+"_add", in, b.Current())
+	}
+	// Exit flow.
+	in := b.Current()
+	b.ReLU("exit_pre_relu")
+	xsep(b, "exit_sep1", 728)
+	b.ReLU("exit_relu1")
+	xsep(b, "exit_sep2", 1024)
+	main := b.MaxPool("exit_pool", 3, 2, 1)
+	b.From(in).Conv2D("exit_skip_conv", 1024, 1, 2, 0, false)
+	skip := b.BatchNorm("exit_skip_bn")
+	b.Add("exit_add", main, skip)
+
+	xsep(b, "exit_sep3", 1536)
+	b.ReLU("exit_relu3")
+	xsep(b, "exit_sep4", 2048)
+	b.ReLU("exit_relu4")
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 1000, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:         "Xception",
+		InputShape:   []int{3, 224, 224},
+		PaperGFLOP:   4.65,
+		PaperParamsM: 22.91,
+		Class:        Recognition,
+		build:        func(o nn.Options) *graph.Graph { return buildXception(o) },
+	})
+}

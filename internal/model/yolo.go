@@ -1,0 +1,125 @@
+package model
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+)
+
+// dbl appends the DarkNet conv building block: conv + BN + LeakyReLU(0.1).
+func dbl(b *nn.Builder, name string, cout, k, stride int) *graph.Node {
+	pad := 0
+	if k == 3 {
+		pad = 1
+	}
+	b.Conv2D(name, cout, k, stride, pad, false)
+	b.BatchNorm(name + "_bn")
+	return b.LeakyReLU(name+"_leaky", 0.1)
+}
+
+// darkResidual appends a Darknet-53 residual unit: 1x1 squeeze to half
+// the channels, 3x3 restore, identity add.
+func darkResidual(b *nn.Builder, name string, channels int) *graph.Node {
+	in := b.Current()
+	dbl(b, name+"_1", channels/2, 1, 1)
+	dbl(b, name+"_2", channels, 3, 1)
+	return b.Add(name+"_add", in, b.Current())
+}
+
+// buildYOLOv3 constructs YOLOv3 on the Darknet-53 backbone with three
+// detection scales, at the published 320x320 configuration whose 2xMAC
+// count is Table I's 38.97 GFLOP.
+func buildYOLOv3(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("yolov3", opts, 3, 320, 320)
+	dbl(b, "conv0", 32, 3, 1)
+
+	stage := func(name string, channels, blocks int) *graph.Node {
+		dbl(b, name+"_down", channels, 3, 2)
+		for i := 0; i < blocks; i++ {
+			darkResidual(b, fmt.Sprintf("%s_res%d", name, i+1), channels)
+		}
+		return b.Current()
+	}
+	stage("s1", 64, 1)
+	stage("s2", 128, 2)
+	route36 := stage("s3", 256, 8) // 40x40, 256ch
+	route61 := stage("s4", 512, 8) // 20x20, 512ch
+	stage("s5", 1024, 4)           // 10x10, 1024ch
+
+	// Detection head helper: the 5-conv neck, then the 3x3 + linear 1x1
+	// detection pair (255 = 3 anchors x (80 classes + 5)).
+	neck := func(name string, filters int) *graph.Node {
+		dbl(b, name+"_1", filters, 1, 1)
+		dbl(b, name+"_2", filters*2, 3, 1)
+		dbl(b, name+"_3", filters, 1, 1)
+		dbl(b, name+"_4", filters*2, 3, 1)
+		return dbl(b, name+"_5", filters, 1, 1)
+	}
+	detect := func(name string, filters int) *graph.Node {
+		dbl(b, name+"_conv", filters*2, 3, 1)
+		return b.Conv2D(name+"_out", 255, 1, 1, 0, true)
+	}
+
+	n1 := neck("neck1", 512)
+	d1 := detect("detect1", 512)
+
+	dbl(b.From(n1), "up1_conv", 256, 1, 1)
+	b.Upsample("up1", 2)
+	b.Concat("route1", b.Current(), route61)
+	n2 := neck("neck2", 256)
+	d2 := detect("detect2", 256)
+
+	dbl(b.From(n2), "up2_conv", 128, 1, 1)
+	b.Upsample("up2", 2)
+	b.Concat("route2", b.Current(), route36)
+	neck("neck3", 128)
+	d3 := detect("detect3", 128)
+
+	b.MarkOutput(d1).MarkOutput(d2)
+	return b.From(d3).Build()
+}
+
+// buildTinyYolo constructs Tiny-YOLO (the tiny-yolo-voc DarkNet network:
+// nine convolutions with five 2x2 pools) at 416x416. Its 15.87 M
+// parameters match Table I exactly; the paper's 5.56 GFLOP entry tracks
+// the tiny-yolov3 tool output, so our 2xMAC count runs ~25% above it
+// (documented in EXPERIMENTS.md). DarkNet's stride-1 boundary pool is
+// emulated with a same-padded 3x3 stride-1 pool.
+func buildTinyYolo(opts nn.Options) *graph.Graph {
+	b := nn.NewBuilder("tinyyolo", opts, 3, 416, 416)
+	widths := []int{16, 32, 64, 128, 256}
+	for i, w := range widths {
+		dbl(b, fmt.Sprintf("conv%d", i+1), w, 3, 1)
+		b.MaxPool(fmt.Sprintf("pool%d", i+1), 2, 2, 0)
+	}
+	dbl(b, "conv6", 512, 3, 1)
+	b.MaxPool("pool6", 3, 1, 1) // stride-1 "same" pool at 13x13
+	dbl(b, "conv7", 1024, 3, 1)
+	dbl(b, "conv8", 1024, 3, 1)
+	b.Conv2D("detect", 125, 1, 1, 0, true) // 5 anchors x (20 classes + 5)
+	return b.Build()
+}
+
+func init() {
+	register(&Spec{
+		Name:           "YOLOv3",
+		InputShape:     []int{3, 320, 320},
+		PaperGFLOP:     38.97,
+		PaperParamsM:   62.00,
+		FLOPConvention: 2,
+		Class:          Video,
+		Notes:          "DarkNet convention: FLOP = 2 x MAC; 320x320 input reproduces the published 38.97 GFLOP.",
+		build:          func(o nn.Options) *graph.Graph { return buildYOLOv3(o) },
+	})
+	register(&Spec{
+		Name:           "TinyYolo",
+		InputShape:     []int{3, 416, 416},
+		PaperGFLOP:     5.56,
+		PaperParamsM:   15.87,
+		FLOPConvention: 2,
+		Class:          Video,
+		Notes:          "Parameters match tiny-yolo-voc exactly; the paper's FLOP entry appears sourced from tiny-yolov3, so our 2xMAC count is ~25% higher.",
+		build:          func(o nn.Options) *graph.Graph { return buildTinyYolo(o) },
+	})
+}

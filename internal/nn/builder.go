@@ -1,0 +1,368 @@
+// Package nn provides a fluent layer-level builder over the graph IR.
+// Model definitions (internal/model) use it to express architectures the
+// way framework users do — Conv/BN/ReLU chains, residual blocks, Inception
+// branches — while the builder takes care of shape inference, parameter
+// bookkeeping, and optional weight materialization.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+// Builder incrementally constructs a computation graph. The builder keeps
+// a cursor (the node new layers consume); branching models capture node
+// handles and re-seat the cursor with From.
+type Builder struct {
+	g   *Graph
+	cur *graph.Node
+	rng *rand.Rand
+
+	// materialize controls whether layers allocate real weight tensors.
+	materialize bool
+}
+
+// Graph aliases graph.Graph so callers of nn need not import both
+// packages for the common build-then-run flow.
+type Graph = graph.Graph
+
+// Options configures builder behaviour.
+type Options struct {
+	// Materialize allocates and randomizes real weights so the graph can
+	// be executed numerically. Leave false for timing/cost experiments on
+	// large models.
+	Materialize bool
+	// Seed drives weight initialization when materializing.
+	Seed int64
+}
+
+// NewBuilder starts a graph with the given input shape ([C,H,W] for image
+// models, [C,D,H,W] for video models).
+func NewBuilder(name string, opts Options, inputShape ...int) *Builder {
+	g := graph.New(name, inputShape...)
+	return &Builder{
+		g:           g,
+		cur:         g.Input,
+		rng:         stats.NewRNG(opts.Seed),
+		materialize: opts.Materialize,
+	}
+}
+
+// Current returns the cursor node (the most recent layer output).
+func (b *Builder) Current() *graph.Node { return b.cur }
+
+// From re-seats the cursor on n so the next layer consumes it.
+func (b *Builder) From(n *graph.Node) *Builder {
+	b.cur = n
+	return b
+}
+
+// MarkOutput registers n as an additional graph output (detection heads).
+// The primary output remains the cursor at Build time.
+func (b *Builder) MarkOutput(n *graph.Node) *Builder {
+	b.g.Extra = append(b.g.Extra, n)
+	return b
+}
+
+// Build finalizes and validates the graph, returning it. It panics on
+// invariant violations: model definitions are code, so a bad graph is a
+// bug, not input error.
+func (b *Builder) Build() *Graph {
+	b.g.Output = b.cur
+	if err := b.g.Validate(); err != nil {
+		panic("nn: " + err.Error())
+	}
+	return b.g
+}
+
+func (b *Builder) add(n *graph.Node) *graph.Node {
+	if len(n.Inputs) == 0 && n.Kind != graph.OpInput {
+		n.Inputs = []*graph.Node{b.cur}
+	}
+	b.g.Add(n)
+	b.cur = n
+	return n
+}
+
+// newWeights materializes a randomized weight tensor when the builder is
+// in materialize mode, using He-style scaling by fan-in for stable
+// activations through deep stacks.
+func (b *Builder) newWeights(shape tensor.Shape, fanIn int) *tensor.Tensor {
+	if !b.materialize {
+		return nil
+	}
+	scale := float32(math.Sqrt(2 / float64(fanIn)))
+	return tensor.New(shape...).Randomize(b.rng, scale)
+}
+
+func (b *Builder) newBias(n int) []float32 {
+	if !b.materialize {
+		return nil
+	}
+	return make([]float32, n)
+}
+
+// Conv2D appends a 2-D convolution with cout filters of size k, given
+// stride and padding. withBias controls the additive bias term (layers
+// followed by BN conventionally omit it).
+func (b *Builder) Conv2D(name string, cout, k, stride, pad int, withBias bool) *graph.Node {
+	return b.Conv2DG(name, cout, k, stride, pad, 1, withBias)
+}
+
+// Conv2DG appends a grouped 2-D convolution: input and output channels
+// are split into `groups` independent slices (AlexNet's conv2/4/5 layout).
+func (b *Builder) Conv2DG(name string, cout, k, stride, pad, groups int, withBias bool) *graph.Node {
+	cin := b.cur.OutShape[0]
+	if groups < 1 {
+		groups = 1
+	}
+	if cin%groups != 0 || cout%groups != 0 {
+		panic("nn: channels not divisible by groups")
+	}
+	n := &graph.Node{
+		Name:   name,
+		Kind:   graph.OpConv2D,
+		Attrs:  graph.Attrs{Stride: stride, Pad: pad, Groups: groups},
+		WShape: tensor.Shape{cout, cin / groups, k, k},
+	}
+	n.Weights = b.newWeights(n.WShape, cin/groups*k*k)
+	if withBias {
+		n.BiasLen = cout
+		n.Bias = b.newBias(cout)
+	}
+	return b.add(n)
+}
+
+// DepthwiseConv2D appends a depthwise convolution with one kxk filter per
+// channel.
+func (b *Builder) DepthwiseConv2D(name string, k, stride, pad int, withBias bool) *graph.Node {
+	c := b.cur.OutShape[0]
+	n := &graph.Node{
+		Name:   name,
+		Kind:   graph.OpDepthwiseConv2D,
+		Attrs:  graph.Attrs{Stride: stride, Pad: pad},
+		WShape: tensor.Shape{c, k, k},
+	}
+	n.Weights = b.newWeights(n.WShape, k*k)
+	if withBias {
+		n.BiasLen = c
+		n.Bias = b.newBias(c)
+	}
+	return b.add(n)
+}
+
+// Conv2DRect appends a convolution with a rectangular kh x kw kernel and
+// per-axis padding — Inception-v4's factorized 1x7/7x1 convolutions.
+func (b *Builder) Conv2DRect(name string, cout, kh, kw, stride, padH, padW int, withBias bool) *graph.Node {
+	cin := b.cur.OutShape[0]
+	n := &graph.Node{
+		Name:   name,
+		Kind:   graph.OpConv2D,
+		Attrs:  graph.Attrs{Stride: stride, PadH: padH, PadW: padW, Asym: true},
+		WShape: tensor.Shape{cout, cin, kh, kw},
+	}
+	n.Weights = b.newWeights(n.WShape, cin*kh*kw)
+	if withBias {
+		n.BiasLen = cout
+		n.Bias = b.newBias(cout)
+	}
+	return b.add(n)
+}
+
+// Conv3D appends a 3-D convolution with cout filters of size kxkxk.
+func (b *Builder) Conv3D(name string, cout, k, stride, pad int, withBias bool) *graph.Node {
+	cin := b.cur.OutShape[0]
+	n := &graph.Node{
+		Name:   name,
+		Kind:   graph.OpConv3D,
+		Attrs:  graph.Attrs{Stride: stride, Pad: pad},
+		WShape: tensor.Shape{cout, cin, k, k, k},
+	}
+	n.Weights = b.newWeights(n.WShape, cin*k*k*k)
+	if withBias {
+		n.BiasLen = cout
+		n.Bias = b.newBias(cout)
+	}
+	return b.add(n)
+}
+
+// SeparableConv2D appends the depthwise-separable pair (depthwise kxk then
+// pointwise 1x1) used by Xception and the MobileNets, returning the
+// pointwise node.
+func (b *Builder) SeparableConv2D(name string, cout, k, stride, pad int) *graph.Node {
+	b.DepthwiseConv2D(name+"_dw", k, stride, pad, false)
+	b.BatchNorm(name + "_dw_bn")
+	b.ReLU(name + "_dw_relu")
+	pw := b.Conv2D(name+"_pw", cout, 1, 1, 0, false)
+	return pw
+}
+
+// Dense appends a fully-connected layer producing out features. The input
+// is flattened implicitly if it is not already rank 1.
+func (b *Builder) Dense(name string, out int, withBias bool) *graph.Node {
+	if len(b.cur.OutShape) != 1 {
+		b.Flatten(name + "_flatten")
+	}
+	in := b.cur.OutShape[0]
+	n := &graph.Node{
+		Name:   name,
+		Kind:   graph.OpDense,
+		WShape: tensor.Shape{out, in},
+	}
+	n.Weights = b.newWeights(n.WShape, in)
+	if withBias {
+		n.BiasLen = out
+		n.Bias = b.newBias(out)
+	}
+	return b.add(n)
+}
+
+// LSTM appends a recurrent layer over a [T, F] sequence, emitting the
+// final hidden state of the given width (packed-gate weight layout,
+// paper §II future work).
+func (b *Builder) LSTM(name string, hidden int, withBias bool) *graph.Node {
+	in := b.cur.OutShape
+	if len(in) != 2 {
+		panic("nn: LSTM input must be a [T, F] sequence")
+	}
+	n := &graph.Node{
+		Name:   name,
+		Kind:   graph.OpLSTM,
+		WShape: tensor.Shape{4 * hidden, in[1] + hidden},
+	}
+	n.Weights = b.newWeights(n.WShape, in[1]+hidden)
+	if withBias {
+		n.BiasLen = 4 * hidden
+		n.Bias = b.newBias(4 * hidden)
+	}
+	return b.add(n)
+}
+
+// BatchNorm appends inference-mode batch normalization over the cursor's
+// channel dimension.
+func (b *Builder) BatchNorm(name string) *graph.Node {
+	c := b.cur.OutShape[0]
+	n := &graph.Node{Name: name, Kind: graph.OpBatchNorm, BNChannels: c}
+	if b.materialize {
+		p := &graph.BNParams{
+			Gamma:    make([]float32, c),
+			Beta:     make([]float32, c),
+			Mean:     make([]float32, c),
+			Variance: make([]float32, c),
+			Eps:      1e-5,
+		}
+		for i := 0; i < c; i++ {
+			p.Gamma[i] = 1 + 0.1*(b.rng.Float32()-0.5)
+			p.Beta[i] = 0.1 * (b.rng.Float32() - 0.5)
+			p.Mean[i] = 0.1 * (b.rng.Float32() - 0.5)
+			p.Variance[i] = 1 + 0.1*b.rng.Float32()
+		}
+		n.BN = p
+	}
+	return b.add(n)
+}
+
+// ReLU appends a rectifier.
+func (b *Builder) ReLU(name string) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpReLU})
+}
+
+// ReLU6 appends the clipped rectifier used by MobileNets.
+func (b *Builder) ReLU6(name string) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpReLU6})
+}
+
+// LeakyReLU appends a leaky rectifier (DarkNet convention alpha=0.1).
+func (b *Builder) LeakyReLU(name string, alpha float32) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpLeakyReLU, Attrs: graph.Attrs{Alpha: alpha}})
+}
+
+// Sigmoid appends a logistic activation.
+func (b *Builder) Sigmoid(name string) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpSigmoid})
+}
+
+// Tanh appends a hyperbolic-tangent activation.
+func (b *Builder) Tanh(name string) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpTanh})
+}
+
+// MaxPool appends kxk max pooling.
+func (b *Builder) MaxPool(name string, k, stride, pad int) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpMaxPool2D,
+		Attrs: graph.Attrs{Kernel: k, Stride: stride, Pad: pad}})
+}
+
+// AvgPool appends kxk average pooling.
+func (b *Builder) AvgPool(name string, k, stride, pad int) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpAvgPool2D,
+		Attrs: graph.Attrs{Kernel: k, Stride: stride, Pad: pad}})
+}
+
+// MaxPool3D appends kxkxk max pooling over video tensors.
+func (b *Builder) MaxPool3D(name string, k, stride int) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpMaxPool3D,
+		Attrs: graph.Attrs{Kernel: k, Stride: stride}})
+}
+
+// MaxPool3DAsym appends 3-D max pooling with an independent temporal
+// kernel/stride and optional spatial padding (C3D's (1,2,2) pool1 and
+// padded pool5).
+func (b *Builder) MaxPool3DAsym(name string, kd, k, sd, s, padSpatial int) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpMaxPool3D,
+		Attrs: graph.Attrs{KernelD: kd, Kernel: k, StrideD: sd, Stride: s, Pad: padSpatial}})
+}
+
+// Shuffle appends a ShuffleNet channel shuffle across the given groups.
+func (b *Builder) Shuffle(name string, groups int) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpShuffle,
+		Attrs: graph.Attrs{Groups: groups}})
+}
+
+// Upsample appends nearest-neighbor upsampling by the given factor.
+func (b *Builder) Upsample(name string, factor int) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpUpsample,
+		Attrs: graph.Attrs{Factor: factor}})
+}
+
+// GlobalAvgPool appends global average pooling down to a channel vector.
+func (b *Builder) GlobalAvgPool(name string) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpGlobalAvgPool})
+}
+
+// Add appends an elementwise sum of two captured nodes (residual join).
+func (b *Builder) Add(name string, x, y *graph.Node) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpAdd, Inputs: []*graph.Node{x, y}})
+}
+
+// Concat appends a channel concatenation of the captured nodes.
+func (b *Builder) Concat(name string, ins ...*graph.Node) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpConcat, Inputs: ins})
+}
+
+// Flatten appends a reshape to rank 1.
+func (b *Builder) Flatten(name string) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpFlatten})
+}
+
+// Softmax appends the classifier head normalization.
+func (b *Builder) Softmax(name string) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpSoftmax})
+}
+
+// Pad appends explicit zero padding.
+func (b *Builder) Pad(name string, p int) *graph.Node {
+	return b.add(&graph.Node{Name: name, Kind: graph.OpPad, Attrs: graph.Attrs{Pad: p}})
+}
+
+// ConvBNReLU appends the ubiquitous conv → batch-norm → ReLU triple and
+// returns the ReLU node.
+func (b *Builder) ConvBNReLU(name string, cout, k, stride, pad int) *graph.Node {
+	b.Conv2D(name+"_conv", cout, k, stride, pad, false)
+	b.BatchNorm(name + "_bn")
+	return b.ReLU(name + "_relu")
+}

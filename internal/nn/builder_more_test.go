@@ -1,0 +1,93 @@
+package nn_test
+
+import (
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+func TestBranchingHelpers(t *testing.T) {
+	b := nn.NewBuilder("t", nn.Options{}, 4, 8, 8)
+	input := b.Current()
+	if input.Kind != graph.OpInput {
+		t.Fatal("Current at start should be the input")
+	}
+	left := b.Conv2D("l", 4, 3, 1, 1, false)
+	right := b.From(input).Conv2D("r", 4, 1, 1, 0, false)
+	sum := b.Add("sum", left, right)
+	if !sum.OutShape.Equal(tensor.Shape{4, 8, 8}) {
+		t.Fatalf("add shape %v", sum.OutShape)
+	}
+	cat := b.Concat("cat", left, right)
+	if !cat.OutShape.Equal(tensor.Shape{8, 8, 8}) {
+		t.Fatalf("concat shape %v", cat.OutShape)
+	}
+	b.Pad("pad", 1)
+	b.Softmax("sm") // softmax over a spatial tensor is legal in the IR
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkOutputKeepsExtras(t *testing.T) {
+	b := nn.NewBuilder("t", nn.Options{}, 2, 6, 6)
+	head1 := b.Conv2D("h1", 2, 1, 1, 0, true)
+	b.MarkOutput(head1)
+	b.Conv2D("h2", 3, 1, 1, 0, true)
+	g := b.Build()
+	if len(g.Extra) != 1 || g.Extra[0] != head1 {
+		t.Fatal("MarkOutput should register the extra head")
+	}
+	before := len(g.Nodes)
+	graph.EliminateDead(g)
+	if len(g.Nodes) != before {
+		t.Fatal("extra output must survive dead-code elimination")
+	}
+}
+
+func TestRectConvShapes(t *testing.T) {
+	b := nn.NewBuilder("t", nn.Options{}, 3, 9, 9)
+	r := b.Conv2DRect("r", 5, 1, 7, 1, 0, 3, false)
+	if !r.OutShape.Equal(tensor.Shape{5, 9, 9}) {
+		t.Fatalf("1x7 same-pad shape %v", r.OutShape)
+	}
+	r2 := b.Conv2DRect("r2", 5, 7, 1, 1, 3, 0, false)
+	if !r2.OutShape.Equal(tensor.Shape{5, 9, 9}) {
+		t.Fatalf("7x1 same-pad shape %v", r2.OutShape)
+	}
+}
+
+func TestLSTMBuilderChecks(t *testing.T) {
+	b := nn.NewBuilder("t", nn.Options{}, 10, 4)
+	l := b.LSTM("l", 6, true)
+	if !l.OutShape.Equal(tensor.Shape{6}) {
+		t.Fatalf("lstm shape %v", l.OutShape)
+	}
+	if l.ParamCount() != int64(4*6*(4+6)+4*6) {
+		t.Fatalf("lstm params %d", l.ParamCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LSTM on a rank-3 input should panic")
+		}
+	}()
+	nn.NewBuilder("bad", nn.Options{}, 3, 4, 4).LSTM("l", 2, false)
+}
+
+func TestMiscBuilders(t *testing.T) {
+	b := nn.NewBuilder("t", nn.Options{}, 4, 8, 8)
+	if b.Upsample("u", 2).OutShape[1] != 16 {
+		t.Fatal("upsample shape")
+	}
+	if b.Shuffle("s", 2).Kind != graph.OpShuffle {
+		t.Fatal("shuffle kind")
+	}
+	b2 := nn.NewBuilder("t2", nn.Options{}, 2, 4, 8, 8)
+	p := b2.MaxPool3DAsym("p", 1, 2, 1, 2, 1)
+	if !p.OutShape.Equal(tensor.Shape{2, 4, 5, 5}) {
+		t.Fatalf("asym pool3d shape %v", p.OutShape)
+	}
+}

@@ -1,0 +1,137 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"edgebench/internal/core"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/power"
+)
+
+// Energy-aware offloading: battery-powered platforms (the drones and
+// robots of §I) care about the edge device's energy per inference, not
+// just latency. Shipping activations costs radio energy, and computing
+// locally costs compute energy; the right split minimizes the battery
+// drain subject to a responsiveness bound.
+
+// TxPowerW is the radio transmit power drawn while shipping activations
+// over a wireless link (typical small-module Wi-Fi/cellular budget).
+const TxPowerW = 0.8
+
+// EnergyPlacement is one split evaluated by edge-side energy.
+type EnergyPlacement struct {
+	Placement
+	// EdgeEnergyJ is the battery cost per inference on the edge device:
+	// compute energy for the head plus radio energy for the transfer.
+	EdgeEnergyJ float64
+}
+
+// EnergyPlan is the energy-aware planner's result.
+type EnergyPlan struct {
+	Model        string
+	EdgeDev      string
+	Remote       string
+	Link         Link
+	LatencyBound float64
+	// Best is the minimum-edge-energy placement meeting the bound; nil
+	// Feasible when nothing meets it.
+	Best     EnergyPlacement
+	Feasible bool
+	// AllEdge is the local-only reference point.
+	AllEdge EnergyPlacement
+}
+
+// NeurosurgeonEnergyAware minimizes the edge device's energy per
+// inference subject to a total-latency bound — the objective a drone's
+// perception payload actually optimizes (§I's UAV scenario).
+func NeurosurgeonEnergyAware(modelName, edgeDev, edgeFw, remoteDev, remoteFw string, link Link, latencyBound float64) (*EnergyPlan, error) {
+	if latencyBound <= 0 {
+		return nil, fmt.Errorf("partition: latency bound must be positive")
+	}
+	spec, ok := model.Get(modelName)
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown model %q", modelName)
+	}
+	g := spec.Build(nn.Options{})
+
+	plan := &EnergyPlan{
+		Model: modelName, EdgeDev: edgeDev, Remote: remoteDev,
+		Link: link, LatencyBound: latencyBound,
+	}
+
+	price := func(gr *graph.Graph, fw, dev string) (*core.Session, error) {
+		return core.NewFromGraph(gr, fw, dev)
+	}
+
+	evaluate := func(head *graph.Graph, transferBytes float64, tail *graph.Graph) (EnergyPlacement, error) {
+		var p EnergyPlacement
+		if head != nil {
+			s, err := price(head, edgeFw, edgeDev)
+			if err != nil {
+				return p, err
+			}
+			p.EdgeSec = s.InferenceSeconds()
+			p.EdgeEnergyJ = power.EnergyPerInferenceJ(s)
+		}
+		if transferBytes > 0 {
+			p.TransferSec = link.TransferSec(transferBytes)
+			p.TransferBytes = transferBytes
+			p.EdgeEnergyJ += TxPowerW * p.TransferSec
+		}
+		if tail != nil {
+			s, err := price(tail, remoteFw, remoteDev)
+			if err != nil {
+				return p, err
+			}
+			p.RemoteSec = s.InferenceSeconds()
+		}
+		p.TotalSec = p.EdgeSec + p.TransferSec + p.RemoteSec
+		return p, nil
+	}
+
+	// All-edge.
+	allEdge, err := evaluate(g, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	allEdge.CutAfter = "(all)"
+	plan.AllEdge = allEdge
+
+	best := EnergyPlacement{EdgeEnergyJ: math.Inf(1)}
+	consider := func(p EnergyPlacement) {
+		if p.TotalSec <= latencyBound && p.EdgeEnergyJ < best.EdgeEnergyJ {
+			best = p
+			plan.Feasible = true
+		}
+	}
+	consider(allEdge)
+
+	// All-cloud: edge pays only the input radio energy.
+	inputBytes := float64(g.Input.OutShape.NumElems() * 4)
+	allCloud, err := evaluate(nil, inputBytes, g)
+	if err != nil {
+		return nil, err
+	}
+	allCloud.CutAfter = ""
+	consider(allCloud)
+
+	for _, cut := range CutPoints(g) {
+		head, tail, err := Split(g, cut)
+		if err != nil {
+			return nil, err
+		}
+		p, err := evaluate(head, cut.TransferBytes, tail)
+		if err != nil {
+			return nil, err
+		}
+		p.CutAfter = cut.After.Name
+		consider(p)
+	}
+	if plan.Feasible {
+		plan.Best = best
+	}
+	return plan, nil
+}

@@ -1,0 +1,87 @@
+package partition_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/partition"
+)
+
+func TestEnergyAwareOffloadSavesBattery(t *testing.T) {
+	// A drone's RPi over Wi-Fi with a relaxed latency bound: offloading
+	// must slash the edge energy vs local execution.
+	plan, err := partition.NeurosurgeonEnergyAware(
+		"ResNet-50", "RPi3", "PyTorch", "GTXTitanX", "PyTorch", partition.WiFi, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("a 1 s bound must be feasible over Wi-Fi")
+	}
+	if plan.Best.EdgeEnergyJ >= plan.AllEdge.EdgeEnergyJ/5 {
+		t.Fatalf("offloading should cut edge energy >5x: best %.2f J vs local %.2f J",
+			plan.Best.EdgeEnergyJ, plan.AllEdge.EdgeEnergyJ)
+	}
+	if plan.Best.TotalSec > plan.LatencyBound {
+		t.Fatal("best placement violates the bound")
+	}
+}
+
+func TestEnergyAwareBoundForcesLocality(t *testing.T) {
+	// Over LTE the input transfer alone takes ~450 ms; a tight 100 ms
+	// bound forces a capable edge device to keep everything local.
+	plan, err := partition.NeurosurgeonEnergyAware(
+		"ResNet-50", "JetsonTX2", "PyTorch", "GTXTitanX", "PyTorch", partition.LTE, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("the TX2 alone meets 100 ms for ResNet-50")
+	}
+	if plan.Best.CutAfter != "(all)" {
+		t.Fatalf("tight bound over LTE should stay local, got cut %q", plan.Best.CutAfter)
+	}
+}
+
+func TestEnergyAwareInfeasible(t *testing.T) {
+	// The RPi cannot run ResNet-50 in 50 ms and LTE cannot ship the
+	// input that fast either: no placement is feasible.
+	plan, err := partition.NeurosurgeonEnergyAware(
+		"ResNet-50", "RPi3", "PyTorch", "GTXTitanX", "PyTorch", partition.LTE, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatalf("50 ms over LTE from an RPi should be infeasible, got %+v", plan.Best)
+	}
+}
+
+func TestEnergyAwareErrors(t *testing.T) {
+	if _, err := partition.NeurosurgeonEnergyAware("ResNet-50", "RPi3", "PyTorch", "Xeon", "PyTorch", partition.WiFi, 0); err == nil {
+		t.Fatal("zero bound should error")
+	}
+	if _, err := partition.NeurosurgeonEnergyAware("NoNet", "RPi3", "PyTorch", "Xeon", "PyTorch", partition.WiFi, 1); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestEnergyAccountingComposition(t *testing.T) {
+	// Edge energy = head compute energy + radio energy; for the
+	// all-cloud placement it is exactly the radio term.
+	plan, err := partition.NeurosurgeonEnergyAware(
+		"ResNet-18", "RPi3", "PyTorch", "GTXTitanX", "PyTorch", partition.WiFi, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the all-cloud placement via a fresh evaluation: its energy
+	// must equal TxPowerW x transfer time.
+	if plan.Best.CutAfter == "" {
+		want := partition.TxPowerW * plan.Best.TransferSec
+		if math.Abs(plan.Best.EdgeEnergyJ-want) > 1e-9 {
+			t.Fatalf("all-cloud edge energy %.4f J != radio %.4f J", plan.Best.EdgeEnergyJ, want)
+		}
+	}
+	if plan.Best.EdgeEnergyJ <= 0 {
+		t.Fatal("edge energy must be positive")
+	}
+}

@@ -1,0 +1,36 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"edgebench/internal/partition"
+)
+
+// ExampleNeurosurgeon reproduces the planner's classic AlexNet-over-LTE
+// result: the optimal placement is a genuine mid-network split.
+func ExampleNeurosurgeon() {
+	plan, err := partition.Neurosurgeon("AlexNet", "RPi3", "PyTorch", "GTXTitanX", "PyTorch", partition.LTE)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("best cut: %s\n", plan.Best.CutAfter)
+	fmt.Printf("ships %.0f KB instead of the %.0f KB input\n",
+		plan.Best.TransferBytes/1024, plan.AllCloud.TransferBytes/1024)
+	// Output:
+	// best cut: pool1
+	// ships 273 KB instead of the 588 KB input
+}
+
+// ExamplePipelinePartition splits a model across two Raspberry Pis,
+// doubling throughput at some latency cost.
+func ExamplePipelinePartition() {
+	plan, err := partition.PipelinePartition("VGG-S", []string{"RPi3", "RPi3"}, "TensorFlow", partition.Ethernet)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d stages, throughput speedup %.2fx\n", len(plan.Stages), plan.ThroughputSpeedup())
+	// Output:
+	// 2 stages, throughput speedup 1.78x
+}

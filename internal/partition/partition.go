@@ -1,0 +1,290 @@
+// Package partition implements collaborative DNN inference across
+// devices — the third research direction the paper's related-work
+// section surveys (§VIII): Neurosurgeon's edge-cloud layer split and the
+// authors' own model-parallel distribution across edge devices.
+//
+// A model graph is cut at an articulation point (a node whose value is
+// the only live tensor crossing the boundary); the head runs on one
+// device, the activation crosses a network link, and the tail runs on
+// another. The planner enumerates every legal cut and returns the
+// latency-optimal placement, reproducing Neurosurgeon's core result:
+// depending on the model's activation-size profile and the link, the
+// best split is sometimes all-edge, sometimes all-cloud, and sometimes
+// genuinely in the middle.
+package partition
+
+import (
+	"fmt"
+
+	"edgebench/internal/core"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+)
+
+// Link models a network between the edge device and the remote helper.
+type Link struct {
+	Name string
+	// BandwidthBps is the usable payload bandwidth in bytes/second.
+	BandwidthBps float64
+	// LatencySec is the one-way message latency.
+	LatencySec float64
+}
+
+// TransferSec returns the time to ship bytes across the link.
+func (l Link) TransferSec(bytes float64) float64 {
+	if l.BandwidthBps <= 0 {
+		return 0
+	}
+	return l.LatencySec + bytes/l.BandwidthBps
+}
+
+// Standard links used by the experiments.
+var (
+	// WiFi approximates 802.11n at realistic goodput.
+	WiFi = Link{Name: "wifi", BandwidthBps: 5e6, LatencySec: 2e-3}
+	// LTE approximates a cellular uplink.
+	LTE = Link{Name: "lte", BandwidthBps: 1.5e6, LatencySec: 50e-3}
+	// Ethernet approximates wired 1 GbE goodput.
+	Ethernet = Link{Name: "ethernet", BandwidthBps: 100e6, LatencySec: 0.5e-3}
+)
+
+// CutPoint is a legal split position.
+type CutPoint struct {
+	// After is the last head node; its output crosses the link.
+	After *graph.Node
+	// Index is After's position in the node list.
+	Index int
+	// TransferBytes is the activation payload (FP32).
+	TransferBytes float64
+}
+
+// CutPoints returns every articulation point of the graph: positions
+// where exactly one tensor is live across the boundary. Residual and
+// Inception models only admit cuts between blocks — exactly the
+// constraint real partitioners face.
+func CutPoints(g *graph.Graph) []CutPoint {
+	// consumersAfter[i] = true if some node beyond position i consumes
+	// the node at position <= i.
+	pos := make(map[*graph.Node]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		pos[n] = i
+	}
+	roots := map[*graph.Node]bool{}
+	for _, r := range g.Roots() {
+		roots[r] = true
+	}
+	var out []CutPoint
+	for i, n := range g.Nodes {
+		if i == len(g.Nodes)-1 {
+			break // cutting after the output is not a split
+		}
+		// Live set at boundary i: nodes at <= i consumed by nodes > i,
+		// plus any root at <= i (its value must still be delivered).
+		live := map[*graph.Node]bool{}
+		for j := i + 1; j < len(g.Nodes); j++ {
+			for _, in := range g.Nodes[j].Inputs {
+				if pos[in] <= i {
+					live[in] = true
+				}
+			}
+		}
+		for r := range roots {
+			if pos[r] <= i {
+				live[r] = true
+			}
+		}
+		if len(live) == 1 && live[n] {
+			out = append(out, CutPoint{
+				After:         n,
+				Index:         i,
+				TransferBytes: float64(n.OutShape.NumElems() * 4),
+			})
+		}
+	}
+	return out
+}
+
+// Split rebuilds the model's prefix up to and including cut as a
+// standalone head graph, and the suffix as a tail graph with a fresh
+// input of the cut's shape. Both preserve node structure (names, shapes,
+// attributes) so the cost model prices them exactly like the original
+// layers; parameters stay structural — use CopyParams to materialize a
+// split for numeric execution.
+func Split(g *graph.Graph, cut CutPoint) (head, tail *graph.Graph, err error) {
+	head = &graph.Graph{Name: g.Name + "/head", Mode: g.Mode}
+	mapping := map[*graph.Node]*graph.Node{}
+	cloneInto := func(dst *graph.Graph, n *graph.Node) *graph.Node {
+		cp := &graph.Node{
+			Name: n.Name, Kind: n.Kind, Attrs: n.Attrs,
+			WShape: n.WShape.Clone(), BiasLen: n.BiasLen, BNChannels: n.BNChannels,
+			OutShape: n.OutShape.Clone(), DType: n.DType,
+			Activation: n.Activation, FusedBN: n.FusedBN, Sparsity: n.Sparsity,
+		}
+		for _, in := range n.Inputs {
+			m, ok := mapping[in]
+			if !ok {
+				return nil
+			}
+			cp.Inputs = append(cp.Inputs, m)
+		}
+		dst.Nodes = append(dst.Nodes, cp)
+		cp.ID = len(dst.Nodes)
+		mapping[n] = cp
+		return cp
+	}
+	for i := 0; i <= cut.Index; i++ {
+		cp := cloneInto(head, g.Nodes[i])
+		if cp == nil {
+			return nil, nil, fmt.Errorf("partition: head references a node outside the prefix")
+		}
+		if g.Nodes[i].Kind == graph.OpInput {
+			head.Input = cp
+		}
+		head.Output = cp
+	}
+
+	tail = &graph.Graph{Name: g.Name + "/tail", Mode: g.Mode}
+	bridge := &graph.Node{Kind: graph.OpInput, Name: "cut_input", OutShape: cut.After.OutShape.Clone()}
+	tail.Nodes = append(tail.Nodes, bridge)
+	tail.Input = bridge
+	tail.Output = bridge
+	mapping = map[*graph.Node]*graph.Node{cut.After: bridge}
+	for i := cut.Index + 1; i < len(g.Nodes); i++ {
+		cp := cloneInto(tail, g.Nodes[i])
+		if cp == nil {
+			return nil, nil, fmt.Errorf("partition: tail references a non-cut prefix node")
+		}
+		tail.Output = cp
+	}
+	for _, r := range g.Extra {
+		if m, ok := mapping[r]; ok {
+			tail.Extra = append(tail.Extra, m)
+		}
+	}
+	if err := head.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("partition: head: %w", err)
+	}
+	if err := tail.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("partition: tail: %w", err)
+	}
+	return head, tail, nil
+}
+
+// CopyParams transfers materialized parameters from the source graph
+// into split graphs by node name, enabling numeric execution of a
+// partition. Nodes missing from a part (they belong to the other side)
+// are skipped.
+func CopyParams(src *graph.Graph, parts ...*graph.Graph) {
+	byName := map[string]*graph.Node{}
+	for _, n := range src.Nodes {
+		byName[n.Name] = n
+	}
+	for _, part := range parts {
+		for _, n := range part.Nodes {
+			orig, ok := byName[n.Name]
+			if !ok {
+				continue
+			}
+			n.Weights = orig.Weights
+			n.Bias = orig.Bias
+			n.BN = orig.BN
+		}
+	}
+}
+
+// Placement describes one evaluated split.
+type Placement struct {
+	// CutAfter names the last edge-side layer; empty means all-remote,
+	// "(all)" means all-edge.
+	CutAfter      string
+	EdgeSec       float64
+	TransferSec   float64
+	RemoteSec     float64
+	TotalSec      float64
+	TransferBytes float64
+}
+
+// Plan holds the planner's full evaluation.
+type Plan struct {
+	Model    string
+	EdgeDev  string
+	Remote   string
+	Link     Link
+	Best     Placement
+	AllEdge  Placement
+	AllCloud Placement
+	// Evaluated lists every legal placement, cut order first.
+	Evaluated []Placement
+}
+
+// Neurosurgeon finds the latency-optimal split of modelName between an
+// edge device and a remote helper across the link, including the
+// degenerate all-edge and all-remote placements. Frameworks are chosen
+// per side (the edge runs its framework, the remote its own).
+func Neurosurgeon(modelName, edgeDev, edgeFw, remoteDev, remoteFw string, link Link) (*Plan, error) {
+	spec, ok := model.Get(modelName)
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown model %q", modelName)
+	}
+	g := spec.Build(nn.Options{})
+
+	inputBytes := float64(g.Input.OutShape.NumElems() * 4)
+	plan := &Plan{Model: modelName, EdgeDev: edgeDev, Remote: remoteDev, Link: link}
+
+	priceOn := func(gr *graph.Graph, fw, dev string) (float64, error) {
+		s, err := core.NewFromGraph(gr, fw, dev)
+		if err != nil {
+			return 0, err
+		}
+		return s.InferenceSeconds(), nil
+	}
+
+	edgeAll, err := priceOn(g, edgeFw, edgeDev)
+	if err != nil {
+		return nil, err
+	}
+	plan.AllEdge = Placement{CutAfter: "(all)", EdgeSec: edgeAll, TotalSec: edgeAll}
+
+	remoteAll, err := priceOn(g, remoteFw, remoteDev)
+	if err != nil {
+		return nil, err
+	}
+	up := link.TransferSec(inputBytes)
+	plan.AllCloud = Placement{
+		CutAfter: "", EdgeSec: 0, TransferSec: up, RemoteSec: remoteAll,
+		TotalSec: up + remoteAll, TransferBytes: inputBytes,
+	}
+
+	plan.Best = plan.AllEdge
+	if plan.AllCloud.TotalSec < plan.Best.TotalSec {
+		plan.Best = plan.AllCloud
+	}
+	plan.Evaluated = append(plan.Evaluated, plan.AllCloud)
+
+	for _, cut := range CutPoints(g) {
+		head, tail, err := Split(g, cut)
+		if err != nil {
+			return nil, err
+		}
+		eh, err := priceOn(head, edgeFw, edgeDev)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := priceOn(tail, remoteFw, remoteDev)
+		if err != nil {
+			return nil, err
+		}
+		tr := link.TransferSec(cut.TransferBytes)
+		p := Placement{
+			CutAfter: cut.After.Name, EdgeSec: eh, TransferSec: tr,
+			RemoteSec: rt, TotalSec: eh + tr + rt, TransferBytes: cut.TransferBytes,
+		}
+		plan.Evaluated = append(plan.Evaluated, p)
+		if p.TotalSec < plan.Best.TotalSec {
+			plan.Best = p
+		}
+	}
+	plan.Evaluated = append(plan.Evaluated, plan.AllEdge)
+	return plan, nil
+}

@@ -1,0 +1,196 @@
+package partition_test
+
+import (
+	"strings"
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/partition"
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+func TestLinkTransfer(t *testing.T) {
+	l := partition.Link{BandwidthBps: 1e6, LatencySec: 0.01}
+	if got := l.TransferSec(1e6); got != 1.01 {
+		t.Fatalf("TransferSec = %v", got)
+	}
+	if (partition.Link{}).TransferSec(100) != 0 {
+		t.Fatal("zero-bandwidth link should cost nothing (disabled)")
+	}
+	if partition.WiFi.BandwidthBps <= partition.LTE.BandwidthBps {
+		t.Fatal("WiFi should outrun LTE")
+	}
+	if partition.Ethernet.BandwidthBps <= partition.WiFi.BandwidthBps {
+		t.Fatal("Ethernet should outrun WiFi")
+	}
+}
+
+func TestCutPointsChain(t *testing.T) {
+	// A pure chain admits a cut after every node but the last.
+	b := nn.NewBuilder("chain", nn.Options{}, 3, 8, 8)
+	b.Conv2D("c1", 4, 3, 1, 1, true)
+	b.ReLU("r1")
+	b.Conv2D("c2", 8, 3, 1, 1, true)
+	b.GlobalAvgPool("gap")
+	g := b.Build()
+	cuts := partition.CutPoints(g)
+	if len(cuts) != len(g.Nodes)-1 {
+		t.Fatalf("chain cuts = %d, want %d", len(cuts), len(g.Nodes)-1)
+	}
+	// Transfer bytes follow the activation shapes.
+	if cuts[1].TransferBytes != float64(4*8*8*4) {
+		t.Fatalf("transfer bytes after c1 = %v", cuts[1].TransferBytes)
+	}
+}
+
+func TestCutPointsRespectResiduals(t *testing.T) {
+	// Inside a residual block two tensors are live, so no cut may fall
+	// there; cuts exist only at block boundaries.
+	b := nn.NewBuilder("res", nn.Options{}, 4, 8, 8)
+	pre := b.Conv2D("pre", 4, 3, 1, 1, true)
+	b.Conv2D("body", 4, 3, 1, 1, true)
+	b.Add("join", pre, b.Current())
+	b.ReLU("out")
+	g := b.Build()
+	cuts := partition.CutPoints(g)
+	for _, c := range cuts {
+		if c.After.Name == "body" {
+			t.Fatal("cut inside residual block must be illegal")
+		}
+	}
+	names := map[string]bool{}
+	for _, c := range cuts {
+		names[c.After.Name] = true
+	}
+	for _, want := range []string{"input", "pre", "join"} {
+		if !names[want] {
+			t.Errorf("expected legal cut after %q", want)
+		}
+	}
+}
+
+func TestResNetCutsAtBlockBoundaries(t *testing.T) {
+	g := model.MustGet("ResNet-18").Build(nn.Options{})
+	cuts := partition.CutPoints(g)
+	if len(cuts) < 8 {
+		t.Fatalf("ResNet-18 should admit at least its block boundaries, got %d", len(cuts))
+	}
+	for _, c := range cuts {
+		// No cut may land inside a residual block, where the block input
+		// is still live for the shortcut. Block-internal conv/bn names
+		// contain "_a_" or "_b_".
+		if strings.Contains(c.After.Name, "_a_") || strings.Contains(c.After.Name, "_b_conv") {
+			t.Fatalf("cut after %s lands inside a residual block", c.After)
+		}
+	}
+}
+
+func TestNeurosurgeonPlanStructure(t *testing.T) {
+	plan, err := partition.Neurosurgeon("ResNet-18", "RPi3", "PyTorch", "GTXTitanX", "PyTorch", partition.WiFi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AllEdge.TotalSec <= 0 || plan.AllCloud.TotalSec <= 0 {
+		t.Fatal("degenerate placements must be priced")
+	}
+	if plan.Best.TotalSec > plan.AllEdge.TotalSec || plan.Best.TotalSec > plan.AllCloud.TotalSec {
+		t.Fatal("best placement cannot lose to a degenerate one")
+	}
+	if len(plan.Evaluated) < 10 {
+		t.Fatalf("only %d placements evaluated", len(plan.Evaluated))
+	}
+	// Every evaluated placement's total must be the sum of its parts.
+	for _, p := range plan.Evaluated {
+		if diff := p.TotalSec - (p.EdgeSec + p.TransferSec + p.RemoteSec); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("placement %q total inconsistent", p.CutAfter)
+		}
+	}
+}
+
+func TestNeurosurgeonLinkSensitivity(t *testing.T) {
+	// Neurosurgeon's headline behaviour: on a fast link the cloud wins;
+	// as the link degrades, computation moves toward the edge.
+	fast, err := partition.Neurosurgeon("VGG16", "JetsonTX2", "PyTorch", "GTXTitanX", "PyTorch", partition.Ethernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := partition.Neurosurgeon("VGG16", "JetsonTX2", "PyTorch", "GTXTitanX", "PyTorch", partition.LTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Best.EdgeSec >= slow.Best.EdgeSec {
+		t.Fatalf("edge share should grow as the link slows: ethernet edge %.3fs vs lte edge %.3fs",
+			fast.Best.EdgeSec, slow.Best.EdgeSec)
+	}
+	// On Ethernet the giant GPU should pull (nearly) everything over.
+	if fast.Best.TotalSec > fast.AllEdge.TotalSec {
+		t.Fatal("offloading over ethernet must beat the TX2 alone for VGG16")
+	}
+	// On LTE, shipping even the input costs more than running locally.
+	if slow.Best.CutAfter != "(all)" {
+		t.Fatalf("LTE should keep VGG16 on the TX2, best cut = %q", slow.Best.CutAfter)
+	}
+	// The RPi, in contrast, is so slow that offloading wins even on LTE
+	// (the paper's cloud-offload premise for weak devices).
+	rpi, err := partition.Neurosurgeon("VGG16", "RPi3", "PyTorch", "GTXTitanX", "PyTorch", partition.LTE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpi.Best.TotalSec >= rpi.AllEdge.TotalSec {
+		t.Fatal("offloading should beat the RPi even over LTE")
+	}
+}
+
+func TestNeurosurgeonUnknownModel(t *testing.T) {
+	if _, err := partition.Neurosurgeon("NoNet", "RPi3", "PyTorch", "Xeon", "PyTorch", partition.WiFi); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+// TestSplitPreservesSemantics executes head and tail numerically and
+// compares against the unsplit graph.
+func TestSplitPreservesSemantics(t *testing.T) {
+	b := nn.NewBuilder("sem", nn.Options{Materialize: true, Seed: 5}, 2, 8, 8)
+	b.Conv2D("c1", 4, 3, 1, 1, true)
+	b.ReLU("r1")
+	b.MaxPool("p1", 2, 2, 0)
+	b.Conv2D("c2", 6, 3, 1, 1, true)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 5, true)
+	b.Softmax("prob")
+	g := b.Build()
+
+	in := tensor.New(2, 8, 8).Randomize(stats.NewRNG(8), 1)
+	want, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range partition.CutPoints(g) {
+		if cut.After.Kind == graph.OpInput {
+			continue
+		}
+		head, tail, err := partition.Split(g, cut)
+		if err != nil {
+			t.Fatalf("cut %s: %v", cut.After.Name, err)
+		}
+		// Split keeps structure only; materialize from the source.
+		partition.CopyParams(g, head, tail)
+		mid, err := (&graph.Executor{}).Run(head, in.Clone())
+		if err != nil {
+			t.Fatalf("head at %s: %v", cut.After.Name, err)
+		}
+		got, err := (&graph.Executor{}).Run(tail, mid)
+		if err != nil {
+			t.Fatalf("tail at %s: %v", cut.After.Name, err)
+		}
+		for i := range want.Data {
+			if d := want.Data[i] - got.Data[i]; d > 1e-5 || d < -1e-5 {
+				t.Fatalf("cut %s changes output", cut.After.Name)
+			}
+		}
+	}
+}

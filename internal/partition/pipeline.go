@@ -1,0 +1,213 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"edgebench/internal/core"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+)
+
+// Pipelined model parallelism across a chain of edge devices — the
+// paper authors' own research line (§VIII: "Hadidi et al. investigate
+// the distribution of DNN models for single-batch inferences with
+// model-parallelism methods, deploying distributed systems in robots
+// and IoT devices"). The model splits into K consecutive stages, one
+// per device; on a steady stream of inputs the stages overlap, so
+// throughput is set by the bottleneck stage while single-frame latency
+// is the sum of the chain.
+
+// PipelineStage is one device's share of the model.
+type PipelineStage struct {
+	Device string
+	// FirstOp and LastOp name the stage's node range.
+	FirstOp, LastOp string
+	// ComputeSec is the stage's execution time on its device.
+	ComputeSec float64
+	// TransferSec ships the stage boundary activation to the next
+	// device (zero for the last stage).
+	TransferSec   float64
+	TransferBytes float64
+}
+
+// PipelinePlan is a full K-way placement.
+type PipelinePlan struct {
+	Model  string
+	Link   Link
+	Stages []PipelineStage
+	// LatencySec is one frame's end-to-end time through the chain.
+	LatencySec float64
+	// BottleneckSec is the slowest stage (compute + outbound transfer);
+	// steady-state throughput is its reciprocal.
+	BottleneckSec float64
+	// SingleDeviceSec is the best single device's time, for speedup
+	// comparison.
+	SingleDeviceSec float64
+}
+
+// ThroughputPerSec returns the pipeline's steady-state frame rate.
+func (p *PipelinePlan) ThroughputPerSec() float64 {
+	if p.BottleneckSec <= 0 {
+		return 0
+	}
+	return 1 / p.BottleneckSec
+}
+
+// ThroughputSpeedup compares pipeline throughput against the best
+// single device running the whole model.
+func (p *PipelinePlan) ThroughputSpeedup() float64 {
+	if p.SingleDeviceSec <= 0 {
+		return 0
+	}
+	return p.SingleDeviceSec / p.BottleneckSec
+}
+
+// PipelinePartition splits modelName across the ordered device chain
+// (all running framework fw, linked pairwise by link), choosing cuts
+// that minimize the bottleneck stage — the throughput-optimal objective
+// of the collaborative-IoT line. It returns an error when the chain
+// cannot be filled (fewer legal cuts than devices need).
+func PipelinePartition(modelName string, devices []string, fw string, link Link) (*PipelinePlan, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("partition: empty device chain")
+	}
+	spec, ok := model.Get(modelName)
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown model %q", modelName)
+	}
+	g := spec.Build(nn.Options{})
+	cuts := CutPoints(g)
+	if len(cuts) < len(devices)-1 {
+		return nil, fmt.Errorf("partition: %s admits %d cuts, cannot fill %d devices",
+			modelName, len(cuts), len(devices))
+	}
+
+	// Per-device prefix sums of layer time over node positions, plus
+	// per-stage session overhead.
+	type devCost struct {
+		prefix  []float64 // prefix[i] = time of nodes [0..i)
+		session float64
+	}
+	costs := make([]devCost, len(devices))
+	for di, dev := range devices {
+		s, err := core.NewFromGraph(g, fw, dev)
+		if err != nil {
+			return nil, err
+		}
+		lts := s.LayerTimes()
+		// LayerTimes skips input nodes; rebuild alignment with g.Nodes.
+		prefix := make([]float64, len(g.Nodes)+1)
+		k := 0
+		for i, n := range g.Nodes {
+			t := 0.0
+			if n.Kind != graph.OpInput {
+				t = lts[k].Seconds
+				k++
+			}
+			prefix[i+1] = prefix[i] + t
+		}
+		costs[di] = devCost{prefix: prefix, session: s.InferenceSeconds() - prefix[len(g.Nodes)]}
+	}
+	seg := func(di, from, to int) float64 { // nodes [from, to)
+		c := costs[di]
+		return c.prefix[to] - c.prefix[from] + c.session
+	}
+
+	// Boundary positions: after cut.Index (exclusive end = Index+1),
+	// plus the chain end.
+	type boundary struct {
+		pos   int // exclusive node end of a stage
+		bytes float64
+		name  string
+	}
+	var bounds []boundary
+	for _, c := range cuts {
+		bounds = append(bounds, boundary{pos: c.Index + 1, bytes: c.TransferBytes, name: c.After.Name})
+	}
+	bounds = append(bounds, boundary{pos: len(g.Nodes), name: g.Output.Name})
+
+	// DP over (boundary index, device index): dp = minimal bottleneck
+	// finishing stage d exactly at boundary b.
+	K := len(devices)
+	B := len(bounds)
+	const inf = math.MaxFloat64
+	dp := make([][]float64, B)
+	from := make([][]int, B)
+	for i := range dp {
+		dp[i] = make([]float64, K)
+		from[i] = make([]int, K)
+		for j := range dp[i] {
+			dp[i][j] = inf
+			from[i][j] = -1
+		}
+	}
+	stageCost := func(d, start, b int) float64 {
+		t := seg(d, start, bounds[b].pos)
+		if d < K-1 { // outbound transfer except for the last device
+			t += link.TransferSec(bounds[b].bytes)
+		}
+		return t
+	}
+	for b := 0; b < B; b++ {
+		dp[b][0] = stageCost(0, 0, b)
+	}
+	for d := 1; d < K; d++ {
+		for b := d; b < B; b++ {
+			for pb := d - 1; pb < b; pb++ {
+				if dp[pb][d-1] == inf {
+					continue
+				}
+				cand := math.Max(dp[pb][d-1], stageCost(d, bounds[pb].pos, b))
+				if cand < dp[b][d] {
+					dp[b][d] = cand
+					from[b][d] = pb
+				}
+			}
+		}
+	}
+	if dp[B-1][K-1] == inf {
+		return nil, fmt.Errorf("partition: no feasible %d-way split", K)
+	}
+
+	// Reconstruct stage boundaries.
+	ends := make([]int, K)
+	b := B - 1
+	for d := K - 1; d >= 0; d-- {
+		ends[d] = b
+		b = from[b][d]
+	}
+	plan := &PipelinePlan{Model: modelName, Link: link, BottleneckSec: dp[B-1][K-1]}
+	start := 0
+	var latency float64
+	for d := 0; d < K; d++ {
+		bd := bounds[ends[d]]
+		compute := seg(d, start, bd.pos)
+		var xfer, bytes float64
+		if d < K-1 {
+			xfer = link.TransferSec(bd.bytes)
+			bytes = bd.bytes
+		}
+		plan.Stages = append(plan.Stages, PipelineStage{
+			Device:        devices[d],
+			FirstOp:       g.Nodes[start].Name,
+			LastOp:        g.Nodes[bd.pos-1].Name,
+			ComputeSec:    compute,
+			TransferSec:   xfer,
+			TransferBytes: bytes,
+		})
+		latency += compute + xfer
+		start = bd.pos
+	}
+	plan.LatencySec = latency
+
+	best := inf
+	for di := range devices {
+		if t := seg(di, 0, len(g.Nodes)); t < best {
+			best = t
+		}
+	}
+	plan.SingleDeviceSec = best
+	return plan, nil
+}

@@ -1,0 +1,63 @@
+package power_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/power"
+)
+
+func TestDutyCycleTraceSquareWave(t *testing.T) {
+	s := session(t, "Inception-v4", "TensorRT", "JetsonNano")
+	// 10 s period, 4 s active, 100 s trace, 0.5 s analyzer sampling.
+	trace := power.DutyCycleTrace(s, 10, 4, 100, 3)
+	if len(trace) != 200 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	active := power.ActiveWatts(s.Device, s.Utilization())
+	idle := s.Device.IdleWatts
+	var high, low int
+	for _, p := range trace {
+		switch {
+		case math.Abs(p.Watts-active) < 0.2:
+			high++
+		case math.Abs(p.Watts-idle) < 0.2:
+			low++
+		default:
+			t.Fatalf("sample %v is neither active (%v) nor idle (%v)", p.Watts, active, idle)
+		}
+	}
+	// 40% duty cycle within sampling granularity.
+	frac := float64(high) / float64(high+low)
+	if math.Abs(frac-0.4) > 0.05 {
+		t.Fatalf("duty fraction %v, want ~0.4", frac)
+	}
+}
+
+func TestDutyCycleTraceInvalid(t *testing.T) {
+	s := session(t, "ResNet-18", "TensorRT", "JetsonNano")
+	if power.DutyCycleTrace(s, 0, 1, 10, 1) != nil {
+		t.Fatal("zero period should return nil")
+	}
+	if power.DutyCycleTrace(s, 5, 6, 10, 1) != nil {
+		t.Fatal("active > period should return nil")
+	}
+}
+
+func TestDutyCycleEnergy(t *testing.T) {
+	s := session(t, "ResNet-18", "TensorRT", "JetsonNano")
+	day := 86400.0
+	idleOnly := power.DutyCycleEnergyJ(s, 0, day)
+	if math.Abs(idleOnly-s.Device.IdleWatts*day) > 1e-6 {
+		t.Fatal("zero duty should be pure idle energy")
+	}
+	full := power.DutyCycleEnergyJ(s, 1, day)
+	half := power.DutyCycleEnergyJ(s, 0.5, day)
+	if !(idleOnly < half && half < full) {
+		t.Fatal("energy must grow with duty cycle")
+	}
+	// Clamping.
+	if power.DutyCycleEnergyJ(s, -1, day) != idleOnly || power.DutyCycleEnergyJ(s, 2, day) != full {
+		t.Fatal("duty fraction should clamp to [0,1]")
+	}
+}

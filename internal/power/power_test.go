@@ -1,0 +1,191 @@
+package power_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgebench/internal/core"
+	"edgebench/internal/device"
+	"edgebench/internal/paperdata"
+	"edgebench/internal/power"
+	"edgebench/internal/stats"
+)
+
+func session(t *testing.T, m, fw, dev string) *core.Session {
+	t.Helper()
+	s, err := core.New(m, fw, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestActiveWattsBounds(t *testing.T) {
+	for _, d := range device.All() {
+		low := power.ActiveWatts(d, 0)
+		high := power.ActiveWatts(d, 1)
+		if low <= d.IdleWatts {
+			t.Errorf("%s: active power at zero util (%v) should exceed idle (%v)", d.Name, low, d.IdleWatts)
+		}
+		if high <= low {
+			t.Errorf("%s: power must grow with utilization", d.Name)
+		}
+		if high > d.IdleWatts+1.5*(d.AvgWatts-d.IdleWatts) {
+			t.Errorf("%s: peak power %v too far above table average %v", d.Name, high, d.AvgWatts)
+		}
+		// Clamping.
+		if power.ActiveWatts(d, -1) != power.ActiveWatts(d, 0) {
+			t.Errorf("%s: negative utilization should clamp", d.Name)
+		}
+		if power.ActiveWatts(d, 2) != power.ActiveWatts(d, 1) {
+			t.Errorf("%s: utilization above one should clamp", d.Name)
+		}
+	}
+}
+
+func TestEnergyAnchors(t *testing.T) {
+	// Fig. 11 quoted values, within a 2.5x band (these compose two
+	// models: latency and power).
+	cases := []struct {
+		dev, fw, model string
+		paperMJ        float64
+	}{
+		{"EdgeTPU", "TFLite", "MobileNet-v2", 11},
+		{"JetsonNano", "TensorRT", "ResNet-18", 84},
+		{"JetsonNano", "TensorRT", "Inception-v4", 500},
+		{"Movidius", "NCSDK", "MobileNet-v2", 66},
+		{"Movidius", "NCSDK", "Inception-v4", 1000},
+		{"JetsonTX2", "PyTorch", "ResNet-18", 300},
+		{"JetsonTX2", "PyTorch", "Inception-v4", 1000},
+		{"GTXTitanX", "PyTorch", "ResNet-18", 1000},
+		{"GTXTitanX", "PyTorch", "Inception-v4", 5000},
+	}
+	for _, c := range cases {
+		s := session(t, c.model, c.fw, c.dev)
+		mj := power.EnergyPerInferenceJ(s) * 1e3
+		if mj > 2.5*c.paperMJ || mj < c.paperMJ/2.5 {
+			t.Errorf("%s %s: energy %.0f mJ vs paper %.0f mJ outside band", c.dev, c.model, mj, c.paperMJ)
+		}
+	}
+}
+
+func TestFig11Ordering(t *testing.T) {
+	// RPi has the highest energy per inference; edge accelerators the
+	// lowest (§VI-E).
+	m := "ResNet-18"
+	rpi := power.EnergyPerInferenceJ(session(t, m, "TFLite", "RPi3"))
+	gtx := power.EnergyPerInferenceJ(session(t, m, "PyTorch", "GTXTitanX"))
+	tx2 := power.EnergyPerInferenceJ(session(t, m, "PyTorch", "JetsonTX2"))
+	nano := power.EnergyPerInferenceJ(session(t, m, "TensorRT", "JetsonNano"))
+	if !(rpi > gtx && gtx > tx2 && tx2 > nano) {
+		t.Errorf("Fig11 ordering violated: rpi %.3f gtx %.3f tx2 %.3f nano %.3f", rpi, gtx, tx2, nano)
+	}
+	// TX2 saves roughly 5x energy vs GTX Titan X (§VI-E: "an average of
+	// a 5x energy savings").
+	if r := gtx / tx2; r < 2 || r > 10 {
+		t.Errorf("GTX/TX2 energy ratio %.1f outside the paper's ~5x story", r)
+	}
+}
+
+func TestInstrumentAssignment(t *testing.T) {
+	usb := map[string]bool{"RPi3": true, "EdgeTPU": true, "Movidius": true}
+	for _, d := range device.All() {
+		inst := power.InstrumentFor(d)
+		_, isUSB := inst.(power.USBMultimeter)
+		if usb[d.Name] != isUSB {
+			t.Errorf("%s instrument = %s", d.Name, inst.Name())
+		}
+		if inst.SamplePeriodSec() <= 0 {
+			t.Errorf("%s: non-positive sample period", d.Name)
+		}
+	}
+}
+
+func TestInstrumentAccuracy(t *testing.T) {
+	rng := stats.NewRNG(3)
+	// Analyzer: sub-centiwatt error.
+	var pa power.PowerAnalyzer
+	for i := 0; i < 200; i++ {
+		r := pa.Reading(5.0, rng)
+		if math.Abs(r-5.0) > 0.02 {
+			t.Fatalf("analyzer error %v exceeds spec", r-5.0)
+		}
+	}
+	// USB meter: percent-level error.
+	var um power.USBMultimeter
+	var errs []float64
+	for i := 0; i < 500; i++ {
+		errs = append(errs, um.Reading(2.73, rng)-2.73)
+	}
+	if sd := stats.StdDev(errs); sd > 0.05 || sd == 0 {
+		t.Fatalf("usb meter error sd = %v", sd)
+	}
+	if math.Abs(stats.Mean(errs)) > 0.02 {
+		t.Fatalf("usb meter biased: %v", stats.Mean(errs))
+	}
+}
+
+func TestMeasureRunTrace(t *testing.T) {
+	s := session(t, "Inception-v4", "TFLite", "RPi3")
+	trace := power.MeasureRun(s, 60, 5)
+	if len(trace) != 60 {
+		t.Fatalf("trace length = %d, want 60 (1 Hz x 60 s)", len(trace))
+	}
+	mean := power.MeanWatts(trace)
+	if mean < s.Device.IdleWatts || mean > s.Device.AvgWatts*1.5 {
+		t.Fatalf("mean metered power %v out of range", mean)
+	}
+	// Deterministic under the same seed.
+	again := power.MeasureRun(s, 60, 5)
+	for i := range trace {
+		if trace[i] != again[i] {
+			t.Fatal("trace must be seed-deterministic")
+		}
+	}
+	// Measured energy tracks modeled energy.
+	measured := power.MeasuredEnergyPerInferenceJ(s, 120, 9)
+	modeled := power.EnergyPerInferenceJ(s)
+	if math.Abs(measured/modeled-1) > 0.05 {
+		t.Fatalf("measured %v vs modeled %v energy diverge", measured, modeled)
+	}
+}
+
+// Property: energy grows monotonically with inference time across models
+// on a fixed device/framework.
+func TestEnergyMonotoneInTime(t *testing.T) {
+	models := []string{"MobileNet-v2", "ResNet-18", "ResNet-50", "Inception-v4"}
+	var last float64
+	for i, m := range models {
+		s := session(t, m, "TensorRT", "JetsonNano")
+		e := power.EnergyPerInferenceJ(s)
+		if i > 0 && e <= last {
+			t.Fatalf("energy not monotone at %s", m)
+		}
+		last = e
+	}
+}
+
+func TestPaperIdleTempsReferenced(t *testing.T) {
+	// Guard the paperdata transcription against drift.
+	if paperdata.TableVIIdleTemps["RPi3"] != 43.3 {
+		t.Fatal("paperdata idle temp drifted")
+	}
+}
+
+// Property: instrument readings average to the truth.
+func TestInstrumentUnbiasedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		truth := 1 + math.Abs(float64(seed%100))/10
+		var sum float64
+		const n = 400
+		for i := 0; i < n; i++ {
+			sum += power.USBMultimeter{}.Reading(truth, rng)
+		}
+		return math.Abs(sum/n-truth) < 0.05*truth+0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

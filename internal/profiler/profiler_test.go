@@ -1,0 +1,126 @@
+package profiler_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/profiler"
+)
+
+func session(t *testing.T, m, fw, dev string) *core.Session {
+	t.Helper()
+	s, err := core.New(m, fw, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	for _, c := range [][2]string{{"PyTorch", "RPi3"}, {"TensorFlow", "RPi3"},
+		{"PyTorch", "JetsonTX2"}, {"TensorFlow", "JetsonTX2"}} {
+		s := session(t, "ResNet-18", c[0], c[1])
+		entries := profiler.Profile(s, 30)
+		var sum float64
+		for _, e := range entries {
+			if e.Seconds < 0 || e.Share < 0 {
+				t.Fatalf("%v: negative entry %+v", c, e)
+			}
+			sum += e.Share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%v: shares sum to %v", c, sum)
+		}
+	}
+}
+
+func TestSortedDescending(t *testing.T) {
+	entries := profiler.Profile(session(t, "ResNet-18", "PyTorch", "RPi3"), 30)
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Share > entries[i-1].Share {
+			t.Fatal("entries must be sorted by share, descending")
+		}
+	}
+}
+
+func TestFig5aPyTorchRPiConvDominated(t *testing.T) {
+	// Fig. 5a: PyTorch on RPi spends the bulk of its time in compute,
+	// with conv2d the largest single group (~81% in the paper).
+	entries := profiler.Profile(session(t, "ResNet-18", "PyTorch", "RPi3"), 30)
+	conv := profiler.Share(entries, profiler.GroupConv)
+	if conv < 0.35 {
+		t.Fatalf("conv2d share = %.0f%%, should dominate the PyTorch/RPi profile", conv*100)
+	}
+	if entries[0].Group != profiler.GroupConv {
+		t.Fatalf("largest group = %s, want conv2d", entries[0].Group)
+	}
+	// Graph setup is negligible for the dynamic graph (§VI-B3).
+	if gs := profiler.Share(entries, profiler.GroupGraphSetup); gs > 0.10 {
+		t.Fatalf("PyTorch graph setup share = %.0f%%, should be negligible", gs*100)
+	}
+}
+
+func TestFig5bTensorFlowRPiSetupHeavy(t *testing.T) {
+	// Fig. 5b: TensorFlow's one-time graph construction (base_layer)
+	// accounts for a large share over a 30-inference profile (38-50%).
+	entries := profiler.Profile(session(t, "ResNet-18", "TensorFlow", "RPi3"), 30)
+	setup := profiler.Share(entries, profiler.GroupGraphSetup) +
+		profiler.Share(entries, profiler.GroupWeightInit)
+	if setup < 0.30 || setup > 0.70 {
+		t.Fatalf("TF one-time setup share = %.0f%%, paper ~46-58%%", setup*100)
+	}
+	if lib := profiler.Share(entries, profiler.GroupLibraryLoad); lib < 0.05 {
+		t.Fatalf("library loading share = %.0f%%, paper ~10-14%%", lib*100)
+	}
+}
+
+func TestFig5cGPUShiftsToSetup(t *testing.T) {
+	// Fig. 5c/d: on the TX2's GPU, compute shrinks so setup/transfer
+	// dominates both frameworks.
+	pt := profiler.Profile(session(t, "ResNet-18", "PyTorch", "JetsonTX2"), 1000)
+	conv := profiler.Share(pt, profiler.GroupConv)
+	transfer := profiler.Share(pt, profiler.GroupTransfer)
+	if transfer == 0 {
+		t.Fatal("GPU profile should carry a tensor-transfer group (.to())")
+	}
+	ptRPi := profiler.Profile(session(t, "ResNet-18", "PyTorch", "RPi3"), 1000)
+	if conv >= profiler.Share(ptRPi, profiler.GroupConv) {
+		t.Fatal("conv share should shrink moving from RPi to the TX2 GPU")
+	}
+}
+
+func TestAmortizationWithIterations(t *testing.T) {
+	// One-time costs amortize: the graph-setup share must fall as the
+	// profile lengthens (the paper could not run enough inferences to
+	// amortize TF's setup, §VI-B3).
+	s := session(t, "ResNet-18", "TensorFlow", "RPi3")
+	short := profiler.Share(profiler.Profile(s, 30), profiler.GroupGraphSetup)
+	long := profiler.Share(profiler.Profile(s, 1000), profiler.GroupGraphSetup)
+	if long >= short {
+		t.Fatalf("graph setup share should amortize: 30 iters %.0f%%, 1000 iters %.0f%%", short*100, long*100)
+	}
+}
+
+func TestTotalGrowsLinearly(t *testing.T) {
+	s := session(t, "MobileNet-v2", "TFLite", "RPi3")
+	t100 := profiler.TotalSeconds(profiler.Profile(s, 100))
+	t200 := profiler.TotalSeconds(profiler.Profile(s, 200))
+	perInf := t200 - t100
+	if perInf <= 0 {
+		t.Fatal("per-inference cost must be positive")
+	}
+	if math.Abs((t200-2*t100+ /* one-time counted twice */ (t100-perInf*100))/t200) > 0.01 {
+		t.Log("one-time/amortized split behaves nonlinearly within tolerance")
+	}
+	if iters1 := profiler.Profile(s, 0); len(iters1) == 0 {
+		t.Fatal("zero iterations should clamp to one")
+	}
+}
+
+func TestShareMissingGroup(t *testing.T) {
+	entries := profiler.Profile(session(t, "ResNet-18", "PyTorch", "RPi3"), 10)
+	if profiler.Share(entries, "no-such-group") != 0 {
+		t.Fatal("missing group should read zero")
+	}
+}

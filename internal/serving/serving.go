@@ -1,0 +1,159 @@
+// Package serving simulates a live single-batch inference service — the
+// regime the paper says edge devices are designed for (§VI-C: "for edge
+// devices, the number of requests is limited and real-time performance
+// is crucial"). A seeded discrete-event simulation feeds a device
+// Poisson arrivals (camera triggers, robot perception ticks) through a
+// FIFO queue and reports utilization, tail latency, drops, and deadline
+// misses — the quantities a deployment engineer actually provisions by.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgebench/internal/core"
+	"edgebench/internal/stats"
+)
+
+// Config parameterizes a serving simulation.
+type Config struct {
+	// ArrivalPerSec is the Poisson arrival rate.
+	ArrivalPerSec float64
+	// DurationSec is the simulated wall time.
+	DurationSec float64
+	// Seed drives arrivals and service-time jitter.
+	Seed int64
+	// QueueCap bounds the number of requests waiting (not including the
+	// one in service); arrivals beyond it are dropped. Zero means
+	// unbounded.
+	QueueCap int
+	// DeadlineSec, when positive, counts served requests whose total
+	// latency exceeded it.
+	DeadlineSec float64
+	// Periodic switches from Poisson arrivals to a fixed-interval frame
+	// source (a camera at 1/ArrivalPerSec seconds per frame).
+	Periodic bool
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Arrived, Served, Dropped int
+	DeadlineMisses           int
+	// Utilization is busy time over simulated time.
+	Utilization float64
+	// Latency summarizes total (queue + service) latency of served
+	// requests; P50/P95/P99 are its percentiles in seconds.
+	Latency       stats.Summary
+	P50, P95, P99 float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("served %d/%d (dropped %d), util %.0f%%, p50 %.1fms p99 %.1fms, misses %d",
+		r.Served, r.Arrived, r.Dropped, r.Utilization*100,
+		r.P50*1e3, r.P99*1e3, r.DeadlineMisses)
+}
+
+// Simulate runs the discrete-event loop for one session.
+func Simulate(s *core.Session, cfg Config) (Result, error) {
+	if cfg.ArrivalPerSec <= 0 || cfg.DurationSec <= 0 {
+		return Result{}, fmt.Errorf("serving: arrival rate and duration must be positive")
+	}
+	base := s.InferenceSeconds()
+	rng := stats.NewRNG(cfg.Seed)
+
+	var res Result
+	var latencies []float64
+	var busyUntil, busyTotal float64
+	// completions holds in-flight finish times for queue-length checks.
+	var completions []float64
+
+	t := 0.0
+	for {
+		// Next arrival: fixed camera interval or Poisson gap.
+		if cfg.Periodic {
+			t += 1 / cfg.ArrivalPerSec
+		} else {
+			t += rng.ExpFloat64() / cfg.ArrivalPerSec
+		}
+		if t >= cfg.DurationSec {
+			break
+		}
+		res.Arrived++
+		// Drop completed entries.
+		live := completions[:0]
+		for _, c := range completions {
+			if c > t {
+				live = append(live, c)
+			}
+		}
+		completions = live
+		// Queue length excludes the request in service.
+		queued := len(completions) - 1
+		if queued < 0 {
+			queued = 0
+		}
+		if cfg.QueueCap > 0 && queued >= cfg.QueueCap {
+			res.Dropped++
+			continue
+		}
+		start := t
+		if busyUntil > start {
+			start = busyUntil
+		}
+		service := base * (1 + stats.GaussianNoise(rng, 0.02))
+		if service < base/2 {
+			service = base / 2
+		}
+		finish := start + service
+		busyUntil = finish
+		busyTotal += service
+		completions = append(completions, finish)
+
+		lat := finish - t
+		latencies = append(latencies, lat)
+		res.Served++
+		if cfg.DeadlineSec > 0 && lat > cfg.DeadlineSec {
+			res.DeadlineMisses++
+		}
+	}
+	res.Utilization = math.Min(1, busyTotal/cfg.DurationSec)
+	if len(latencies) > 0 {
+		res.Latency = stats.Summarize(latencies)
+		sort.Float64s(latencies)
+		res.P50 = stats.Percentile(latencies, 50)
+		res.P95 = stats.Percentile(latencies, 95)
+		res.P99 = stats.Percentile(latencies, 99)
+	}
+	return res, nil
+}
+
+// MaxSustainableRate finds (by bisection) the highest arrival rate the
+// session serves with P99 latency below the bound — the provisioning
+// question behind the paper's "real-time performance" framing.
+func MaxSustainableRate(s *core.Session, p99Bound, durationSec float64, seed int64) (float64, error) {
+	if p99Bound <= 0 {
+		return 0, fmt.Errorf("serving: p99 bound must be positive")
+	}
+	base := s.InferenceSeconds()
+	if base > p99Bound {
+		return 0, nil // a single unqueued request already misses
+	}
+	lo, hi := 0.0, 1/base // service rate is the hard ceiling
+	for i := 0; i < 24; i++ {
+		mid := (lo + hi) / 2
+		if mid == 0 {
+			break
+		}
+		r, err := Simulate(s, Config{ArrivalPerSec: mid, DurationSec: durationSec, Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		if r.P99 <= p99Bound && r.Served > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

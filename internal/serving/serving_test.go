@@ -1,0 +1,182 @@
+package serving_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/core"
+	"edgebench/internal/serving"
+)
+
+func session(t *testing.T, m, fw, dev string) *core.Session {
+	t.Helper()
+	s, err := core.New(m, fw, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimulateLightLoad(t *testing.T) {
+	// EdgeTPU at 3 ms/inference under 10 req/s: essentially no queueing.
+	s := session(t, "MobileNet-v2", "TFLite", "EdgeTPU")
+	r, err := serving.Simulate(s, serving.Config{ArrivalPerSec: 10, DurationSec: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Served == 0 || r.Dropped != 0 {
+		t.Fatalf("light load: %+v", r)
+	}
+	base := s.InferenceSeconds()
+	if r.P99 > 3*base {
+		t.Fatalf("light-load p99 %.4fs should hug the service time %.4fs", r.P99, base)
+	}
+	if r.Utilization > 0.2 {
+		t.Fatalf("light-load utilization %.2f too high", r.Utilization)
+	}
+	if r.Arrived != r.Served+r.Dropped {
+		t.Fatal("accounting broken")
+	}
+}
+
+func TestSimulateSaturation(t *testing.T) {
+	// Offer 3x the service rate: utilization pins at ~1 and the P99
+	// blows up relative to light load.
+	s := session(t, "MobileNet-v2", "TFLite", "RPi3") // ~500 ms/inference
+	overload, err := serving.Simulate(s, serving.Config{ArrivalPerSec: 6, DurationSec: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overload.Utilization < 0.95 {
+		t.Fatalf("overload utilization %.2f, want ~1", overload.Utilization)
+	}
+	light, err := serving.Simulate(s, serving.Config{ArrivalPerSec: 0.5, DurationSec: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overload.P99 < 10*light.P99 {
+		t.Fatalf("overload p99 %.2fs should dwarf light-load p99 %.2fs", overload.P99, light.P99)
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	s := session(t, "MobileNet-v2", "TFLite", "RPi3")
+	r, err := serving.Simulate(s, serving.Config{
+		ArrivalPerSec: 6, DurationSec: 120, Seed: 3, QueueCap: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dropped == 0 {
+		t.Fatal("bounded queue under overload must drop")
+	}
+	// With a 2-deep queue, worst-case latency is ~4 service times.
+	if r.Latency.Max > 5*s.InferenceSeconds() {
+		t.Fatalf("bounded queue latency max %.2fs too high", r.Latency.Max)
+	}
+}
+
+func TestDeadlineMisses(t *testing.T) {
+	s := session(t, "MobileNet-v2", "TFLite", "RPi3")
+	base := s.InferenceSeconds()
+	r, err := serving.Simulate(s, serving.Config{
+		ArrivalPerSec: 1.5, DurationSec: 200, Seed: 4, DeadlineSec: base * 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeadlineMisses == 0 {
+		t.Fatal("at rho~0.75 some requests must queue past a tight deadline")
+	}
+	if r.DeadlineMisses > r.Served {
+		t.Fatal("more misses than served")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	s := session(t, "ResNet-50", "TensorRT", "JetsonNano")
+	cfg := serving.Config{ArrivalPerSec: 20, DurationSec: 60, Seed: 9}
+	a, _ := serving.Simulate(s, cfg)
+	b, _ := serving.Simulate(s, cfg)
+	if a != b {
+		t.Fatal("same seed must reproduce the simulation")
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	s := session(t, "ResNet-50", "TensorRT", "JetsonNano")
+	if _, err := serving.Simulate(s, serving.Config{ArrivalPerSec: 0, DurationSec: 10}); err == nil {
+		t.Fatal("zero rate should error")
+	}
+	if _, err := serving.Simulate(s, serving.Config{ArrivalPerSec: 1, DurationSec: 0}); err == nil {
+		t.Fatal("zero duration should error")
+	}
+}
+
+func TestMaxSustainableRate(t *testing.T) {
+	s := session(t, "MobileNet-v2", "TFLite", "EdgeTPU")
+	base := s.InferenceSeconds()
+	rate, err := serving.MaxSustainableRate(s, 3*base, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must land below the hard service ceiling but well above zero.
+	if rate <= 0.2/base || rate >= 1/base {
+		t.Fatalf("sustainable rate %.1f/s vs service ceiling %.1f/s", rate, 1/base)
+	}
+	// A device that cannot even serve one request in the bound gets 0.
+	slow := session(t, "ResNet-50", "TFLite", "RPi3")
+	zero, err := serving.MaxSustainableRate(slow, slow.InferenceSeconds()/2, 30, 5)
+	if err != nil || zero != 0 {
+		t.Fatalf("impossible bound should yield 0, got %v (%v)", zero, err)
+	}
+	if _, err := serving.MaxSustainableRate(s, 0, 30, 5); err == nil {
+		t.Fatal("non-positive bound should error")
+	}
+}
+
+// Sanity: the M/D/1-ish mean latency at rho=0.5 sits near
+// service*(1+rho/(2(1-rho))) = 1.5x service.
+func TestQueueTheoryBallpark(t *testing.T) {
+	s := session(t, "MobileNet-v2", "TFLite", "RPi3")
+	base := s.InferenceSeconds()
+	r, err := serving.Simulate(s, serving.Config{ArrivalPerSec: 0.5 / base, DurationSec: 4000 * base, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base * 1.5
+	if math.Abs(r.Latency.Mean/want-1) > 0.25 {
+		t.Fatalf("mean latency %.3fs vs M/D/1 prediction %.3fs", r.Latency.Mean, want)
+	}
+}
+
+func TestPeriodicArrivalsSmootherThanPoisson(t *testing.T) {
+	// A camera at a fixed frame interval below the service rate never
+	// queues; Poisson at the same mean rate does (burstiness).
+	s := session(t, "ResNet-50", "TensorRT", "JetsonNano")
+	base := s.InferenceSeconds()
+	rate := 0.8 / base
+	periodic, err := serving.Simulate(s, serving.Config{
+		ArrivalPerSec: rate, DurationSec: 300 * base, Seed: 7, Periodic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, err := serving.Simulate(s, serving.Config{
+		ArrivalPerSec: rate, DurationSec: 300 * base, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if periodic.P99 >= poisson.P99 {
+		t.Fatalf("periodic p99 %.4fs should undercut poisson p99 %.4fs", periodic.P99, poisson.P99)
+	}
+	// At 80% deterministic load the worst case is near one service time
+	// plus jitter.
+	if periodic.Latency.Max > 1.5*base {
+		t.Fatalf("periodic max latency %.4fs should hug the service time %.4fs", periodic.Latency.Max, base)
+	}
+}

@@ -1,0 +1,16 @@
+package stats
+
+import "math/rand"
+
+// NewRNG returns a deterministic random source for the given seed.
+// Every stochastic component of the simulator (weight init, measurement
+// noise, workload generation) draws from an explicitly seeded RNG so
+// experiments are reproducible run to run.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GaussianNoise returns a sample from N(0, sigma) using r.
+func GaussianNoise(r *rand.Rand, sigma float64) float64 {
+	return r.NormFloat64() * sigma
+}

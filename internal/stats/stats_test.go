@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumKahan(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	if got := Sum(xs); !almostEq(got, 100, 1e-9) {
+		t.Fatalf("Sum = %v, want 100", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEq(got, 10, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 10", got)
+	}
+	if got := GeoMean([]float64{2, 8}); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with negative input should be NaN")
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(empty) should panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {105, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); !almostEq(got, 15, 1e-12) {
+		t.Errorf("interpolated P50 = %v, want 15", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("Summarize(nil) should be zero")
+	}
+	if s.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if !almostEq(slope, 2, 1e-12) || !almostEq(intercept, 1, 1e-12) {
+		t.Fatalf("fit = %v,%v want 2,1", slope, intercept)
+	}
+	// Degenerate x: slope 0, intercept mean(y).
+	slope, intercept = LinearFit([]float64{5, 5}, []float64{1, 3})
+	if slope != 0 || intercept != 2 {
+		t.Fatalf("degenerate fit = %v,%v want 0,2", slope, intercept)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("Ratio(6,3) != 2")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) || !math.IsInf(Ratio(-1, 0), -1) {
+		t.Fatal("Ratio sign of infinity wrong")
+	}
+	if !math.IsNaN(Ratio(0, 0)) {
+		t.Fatal("Ratio(0,0) should be NaN")
+	}
+}
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 16; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	if GaussianNoise(NewRNG(1), 0) != 0 {
+		t.Fatal("zero sigma must produce zero noise")
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-6 && m <= Max(clean)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: geomean(xs) <= mean(xs) for positive xs (AM-GM inequality).
+func TestAMGMProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"testing"
+
+	"edgebench/internal/stats"
+)
+
+// Micro-benchmarks of the functional compute engine, including the
+// direct-vs-GEMM convolution ablation DESIGN.md calls out.
+
+func benchInput(c, h, w int) *Tensor {
+	return New(c, h, w).Randomize(stats.NewRNG(1), 1)
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	x := New(128, 128).Randomize(stats.NewRNG(1), 1)
+	y := New(128, 128).Randomize(stats.NewRNG(2), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+	b.ReportMetric(2*128*128*128/1e6, "MFLOP/op")
+}
+
+func BenchmarkConv2DDirect(b *testing.B) {
+	in := benchInput(32, 28, 28)
+	w := New(64, 32, 3, 3).Randomize(stats.NewRNG(3), 1)
+	spec := Conv2DSpec{Stride: 1, Pad: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(in, w, nil, spec)
+	}
+}
+
+func BenchmarkConv2DGEMM(b *testing.B) {
+	in := benchInput(32, 28, 28)
+	w := New(64, 32, 3, 3).Randomize(stats.NewRNG(3), 1)
+	spec := Conv2DSpec{Stride: 1, Pad: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DGEMM(in, w, nil, spec)
+	}
+}
+
+func BenchmarkDepthwiseConv2D(b *testing.B) {
+	in := benchInput(64, 28, 28)
+	w := New(64, 3, 3).Randomize(stats.NewRNG(4), 1)
+	spec := Conv2DSpec{Stride: 1, Pad: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DepthwiseConv2D(in, w, nil, spec)
+	}
+}
+
+func BenchmarkQuantizeRoundTrip(b *testing.B) {
+	in := New(1<<16).Randomize(stats.NewRNG(5), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuantizeSymmetric(in).Dequantize()
+	}
+}
+
+func BenchmarkFP16RoundTrip(b *testing.B) {
+	in := New(1<<16).Randomize(stats.NewRNG(6), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RoundTripFP16(in)
+	}
+}
+
+// BenchmarkSparseMatMul shows the zero-skip path: a 90%-pruned operand
+// multiplies faster than a dense one.
+func BenchmarkSparseMatMul(b *testing.B) {
+	x := New(128, 128).Randomize(stats.NewRNG(7), 1)
+	PruneMagnitude(x, 0.9)
+	y := New(128, 128).Randomize(stats.NewRNG(8), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}

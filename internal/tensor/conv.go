@@ -1,0 +1,217 @@
+package tensor
+
+import "fmt"
+
+// Conv2DSpec describes a 2-D convolution. Input is [Cin, H, W], weights
+// are [Cout, Cin, KH, KW] (rectangular kernels allowed), output is
+// [Cout, Hout, Wout] with Hout = (H + 2*padH - KH)/Stride + 1 (and
+// likewise for width). Pad applies to both axes; PadH/PadW override it
+// per axis when >= 0 and set (used by Inception's 1x7/7x1 factorized
+// convolutions).
+type Conv2DSpec struct {
+	Stride int
+	Pad    int
+	// PadH/PadW, when either is non-zero, replace Pad per axis. Use
+	// Conv2DSpec{PadH: n, PadW: 0} semantics via the Asym flag below.
+	PadH, PadW int
+	// Asym marks PadH/PadW as authoritative even when zero.
+	Asym bool
+}
+
+func (s Conv2DSpec) check() Conv2DSpec {
+	if s.Stride <= 0 {
+		s.Stride = 1
+	}
+	if !s.Asym {
+		s.PadH, s.PadW = s.Pad, s.Pad
+	}
+	if s.PadH < 0 || s.PadW < 0 {
+		panic("tensor: negative conv padding")
+	}
+	return s
+}
+
+// padHW returns the effective per-axis padding.
+func (s Conv2DSpec) padHW() (int, int) {
+	s = s.check()
+	return s.PadH, s.PadW
+}
+
+func (s Conv2DSpec) outDim(in, k, pad int) int {
+	out := (in+2*pad-k)/s.Stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv output dim %d <= 0 (in=%d k=%d pad=%d stride=%d)",
+			out, in, k, pad, s.Stride))
+	}
+	return out
+}
+
+// OutDim returns the spatial output dimension for input size in and kernel
+// size k under the spec's symmetric padding (height axis for asymmetric
+// specs; use OutDims for both).
+func (s Conv2DSpec) OutDim(in, k int) int {
+	s = s.check()
+	return s.outDim(in, k, s.PadH)
+}
+
+// OutDims returns both output dimensions for an input of h x w and a
+// kernel of kh x kw.
+func (s Conv2DSpec) OutDims(h, w, kh, kw int) (int, int) {
+	s = s.check()
+	return s.outDim(h, kh, s.PadH), s.outDim(w, kw, s.PadW)
+}
+
+// Conv2D computes a direct (naive loop-nest) 2-D convolution with bias.
+// bias may be nil. This is the reference implementation; Conv2DGEMM is the
+// optimized path, and tests assert both agree.
+func Conv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	cout, wcin, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if cin != wcin {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch: input %v weights %v", in.Shape, w.Shape))
+	}
+	if bias != nil && len(bias) != cout {
+		panic("tensor: Conv2D bias length mismatch")
+	}
+	padH, padW := spec.padHW()
+	hout, wout := spec.OutDims(h, wd, kh, kw)
+	out := New(cout, hout, wout)
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < wout; ox++ {
+				sum := b
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*spec.Stride + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*spec.Stride + kx - padW
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							sum += in.Data[(ic*h+iy)*wd+ix] *
+								w.Data[((oc*cin+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.Data[(oc*hout+oy)*wout+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Im2Col lowers the convolution input into a [Cin*KH*KW, Hout*Wout] matrix
+// so convolution becomes one GEMM — the standard lowering every framework
+// in the paper uses on CPUs and GPUs.
+func Im2Col(in *Tensor, kh, kw int, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	padH, padW := spec.padHW()
+	hout, wout := spec.OutDims(h, wd, kh, kw)
+	rows := cin * kh * kw
+	cols := hout * wout
+	out := New(rows, cols)
+	row := 0
+	for ic := 0; ic < cin; ic++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := out.Data[row*cols : (row+1)*cols]
+				col := 0
+				for oy := 0; oy < hout; oy++ {
+					iy := oy*spec.Stride + ky - padH
+					for ox := 0; ox < wout; ox++ {
+						ix := ox*spec.Stride + kx - padW
+						if iy >= 0 && iy < h && ix >= 0 && ix < wd {
+							dst[col] = in.Data[(ic*h+iy)*wd+ix]
+						}
+						col++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DGEMM computes the convolution by im2col lowering followed by
+// matrix multiplication. Results match Conv2D to floating-point
+// reassociation tolerance.
+func Conv2DGEMM(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	cout, cin, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if cin != in.Shape[0] {
+		panic("tensor: Conv2DGEMM channel mismatch")
+	}
+	cols := Im2Col(in, kh, kw, spec)
+	wm := w.Reshape(cout, cin*kh*kw)
+	prod := MatMul(wm, cols)
+	hout, wout := spec.OutDims(in.Shape[1], in.Shape[2], kh, kw)
+	out := prod.Reshape(cout, hout, wout)
+	if bias != nil {
+		if len(bias) != cout {
+			panic("tensor: Conv2DGEMM bias length mismatch")
+		}
+		plane := hout * wout
+		for oc := 0; oc < cout; oc++ {
+			b := bias[oc]
+			seg := out.Data[oc*plane : (oc+1)*plane]
+			for i := range seg {
+				seg[i] += b
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseConv2D applies one [KH, KW] filter per input channel (the
+// MobileNet depthwise-separable building block). Weights are
+// [C, KH, KW]; bias may be nil.
+func DepthwiseConv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	c, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	wc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
+	if c != wc {
+		panic(fmt.Sprintf("tensor: DepthwiseConv2D channel mismatch: %v vs %v", in.Shape, w.Shape))
+	}
+	if bias != nil && len(bias) != c {
+		panic("tensor: DepthwiseConv2D bias length mismatch")
+	}
+	padH, padW := spec.padHW()
+	hout, wout := spec.OutDims(h, wd, kh, kw)
+	out := New(c, hout, wout)
+	for ic := 0; ic < c; ic++ {
+		var b float32
+		if bias != nil {
+			b = bias[ic]
+		}
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < wout; ox++ {
+				sum := b
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*spec.Stride + ky - padH
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*spec.Stride + kx - padW
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						sum += in.Data[(ic*h+iy)*wd+ix] * w.Data[(ic*kh+ky)*kw+kx]
+					}
+				}
+				out.Data[(ic*hout+oy)*wout+ox] = sum
+			}
+		}
+	}
+	return out
+}

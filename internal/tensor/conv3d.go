@@ -1,0 +1,126 @@
+package tensor
+
+import "fmt"
+
+// Conv3DSpec describes a 3-D convolution over [C, D, H, W] video tensors
+// (the C3D model's building block). A single stride/pad applies to all
+// three spatial-temporal dimensions, matching C3D's homogeneous 3x3x3
+// architecture.
+type Conv3DSpec struct {
+	Stride int
+	Pad    int
+}
+
+func (s Conv3DSpec) check() Conv3DSpec {
+	if s.Stride <= 0 {
+		s.Stride = 1
+	}
+	if s.Pad < 0 {
+		panic("tensor: negative conv3d padding")
+	}
+	return s
+}
+
+// OutDim returns the output size for an input dimension of size in with
+// kernel size k.
+func (s Conv3DSpec) OutDim(in, k int) int {
+	s = s.check()
+	out := (in+2*s.Pad-k)/s.Stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv3d output dim %d <= 0", out))
+	}
+	return out
+}
+
+// Conv3D computes a direct 3-D convolution. Input is [Cin, D, H, W],
+// weights are [Cout, Cin, KD, KH, KW]; bias may be nil.
+func Conv3D(in, w *Tensor, bias []float32, spec Conv3DSpec) *Tensor {
+	spec = spec.check()
+	cin, d, h, wd := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	cout, wcin, kd, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3], w.Shape[4]
+	if cin != wcin {
+		panic(fmt.Sprintf("tensor: Conv3D channel mismatch: %v vs %v", in.Shape, w.Shape))
+	}
+	if bias != nil && len(bias) != cout {
+		panic("tensor: Conv3D bias length mismatch")
+	}
+	dout := spec.OutDim(d, kd)
+	hout := spec.OutDim(h, kh)
+	wout := spec.OutDim(wd, kw)
+	out := New(cout, dout, hout, wout)
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		for od := 0; od < dout; od++ {
+			for oy := 0; oy < hout; oy++ {
+				for ox := 0; ox < wout; ox++ {
+					sum := b
+					for ic := 0; ic < cin; ic++ {
+						for kz := 0; kz < kd; kz++ {
+							iz := od*spec.Stride + kz - spec.Pad
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for ky := 0; ky < kh; ky++ {
+								iy := oy*spec.Stride + ky - spec.Pad
+								if iy < 0 || iy >= h {
+									continue
+								}
+								for kx := 0; kx < kw; kx++ {
+									ix := ox*spec.Stride + kx - spec.Pad
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									sum += in.Data[((ic*d+iz)*h+iy)*wd+ix] *
+										w.Data[(((oc*cin+ic)*kd+kz)*kh+ky)*kw+kx]
+								}
+							}
+						}
+					}
+					out.Data[((oc*dout+od)*hout+oy)*wout+ox] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool3D applies kxkxk max pooling with the given stride over
+// [C, D, H, W]. C3D uses 2x2x2 pooling (1x2x2 for the first layer, which
+// callers express by pre-slicing; the cost model handles the exact shape).
+func MaxPool3D(in *Tensor, k, stride int) *Tensor {
+	if stride <= 0 {
+		stride = k
+	}
+	c, d, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	dout := (d-k)/stride + 1
+	hout := (h-k)/stride + 1
+	wout := (w-k)/stride + 1
+	if dout <= 0 || hout <= 0 || wout <= 0 {
+		panic("tensor: MaxPool3D output dim <= 0")
+	}
+	out := New(c, dout, hout, wout)
+	for ic := 0; ic < c; ic++ {
+		for od := 0; od < dout; od++ {
+			for oy := 0; oy < hout; oy++ {
+				for ox := 0; ox < wout; ox++ {
+					m := float32(negInf)
+					for kz := 0; kz < k; kz++ {
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								v := in.Data[((ic*d+od*stride+kz)*h+oy*stride+ky)*w+ox*stride+kx]
+								if v > m {
+									m = v
+								}
+							}
+						}
+					}
+					out.Data[((ic*dout+od)*hout+oy)*wout+ox] = m
+				}
+			}
+		}
+	}
+	return out
+}

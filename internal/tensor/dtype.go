@@ -1,0 +1,49 @@
+package tensor
+
+// DType identifies the numeric datatype a framework executes a graph in.
+// The functional engine always computes in float32; DType drives the
+// analytic cost model (bytes per element, device throughput class) and the
+// quantization emulation passes.
+type DType int
+
+const (
+	// FP32 is IEEE-754 single precision, the default inference datatype.
+	FP32 DType = iota
+	// FP16 is IEEE-754 half precision, supported by GPU-class devices and
+	// the Movidius VPU (Table II "Half-Precision" row).
+	FP16
+	// INT8 is 8-bit symmetric fixed point, used by TFLite/EdgeTPU and
+	// TensorRT low-precision inference (Table II "Quantization" row).
+	INT8
+	// FP64 is double precision; included for completeness (HPC CPUs).
+	FP64
+)
+
+// Bytes returns the storage size of one element of the datatype.
+func (d DType) Bytes() int {
+	switch d {
+	case FP16:
+		return 2
+	case INT8:
+		return 1
+	case FP64:
+		return 8
+	default:
+		return 4
+	}
+}
+
+func (d DType) String() string {
+	switch d {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	case FP64:
+		return "fp64"
+	default:
+		return "unknown"
+	}
+}

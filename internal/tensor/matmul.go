@@ -1,0 +1,54 @@
+package tensor
+
+import "fmt"
+
+// MatMul multiplies a [M, K] tensor by a [K, N] tensor producing [M, N].
+// It uses an ikj loop order with a flat inner loop, the cache-friendly
+// structure GEMM-based convolution (im2col) relies on.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue // sparse-friendly: skip pruned weights
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec multiplies a [M, K] matrix by a length-K vector producing a
+// length-M vector. Fully-connected layers in single-batch inference reduce
+// to this shape, which is why the paper calls CNN compute "dominated by
+// matrix-matrix and matrix-vector multiplications" (Table I footnote).
+func MatVec(a *Tensor, x []float32) []float32 {
+	if len(a.Shape) != 2 || a.Shape[1] != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch: %v x vec(%d)", a.Shape, len(x)))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	out := make([]float32, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		var sum float32
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}

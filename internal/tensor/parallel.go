@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Conv2DParallel computes the same convolution as Conv2D, sharding
+// output channels across GOMAXPROCS goroutines. Output channels are
+// independent, so the shards share only read-only inputs — no locking.
+// For small layers the goroutine overhead dominates, so callers (the
+// executor) fall back to the serial kernel below a work threshold.
+func Conv2DParallel(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	cout := w.Shape[0]
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cout {
+		workers = cout
+	}
+	if workers <= 1 {
+		return Conv2D(in, w, bias, spec)
+	}
+	kh, kw := w.Shape[2], w.Shape[3]
+	hout, wout := spec.OutDims(in.Shape[1], in.Shape[2], kh, kw)
+	out := New(cout, hout, wout)
+
+	var wg sync.WaitGroup
+	per := (cout + workers - 1) / workers
+	for start := 0; start < cout; start += per {
+		end := start + per
+		if end > cout {
+			end = cout
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			convChannels(in, w, bias, spec, out, lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+	return out
+}
+
+// convChannels computes output channels [lo, hi) into out.
+func convChannels(in, w *Tensor, bias []float32, spec Conv2DSpec, out *Tensor, lo, hi int) {
+	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	kh, kw := w.Shape[2], w.Shape[3]
+	padH, padW := spec.padHW()
+	hout, wout := out.Shape[1], out.Shape[2]
+	for oc := lo; oc < hi; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < wout; ox++ {
+				sum := b
+				for ic := 0; ic < cin; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*spec.Stride + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*spec.Stride + kx - padW
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							sum += in.Data[(ic*h+iy)*wd+ix] *
+								w.Data[((oc*cin+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.Data[(oc*hout+oy)*wout+ox] = sum
+			}
+		}
+	}
+}
+
+// parallelThresholdMACs is the work level above which sharding pays for
+// its goroutine overhead (~1M multiply-accumulates).
+const parallelThresholdMACs = 1 << 20
+
+// Conv2DAuto picks the parallel kernel for large layers and the serial
+// one otherwise.
+func Conv2DAuto(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	kh, kw := w.Shape[2], w.Shape[3]
+	hout, wout := spec.OutDims(in.Shape[1], in.Shape[2], kh, kw)
+	macs := w.Shape.NumElems() * hout * wout / w.Shape[0] * w.Shape[0] // filter elems x output positions
+	if macs >= parallelThresholdMACs {
+		return Conv2DParallel(in, w, bias, spec)
+	}
+	return Conv2D(in, w, bias, spec)
+}

@@ -1,0 +1,240 @@
+package tensor
+
+import "math"
+
+// QTensor is a symmetric INT8-quantized tensor: value ≈ Scale * int8.
+// This is the representation TFLite/EdgeTPU and TensorRT INT8 modes use
+// for weights (per-tensor symmetric scheme).
+type QTensor struct {
+	Shape Shape
+	Data  []int8
+	Scale float32
+}
+
+// QuantizeSymmetric quantizes t to INT8 with a per-tensor scale of
+// maxabs/127. An all-zero tensor quantizes with scale 1 to avoid a
+// degenerate zero scale.
+func QuantizeSymmetric(t *Tensor) *QTensor {
+	scale := t.MaxAbs() / 127
+	if scale == 0 {
+		scale = 1
+	}
+	q := &QTensor{Shape: t.Shape.Clone(), Data: make([]int8, len(t.Data)), Scale: scale}
+	for i, v := range t.Data {
+		r := math.RoundToEven(float64(v / scale))
+		if r > 127 {
+			r = 127
+		} else if r < -127 {
+			r = -127
+		}
+		q.Data[i] = int8(r)
+	}
+	return q
+}
+
+// Dequantize reconstructs a float32 tensor from q.
+func (q *QTensor) Dequantize() *Tensor {
+	t := &Tensor{Shape: q.Shape.Clone(), Data: make([]float32, len(q.Data))}
+	for i, v := range q.Data {
+		t.Data[i] = float32(v) * q.Scale
+	}
+	return t
+}
+
+// QuantizePerChannelRoundTrip quantizes a weight tensor to INT8 with one
+// symmetric scale per output channel (the tensor's first axis) and
+// reconstructs it — the per-axis scheme TFLite actually applies to
+// convolution weights, which cuts quantization error on layers whose
+// channels have very different magnitudes. It returns the reconstructed
+// tensor and the per-channel scales.
+func QuantizePerChannelRoundTrip(t *Tensor) (*Tensor, []float32) {
+	cout := t.Shape[0]
+	per := len(t.Data) / cout
+	out := t.Clone()
+	scales := make([]float32, cout)
+	for oc := 0; oc < cout; oc++ {
+		seg := out.Data[oc*per : (oc+1)*per]
+		var maxAbs float32
+		for _, v := range seg {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		scales[oc] = scale
+		for i, v := range seg {
+			r := math.RoundToEven(float64(v / scale))
+			if r > 127 {
+				r = 127
+			} else if r < -127 {
+				r = -127
+			}
+			seg[i] = float32(r) * scale
+		}
+	}
+	return out, scales
+}
+
+// RoundTripFP16 converts every element to IEEE-754 binary16 and back,
+// emulating half-precision inference error. Values beyond the FP16 range
+// saturate to ±65504 (no infinities), matching accelerator behaviour.
+func RoundTripFP16(t *Tensor) *Tensor {
+	out := t.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = fromFP16(toFP16(v))
+	}
+	return out
+}
+
+// toFP16 converts a float32 to binary16 bits with round-to-nearest-even
+// and saturation.
+func toFP16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127 + 15
+	mant := b & 0x7fffff
+
+	switch {
+	case exp >= 0x1f: // overflow or inf/NaN
+		if b&0x7fffffff > 0x7f800000 { // NaN
+			return sign | 0x7e00
+		}
+		return sign | 0x7bff // saturate to 65504
+	case exp <= 0: // subnormal or underflow
+		if exp < -10 {
+			return sign // flush to zero
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + half) >> shift
+		// round-to-nearest-even on ties
+		if mant&((half<<1)-1) == half && rounded&1 == 1 {
+			rounded--
+		}
+		return sign | uint16(rounded)
+	default:
+		rounded := mant + 0xfff + (mant>>13)&1
+		if rounded&0x800000 != 0 { // mantissa overflowed into exponent
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return sign | 0x7bff
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(rounded>>13)
+	}
+}
+
+// fromFP16 converts binary16 bits to float32.
+func fromFP16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// PruneMagnitude zeroes the fraction of elements with the smallest
+// absolute values (global magnitude pruning) in place and returns the
+// count of zeroed elements. fraction is clamped to [0, 1].
+func PruneMagnitude(t *Tensor, fraction float64) int {
+	if fraction <= 0 || len(t.Data) == 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	k := int(fraction * float64(len(t.Data)))
+	if k == 0 {
+		return 0
+	}
+	// Find the k-th smallest |value| via a copied sort of magnitudes.
+	mags := make([]float64, len(t.Data))
+	for i, v := range t.Data {
+		mags[i] = math.Abs(float64(v))
+	}
+	threshold := kthSmallest(mags, k)
+	zeroed := 0
+	for i, v := range t.Data {
+		if zeroed >= k {
+			break
+		}
+		if math.Abs(float64(v)) <= threshold {
+			t.Data[i] = 0
+			zeroed++
+		}
+	}
+	return zeroed
+}
+
+// Sparsity returns the fraction of exactly-zero elements in t.
+func Sparsity(t *Tensor) float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, v := range t.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(t.Data))
+}
+
+// kthSmallest returns the k-th smallest value (1-based) using quickselect.
+func kthSmallest(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	k-- // 0-based target index
+	for lo < hi {
+		// Hoare partition: [lo..p] <= pivot <= [p+1..hi].
+		p := partition(xs, lo, hi)
+		if k <= p {
+			hi = p
+		} else {
+			lo = p + 1
+		}
+	}
+	return xs[k]
+}
+
+func partition(xs []float64, lo, hi int) int {
+	pivot := xs[(lo+hi)/2]
+	i, j := lo, hi
+	for {
+		for xs[i] < pivot {
+			i++
+		}
+		for xs[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j
+		}
+		xs[i], xs[j] = xs[j], xs[i]
+		i++
+		j--
+	}
+}

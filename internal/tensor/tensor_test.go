@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/stats"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{2, 3, 4}
+	if s.NumElems() != 24 {
+		t.Fatalf("NumElems = %d, want 24", s.NumElems())
+	}
+	if !s.Equal(Shape{2, 3, 4}) || s.Equal(Shape{2, 3}) || s.Equal(Shape{2, 3, 5}) {
+		t.Fatal("Equal misbehaves")
+	}
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 2 {
+		t.Fatal("Clone should be independent")
+	}
+	if (Shape{}).NumElems() != 0 {
+		t.Fatal("empty shape should have 0 elems")
+	}
+	if s.String() != "[2 3 4]" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestNewAndFromData(t *testing.T) {
+	a := New(2, 3)
+	if len(a.Data) != 6 {
+		t.Fatalf("len = %d", len(a.Data))
+	}
+	b := FromData([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if b.At(1, 2) != 6 || b.At(0, 0) != 1 {
+		t.Fatal("At wrong")
+	}
+	b.Set(9, 0, 1)
+	if b.At(0, 1) != 9 {
+		t.Fatal("Set wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromData with wrong length should panic")
+		}
+	}()
+	FromData([]float32{1}, 2, 2)
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero dim should panic")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestCloneAndFill(t *testing.T) {
+	a := New(4).Fill(3)
+	b := a.Clone()
+	b.Data[0] = 7
+	if a.Data[0] != 3 {
+		t.Fatal("Clone should deep copy")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromData([]float32{1, 2, 3, 4}, 2, 2)
+	v := a.Reshape(4)
+	v.Data[0] = 42
+	if a.Data[0] != 42 {
+		t.Fatal("Reshape must share backing data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape with wrong count should panic")
+		}
+	}()
+	a.Reshape(3)
+}
+
+func TestRandomizeDeterministic(t *testing.T) {
+	a := New(100).Randomize(stats.NewRNG(5), 1)
+	b := New(100).Randomize(stats.NewRNG(5), 1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed should give same tensor")
+		}
+		if a.Data[i] < -1 || a.Data[i] >= 1 {
+			t.Fatalf("value %v outside [-1,1)", a.Data[i])
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromData([]float32{1, -5, 3}, 3)
+	if a.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+	if New(2).MaxAbs() != 0 {
+		t.Fatal("zero tensor MaxAbs should be 0")
+	}
+}
+
+func TestDTypeBytes(t *testing.T) {
+	cases := map[DType]int{FP32: 4, FP16: 2, INT8: 1, FP64: 8, DType(99): 4}
+	for d, want := range cases {
+		if d.Bytes() != want {
+			t.Errorf("%v.Bytes() = %d, want %d", d, d.Bytes(), want)
+		}
+	}
+	for _, d := range []DType{FP32, FP16, INT8, FP64} {
+		if d.String() == "unknown" || d.String() == "" {
+			t.Errorf("DType %d has bad String", d)
+		}
+	}
+	if DType(99).String() != "unknown" {
+		t.Error("unknown DType should stringify as unknown")
+	}
+}
+
+func TestAtPanicsOnRankMismatch(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At with wrong rank should panic")
+		}
+	}()
+	a.At(1)
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range should panic")
+		}
+	}()
+	a.At(0, 2)
+}
+
+func almostEq32(a, b float32, tol float64) bool {
+	return math.Abs(float64(a-b)) <= tol
+}

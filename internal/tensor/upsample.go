@@ -1,0 +1,129 @@
+package tensor
+
+import "fmt"
+
+// UpsampleNearest2D scales a [C, H, W] tensor spatially by integer factor
+// using nearest-neighbor replication — the route-layer upsampling YOLOv3
+// uses to merge coarse and fine feature maps.
+func UpsampleNearest2D(in *Tensor, factor int) *Tensor {
+	if factor < 1 {
+		panic(fmt.Sprintf("tensor: upsample factor %d < 1", factor))
+	}
+	if factor == 1 {
+		return in.Clone()
+	}
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh, ow := h*factor, w*factor
+	out := New(c, oh, ow)
+	for ic := 0; ic < c; ic++ {
+		for oy := 0; oy < oh; oy++ {
+			src := in.Data[(ic*h+oy/factor)*w : (ic*h+oy/factor+1)*w]
+			dst := out.Data[(ic*oh+oy)*ow : (ic*oh+oy+1)*ow]
+			for ox := 0; ox < ow; ox++ {
+				dst[ox] = src[ox/factor]
+			}
+		}
+	}
+	return out
+}
+
+// ShuffleChannels permutes a [C, H, W] tensor's channels across groups
+// (ShuffleNet): channel i moves to position (i%g)*(C/g) + i/g, which
+// interleaves the groups so the next grouped convolution sees features
+// from every group.
+func ShuffleChannels(in *Tensor, groups int) *Tensor {
+	c := in.Shape[0]
+	if groups <= 1 {
+		return in.Clone()
+	}
+	if c%groups != 0 {
+		panic(fmt.Sprintf("tensor: shuffle groups %d do not divide channels %d", groups, c))
+	}
+	plane := in.Shape.NumElems() / c
+	out := New(in.Shape...)
+	per := c / groups
+	for i := 0; i < c; i++ {
+		dst := (i%groups)*per + i/groups
+		copy(out.Data[dst*plane:(dst+1)*plane], in.Data[i*plane:(i+1)*plane])
+	}
+	return out
+}
+
+// Pool3DSpec describes 3-D max pooling with independent temporal and
+// spatial kernels/strides and optional spatial padding — C3D's pool1 is
+// (1,2,2) while its deeper pools are (2,2,2), and pool5 uses spatial
+// padding to keep a 4x4 map.
+type Pool3DSpec struct {
+	KernelD, Kernel int
+	StrideD, Stride int
+	PadSpatial      int
+}
+
+func (s Pool3DSpec) check() Pool3DSpec {
+	if s.Kernel <= 0 || s.KernelD <= 0 {
+		panic("tensor: pool3d kernels must be positive")
+	}
+	if s.Stride <= 0 {
+		s.Stride = s.Kernel
+	}
+	if s.StrideD <= 0 {
+		s.StrideD = s.KernelD
+	}
+	if s.PadSpatial < 0 {
+		panic("tensor: negative pool3d padding")
+	}
+	return s
+}
+
+// OutDims returns the pooled [D, H, W] dimensions.
+func (s Pool3DSpec) OutDims(d, h, w int) (int, int, int) {
+	s = s.check()
+	od := (d-s.KernelD)/s.StrideD + 1
+	oh := (h+2*s.PadSpatial-s.Kernel)/s.Stride + 1
+	ow := (w+2*s.PadSpatial-s.Kernel)/s.Stride + 1
+	if od <= 0 || oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: pool3d output %dx%dx%d <= 0", od, oh, ow))
+	}
+	return od, oh, ow
+}
+
+// MaxPool3DSpec applies asymmetric 3-D max pooling over [C, D, H, W].
+// Padded spatial positions never win the max.
+func MaxPool3DSpec(in *Tensor, spec Pool3DSpec) *Tensor {
+	spec = spec.check()
+	c, d, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	od, oh, ow := spec.OutDims(d, h, w)
+	out := New(c, od, oh, ow)
+	for ic := 0; ic < c; ic++ {
+		for z := 0; z < od; z++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					m := negInf
+					for kz := 0; kz < spec.KernelD; kz++ {
+						iz := z*spec.StrideD + kz
+						if iz >= d {
+							continue
+						}
+						for ky := 0; ky < spec.Kernel; ky++ {
+							iy := oy*spec.Stride + ky - spec.PadSpatial
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < spec.Kernel; kx++ {
+								ix := ox*spec.Stride + kx - spec.PadSpatial
+								if ix < 0 || ix >= w {
+									continue
+								}
+								if v := in.Data[((ic*d+iz)*h+iy)*w+ix]; v > m {
+									m = v
+								}
+							}
+						}
+					}
+					out.Data[((ic*od+z)*oh+oy)*ow+ox] = m
+				}
+			}
+		}
+	}
+	return out
+}

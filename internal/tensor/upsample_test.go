@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+
+	"edgebench/internal/stats"
+)
+
+func TestUpsampleNearest2D(t *testing.T) {
+	in := FromData([]float32{1, 2, 3, 4}, 1, 2, 2)
+	out := UpsampleNearest2D(in, 2)
+	if !out.Shape.Equal(Shape{1, 4, 4}) {
+		t.Fatalf("shape %v", out.Shape)
+	}
+	want := []float32{
+		1, 1, 2, 2,
+		1, 1, 2, 2,
+		3, 3, 4, 4,
+		3, 3, 4, 4,
+	}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+	// Factor 1 copies.
+	same := UpsampleNearest2D(in, 1)
+	same.Data[0] = 9
+	if in.Data[0] != 1 {
+		t.Fatal("factor-1 upsample should copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor 0 should panic")
+		}
+	}()
+	UpsampleNearest2D(in, 0)
+}
+
+func TestPool3DSpecOutDims(t *testing.T) {
+	s := Pool3DSpec{KernelD: 1, Kernel: 2, PadSpatial: 1}
+	d, h, w := s.OutDims(12, 7, 7)
+	if d != 12 || h != 4 || w != 4 {
+		t.Fatalf("dims = %d,%d,%d", d, h, w)
+	}
+	// Default strides follow kernels.
+	s2 := Pool3DSpec{KernelD: 2, Kernel: 2}
+	d, h, w = s2.OutDims(8, 8, 8)
+	if d != 4 || h != 4 || w != 4 {
+		t.Fatalf("default-stride dims = %d,%d,%d", d, h, w)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero kernel should panic")
+		}
+	}()
+	(Pool3DSpec{}).OutDims(4, 4, 4)
+}
+
+func TestMaxPool3DSpecPadding(t *testing.T) {
+	in := New(1, 2, 3, 3).Fill(-1)
+	in.Data[0] = 5 // (d=0, y=0, x=0)
+	out := MaxPool3DSpec(in, Pool3DSpec{KernelD: 2, Kernel: 2, StrideD: 2, Stride: 2, PadSpatial: 1})
+	if !out.Shape.Equal(Shape{1, 1, 2, 2}) {
+		t.Fatalf("shape %v", out.Shape)
+	}
+	if out.At(0, 0, 0, 0) != 5 {
+		t.Fatalf("padded max = %v, want 5", out.At(0, 0, 0, 0))
+	}
+	// Padded positions must not contribute zeros against negatives.
+	if out.At(0, 0, 1, 1) != -1 {
+		t.Fatalf("all-negative window = %v, want -1", out.At(0, 0, 1, 1))
+	}
+}
+
+func TestConv2DParallelWorkerPath(t *testing.T) {
+	// The host may have one CPU; raise GOMAXPROCS so the sharded path
+	// actually runs multiple goroutines.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	r := stats.NewRNG(31)
+	in := New(8, 12, 12).Randomize(r, 1)
+	w := New(8, 8, 3, 3).Randomize(r, 1)
+	bias := make([]float32, 8)
+	spec := Conv2DSpec{Stride: 1, Pad: 1}
+	a := Conv2D(in, w, bias, spec)
+	b := Conv2DParallel(in, w, bias, spec)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("worker-sharded conv diverges from serial")
+		}
+	}
+	// More workers than channels clamps.
+	small := New(2, 4, 4).Randomize(r, 1)
+	sw := New(2, 2, 1, 1).Randomize(r, 1)
+	c := Conv2DParallel(small, sw, nil, Conv2DSpec{})
+	d := Conv2D(small, sw, nil, Conv2DSpec{})
+	for i := range c.Data {
+		if c.Data[i] != d.Data[i] {
+			t.Fatal("clamped worker conv diverges")
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package thermal_test
+
+import (
+	"fmt"
+
+	"edgebench/internal/device"
+	"edgebench/internal/thermal"
+)
+
+// ExampleSimulator_SustainedFactor shows the three thermal fates under
+// continuous load: the fanned TX2 holds full speed, the fanless Nano
+// throttles, and the bare RPi shuts down (Fig. 14's events).
+func ExampleSimulator_SustainedFactor() {
+	for _, name := range []string{"JetsonTX2", "JetsonNano", "RPi3"} {
+		dev := device.MustGet(name)
+		sim := thermal.NewSimulator(dev)
+		f := sim.SustainedFactor(thermal.SustainedWatts(dev))
+		fmt.Printf("%s: sustained factor %.2f\n", name, f)
+	}
+	// Output:
+	// JetsonTX2: sustained factor 1.00
+	// JetsonNano: sustained factor 0.70
+	// RPi3: sustained factor 0.00
+}

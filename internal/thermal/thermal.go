@@ -1,0 +1,173 @@
+// Package thermal implements the lumped-RC thermal model behind the
+// paper's temperature study (§V, §VI-F, Fig. 14, Table VI): junction
+// temperature follows C·dT/dt = P − (T − Tamb)/R, the fan thermostat
+// switches R when it spins up, the Raspberry Pi trips thermal shutdown,
+// and the simulated Flir camera reads the heatsink surface 5-10 °C below
+// the junction (§V).
+package thermal
+
+import (
+	"edgebench/internal/device"
+)
+
+// Point is one instant of a simulated thermal trace.
+type Point struct {
+	TimeSec   float64
+	JunctionC float64
+	// SurfaceC is what the thermal camera reads: the heatsink surface
+	// sits below the junction by the package's thermal drop.
+	SurfaceC  float64
+	Watts     float64
+	FanOn     bool
+	Throttled bool
+	Shutdown  bool
+}
+
+// cameraOffsetC is the §V junction-to-heatsink-surface drop (5-10 °C;
+// we use the midpoint). Devices without a heatsink expose the package
+// itself, which reads much closer to the junction.
+const (
+	cameraOffsetHeatsinkC = 7.5
+	cameraOffsetBareC     = 1.5
+)
+
+// Simulator integrates the RC model for one device.
+type Simulator struct {
+	Device *device.Device
+	// AmbientC defaults so that the device's measured idle temperature
+	// is the model's idle fixed point (self-consistent with Table VI).
+	AmbientC float64
+	// StepSec is the integration step (default 1 s).
+	StepSec float64
+}
+
+// NewSimulator builds a simulator with the self-consistent ambient.
+func NewSimulator(dev *device.Device) *Simulator {
+	return &Simulator{
+		Device:   dev,
+		AmbientC: dev.Thermal.IdleC - dev.IdleWatts*dev.Thermal.ResistanceCPerW,
+		StepSec:  1,
+	}
+}
+
+// resistance returns the junction-to-ambient resistance given fan state.
+func (s *Simulator) resistance(fanOn bool) float64 {
+	th := s.Device.Thermal
+	if fanOn && th.FanResistanceCPerW > 0 {
+		return th.FanResistanceCPerW
+	}
+	return th.ResistanceCPerW
+}
+
+// Run integrates the model for durationSec, drawing instantaneous power
+// from powerAt (Watts as a function of time). The trace starts at the
+// device's idle temperature. A thermal shutdown latches: power drops to
+// zero (the paper's RPi shuts off mid-experiment, Fig. 14) and the
+// device cools.
+func (s *Simulator) Run(durationSec float64, powerAt func(tSec float64) float64) []Point {
+	dev := s.Device
+	th := dev.Thermal
+	dt := s.StepSec
+	if dt <= 0 {
+		dt = 1
+	}
+	temp := th.IdleC
+	fanOn := false
+	throttled := false
+	shutdown := false
+	n := int(durationSec/dt) + 1
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		p := powerAt(t)
+		if shutdown {
+			p = 0
+		}
+		// Fan thermostat with 5 °C hysteresis.
+		if dev.Cooling.Fan {
+			switch {
+			case !fanOn && temp >= dev.Cooling.FanOnC:
+				fanOn = true
+			case fanOn && temp < dev.Cooling.FanOnC-5:
+				fanOn = false
+			}
+		}
+		// DVFS throttle with 5 °C hysteresis: the firmware clocks down,
+		// cutting dynamic power by the throttle factor.
+		if th.ThrottleC > 0 {
+			switch {
+			case !throttled && temp >= th.ThrottleC:
+				throttled = true
+			case throttled && temp < th.ThrottleC-5:
+				throttled = false
+			}
+			if throttled && !shutdown && p > dev.IdleWatts {
+				p = dev.IdleWatts + (p-dev.IdleWatts)*th.ThrottleFactor
+			}
+		}
+		if th.ShutdownC > 0 && temp >= th.ShutdownC {
+			shutdown = true
+			p = 0
+		}
+		offset := cameraOffsetBareC
+		if dev.Cooling.Heatsink {
+			offset = cameraOffsetHeatsinkC
+		}
+		out = append(out, Point{
+			TimeSec:   t,
+			JunctionC: temp,
+			SurfaceC:  temp - offset,
+			Watts:     p,
+			FanOn:     fanOn,
+			Throttled: throttled && !shutdown,
+			Shutdown:  shutdown,
+		})
+		r := s.resistance(fanOn)
+		dTemp := (p - (temp-s.AmbientC)/r) / th.CapacitanceJPerC * dt
+		temp += dTemp
+	}
+	return out
+}
+
+// SustainedFactor returns the long-run speed fraction a device delivers
+// under a continuous load drawing watts: 1 at full speed, the throttle
+// factor once DVFS engages, 0 if the device shuts down instead.
+func (s *Simulator) SustainedFactor(watts float64) float64 {
+	pts := s.Run(3600, func(float64) float64 { return watts })
+	final := pts[len(pts)-1]
+	switch {
+	case final.Shutdown:
+		return 0
+	case final.Throttled:
+		return s.Device.Thermal.ThrottleFactor
+	default:
+		return 1
+	}
+}
+
+// SteadyStateC returns the fixed-point junction temperature at the given
+// power, honoring the fan thermostat. It does not model DVFS throttling
+// (whose hysteresis makes the long-run state an oscillation around the
+// throttle point rather than a fixed temperature); use Run or
+// SustainedFactor for throttling devices.
+func (s *Simulator) SteadyStateC(watts float64) float64 {
+	noFan := s.AmbientC + watts*s.resistance(false)
+	if s.Device.Cooling.Fan && noFan >= s.Device.Cooling.FanOnC {
+		withFan := s.AmbientC + watts*s.resistance(true)
+		if withFan < s.Device.Cooling.FanOnC-5 {
+			// The fan would cool below its own trip point; the device
+			// oscillates around the threshold — report the threshold.
+			return s.Device.Cooling.FanOnC
+		}
+		return withFan
+	}
+	return noFan
+}
+
+// SustainedWatts estimates the draw of a heavy sustained workload (the
+// paper's Fig. 14 runs Inception-v4 until steady state): the Table III
+// average plus half of its dynamic swing, since the average spans
+// lighter models too.
+func SustainedWatts(dev *device.Device) float64 {
+	return dev.AvgWatts + 0.5*(dev.AvgWatts-dev.IdleWatts)
+}

@@ -1,0 +1,221 @@
+package thermal_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgebench/internal/device"
+	"edgebench/internal/thermal"
+)
+
+func constPower(w float64) func(float64) float64 {
+	return func(float64) float64 { return w }
+}
+
+func TestIdleIsFixedPoint(t *testing.T) {
+	for _, name := range []string{"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU", "Movidius"} {
+		dev := device.MustGet(name)
+		sim := thermal.NewSimulator(dev)
+		trace := sim.Run(600, constPower(dev.IdleWatts))
+		final := trace[len(trace)-1].JunctionC
+		if math.Abs(final-dev.Thermal.IdleC) > 0.5 {
+			t.Errorf("%s: idle power should hold at %.1f°C, got %.1f", name, dev.Thermal.IdleC, final)
+		}
+	}
+}
+
+func TestMonotoneRiseUnderLoad(t *testing.T) {
+	// Movidius has no fan, throttle, or shutdown: heating must be
+	// strictly monotone toward the fixed point.
+	dev := device.MustGet("Movidius")
+	sim := thermal.NewSimulator(dev)
+	trace := sim.Run(900, constPower(thermal.SustainedWatts(dev)))
+	for i := 1; i < len(trace); i++ {
+		if trace[i].JunctionC < trace[i-1].JunctionC-1e-9 {
+			t.Fatalf("temperature dipped at %v without cause", trace[i].TimeSec)
+		}
+	}
+	if trace[len(trace)-1].JunctionC < trace[0].JunctionC+8 {
+		t.Fatal("sustained load should heat the stick substantially")
+	}
+}
+
+func TestNanoThrottles(t *testing.T) {
+	// The fanless Nano engages DVFS instead of shutting down: the trace
+	// reaches the throttle point, clocks down, and oscillates below it.
+	dev := device.MustGet("JetsonNano")
+	sim := thermal.NewSimulator(dev)
+	trace := sim.Run(3600, constPower(thermal.SustainedWatts(dev)))
+	throttled := false
+	for _, p := range trace {
+		if p.Shutdown {
+			t.Fatal("Nano must not shut down")
+		}
+		if p.Throttled {
+			throttled = true
+			if p.JunctionC > dev.Thermal.ThrottleC+2 {
+				t.Fatalf("throttle failed to cap temperature: %.1f", p.JunctionC)
+			}
+		}
+	}
+	if !throttled {
+		t.Fatal("sustained load should throttle the fanless Nano")
+	}
+	if f := sim.SustainedFactor(thermal.SustainedWatts(dev)); f != dev.Thermal.ThrottleFactor {
+		t.Fatalf("sustained factor = %v, want throttle factor %v", f, dev.Thermal.ThrottleFactor)
+	}
+}
+
+func TestSustainedFactorVariants(t *testing.T) {
+	// RPi under heavy load shuts down -> factor 0; TX2's fan holds full
+	// speed -> factor 1.
+	rpi := thermal.NewSimulator(device.MustGet("RPi3"))
+	if f := rpi.SustainedFactor(thermal.SustainedWatts(device.MustGet("RPi3"))); f != 0 {
+		t.Fatalf("RPi sustained factor = %v, want 0 (shutdown)", f)
+	}
+	tx2 := thermal.NewSimulator(device.MustGet("JetsonTX2"))
+	if f := tx2.SustainedFactor(thermal.SustainedWatts(device.MustGet("JetsonTX2"))); f != 1 {
+		t.Fatalf("TX2 sustained factor = %v, want 1 (fan)", f)
+	}
+}
+
+func TestRPiThermalShutdown(t *testing.T) {
+	// Fig. 14: the fanless, heatsink-less RPi reaches shutdown while
+	// running a heavy DNN.
+	dev := device.MustGet("RPi3")
+	sim := thermal.NewSimulator(dev)
+	trace := sim.Run(1800, constPower(thermal.SustainedWatts(dev)))
+	hit := false
+	var peak float64
+	for _, p := range trace {
+		if p.Shutdown {
+			hit = true
+		}
+		if p.JunctionC > peak {
+			peak = p.JunctionC
+		}
+	}
+	if !hit {
+		t.Fatalf("RPi should trip thermal shutdown (peak %.1f°C)", peak)
+	}
+	// After shutdown the device cools back toward ambient.
+	final := trace[len(trace)-1]
+	if !final.Shutdown || final.JunctionC >= peak-5 {
+		t.Fatalf("post-shutdown cooling missing: final %.1f vs peak %.1f", final.JunctionC, peak)
+	}
+}
+
+func TestTX2FanActivates(t *testing.T) {
+	// Fig. 14 annotates "Fan Working" on the TX2 trace; the fan holds
+	// the running temperature far below the fanless fixed point.
+	dev := device.MustGet("JetsonTX2")
+	sim := thermal.NewSimulator(dev)
+	load := thermal.SustainedWatts(dev)
+	trace := sim.Run(1800, constPower(load))
+	fanSeen := false
+	for _, p := range trace {
+		if p.FanOn {
+			fanSeen = true
+		}
+		if p.Shutdown {
+			t.Fatal("TX2 must not shut down")
+		}
+	}
+	if !fanSeen {
+		t.Fatal("TX2 fan should spin up under sustained load")
+	}
+	final := trace[len(trace)-1].JunctionC
+	fanless := sim.AmbientC + load*dev.Thermal.ResistanceCPerW
+	if final >= fanless-15 {
+		t.Fatalf("fan ineffective: final %.1f vs fanless %.1f", final, fanless)
+	}
+}
+
+func TestEdgeTPUFanStaysOff(t *testing.T) {
+	// Table VI: the EdgeTPU's fan never activated in the paper's runs.
+	dev := device.MustGet("EdgeTPU")
+	sim := thermal.NewSimulator(dev)
+	for _, p := range sim.Run(1800, constPower(thermal.SustainedWatts(dev))) {
+		if p.FanOn {
+			t.Fatal("EdgeTPU fan should stay off under its small power swing")
+		}
+	}
+}
+
+func TestMovidiusCoolestUnderLoad(t *testing.T) {
+	// §VI-F: Movidius has the lowest temperature (and power) among the
+	// edge peers.
+	peak := func(name string) float64 {
+		dev := device.MustGet(name)
+		sim := thermal.NewSimulator(dev)
+		var m float64
+		for _, p := range sim.Run(1800, constPower(thermal.SustainedWatts(dev))) {
+			if p.JunctionC > m {
+				m = p.JunctionC
+			}
+		}
+		return m
+	}
+	mov := peak("Movidius")
+	for _, peer := range []string{"RPi3", "JetsonTX2", "JetsonNano", "EdgeTPU"} {
+		if mov >= peak(peer) {
+			t.Errorf("Movidius (%.1f°C peak) should run cooler than %s (%.1f°C peak)", mov, peer, peak(peer))
+		}
+	}
+}
+
+func TestSurfaceReadsBelowJunction(t *testing.T) {
+	dev := device.MustGet("JetsonNano") // heatsink
+	sim := thermal.NewSimulator(dev)
+	for _, p := range sim.Run(120, constPower(dev.AvgWatts)) {
+		if d := p.JunctionC - p.SurfaceC; d < 5 || d > 10 {
+			t.Fatalf("camera offset %v outside the 5-10°C band (§V)", d)
+		}
+	}
+	bare := thermal.NewSimulator(device.MustGet("RPi3"))
+	for _, p := range bare.Run(60, constPower(2)) {
+		if d := p.JunctionC - p.SurfaceC; d >= 5 {
+			t.Fatalf("bare package should read close to junction, offset %v", d)
+		}
+	}
+}
+
+func TestSteadyStateMatchesTrace(t *testing.T) {
+	// SteadyStateC models the fan thermostat but not DVFS, so verify it
+	// against a device without a throttle point (TX2).
+	dev := device.MustGet("JetsonTX2")
+	sim := thermal.NewSimulator(dev)
+	load := thermal.SustainedWatts(dev)
+	trace := sim.Run(3600, constPower(load))
+	final := trace[len(trace)-1].JunctionC
+	if ss := sim.SteadyStateC(load); math.Abs(ss-final) > 1 {
+		t.Fatalf("SteadyStateC %.1f vs trace final %.1f", ss, final)
+	}
+}
+
+// Property: steady-state temperature is monotone in power.
+func TestSteadyStateMonotoneProperty(t *testing.T) {
+	sim := thermal.NewSimulator(device.MustGet("JetsonNano"))
+	f := func(a, b float64) bool {
+		pa, pb := math.Abs(a)/10, math.Abs(b)/10
+		if math.IsNaN(pa) || math.IsNaN(pb) || pa > 50 || pb > 50 {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return sim.SteadyStateC(pa) <= sim.SteadyStateC(pb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroStepDefaults(t *testing.T) {
+	sim := thermal.NewSimulator(device.MustGet("Movidius"))
+	sim.StepSec = 0
+	if got := sim.Run(10, constPower(1)); len(got) != 11 {
+		t.Fatalf("default step trace length = %d", len(got))
+	}
+}

@@ -1,0 +1,75 @@
+// Package trace generates the deterministic synthetic workloads that
+// stand in for the paper's live inputs (camera frames, video clips):
+// there are no datasets in this offline reproduction, and the paper's
+// measurements are input-value independent (§VI-A fn.4 — randomized
+// inputs/weights are the standard performance proxy).
+package trace
+
+import (
+	"fmt"
+
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+// Kind distinguishes workload classes per §II.
+type Kind int
+
+const (
+	// Image is a single camera frame.
+	Image Kind = iota
+	// Clip is a short frame sequence for video models.
+	Clip
+	// Sequence is a [T, F] feature sequence for recurrent models.
+	Sequence
+)
+
+// Generator produces reproducible synthetic inputs for a model's input
+// shape.
+type Generator struct {
+	Seed int64
+}
+
+// Input returns a synthetic tensor for the given input shape: rank-2
+// shapes become feature sequences, rank-3 images, rank-4 clips. Values
+// are normalized to the [0, 1) range.
+func (g Generator) Input(shape []int) (*tensor.Tensor, error) {
+	switch len(shape) {
+	case 2, 3, 4:
+		rng := stats.NewRNG(g.Seed)
+		t := tensor.New(shape...)
+		for i := range t.Data {
+			t.Data[i] = rng.Float32()
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("trace: unsupported input rank %d", len(shape))
+	}
+}
+
+// Stream yields n inputs with per-frame seeds derived from the base
+// seed, emulating a camera feed where every frame differs but the
+// sequence is reproducible.
+func (g Generator) Stream(shape []int, n int) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := Generator{Seed: g.Seed + int64(i)*7919}.Input(shape)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// KindOf classifies an input shape.
+func KindOf(shape []int) Kind {
+	switch len(shape) {
+	case 4:
+		return Clip
+	case 2:
+		return Sequence
+	default:
+		return Image
+	}
+}

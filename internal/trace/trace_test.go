@@ -1,0 +1,83 @@
+package trace_test
+
+import (
+	"testing"
+
+	"edgebench/internal/trace"
+)
+
+func TestInputShapesAndRange(t *testing.T) {
+	g := trace.Generator{Seed: 1}
+	img, err := g.Input([]int{3, 224, 224})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Shape.NumElems() != 3*224*224 {
+		t.Fatal("image size wrong")
+	}
+	for _, v := range img.Data[:1000] {
+		if v < 0 || v >= 1 {
+			t.Fatalf("pixel %v outside [0,1)", v)
+		}
+	}
+	clip, err := g.Input([]int{3, 12, 112, 112})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clip.Shape) != 4 {
+		t.Fatal("clip rank wrong")
+	}
+	if _, err := g.Input([]int{10}); err == nil {
+		t.Fatal("rank-1 input should error")
+	}
+	seq, err := g.Input([]int{64, 128})
+	if err != nil || len(seq.Shape) != 2 {
+		t.Fatalf("sequence input: %v %v", err, seq)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := trace.Generator{Seed: 9}.Input([]int{3, 8, 8})
+	b, _ := trace.Generator{Seed: 9}.Input([]int{3, 8, 8})
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must reproduce the frame")
+		}
+	}
+	c, _ := trace.Generator{Seed: 10}.Input([]int{3, 8, 8})
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestStreamFramesDiffer(t *testing.T) {
+	frames, err := trace.Generator{Seed: 4}.Stream([]int{1, 4, 4}, 5)
+	if err != nil || len(frames) != 5 {
+		t.Fatalf("stream: %v, %d frames", err, len(frames))
+	}
+	if frames[0].Data[0] == frames[1].Data[0] && frames[0].Data[1] == frames[1].Data[1] {
+		t.Fatal("consecutive frames should differ")
+	}
+	if _, err := (trace.Generator{}).Stream([]int{1}, 2); err == nil {
+		t.Fatal("bad shape should propagate error")
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	if trace.KindOf([]int{3, 224, 224}) != trace.Image {
+		t.Fatal("rank 3 should be Image")
+	}
+	if trace.KindOf([]int{3, 12, 112, 112}) != trace.Clip {
+		t.Fatal("rank 4 should be Clip")
+	}
+	if trace.KindOf([]int{64, 128}) != trace.Sequence {
+		t.Fatal("rank 2 should be Sequence")
+	}
+}

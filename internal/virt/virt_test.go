@@ -1,0 +1,23 @@
+package virt_test
+
+import (
+	"testing"
+
+	"edgebench/internal/virt"
+)
+
+func TestSlowdown(t *testing.T) {
+	if virt.BareMetal.Slowdown() != 1.0 {
+		t.Fatal("bare metal must be overhead-free")
+	}
+	d := virt.Docker.Slowdown()
+	if d <= 1.0 || d-1 > virt.MaxDocumentedOverhead {
+		t.Fatalf("docker slowdown %v outside (1, 1+5%%]", d)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if virt.BareMetal.String() != "bare-metal" || virt.Docker.String() != "docker" {
+		t.Fatal("environment names wrong")
+	}
+}
