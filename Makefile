@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test cover bench reproduce sweep examples clean
+.PHONY: all build vet test lint race check cover bench reproduce sweep examples clean
 
 all: build vet test
 
@@ -14,6 +14,19 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Repo-specific static analysis (cmd/edgelint): float equality, Graph.Nodes
+# mutation outside internal/graph, panic in error-returning functions,
+# missing doc comments on IR-critical exports.
+lint:
+	$(GO) run ./cmd/edgelint ./...
+
+# Full test suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# The CI gate: everything that must be clean before a merge.
+check: build vet lint race
 
 cover:
 	$(GO) test -cover ./...

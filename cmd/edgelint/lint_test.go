@@ -1,0 +1,260 @@
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// env is a fabricated module for rule tests: packages type-check against
+// each other through the same moduleImporter the CLI uses.
+type env struct {
+	t    *testing.T
+	fset *token.FileSet
+	imp  *moduleImporter
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	fset := token.NewFileSet()
+	return &env{
+		t:    t,
+		fset: fset,
+		imp: &moduleImporter{
+			module: map[string]*pkg{},
+			std:    importer.ForCompiler(fset, "source", nil),
+		},
+	}
+}
+
+// add parses and type-checks one single-file package under the given
+// import path and registers it for later packages to import.
+func (e *env) add(path, src string) *pkg {
+	e.t.Helper()
+	fname := strings.ReplaceAll(path, "/", "_") + ".go"
+	f, err := parser.ParseFile(e.fset, fname, src, parser.ParseComments)
+	if err != nil {
+		e.t.Fatalf("parse %s: %v", path, err)
+	}
+	p := &pkg{path: path, fset: e.fset, files: []*ast.File{f}, info: newInfo()}
+	conf := types.Config{Importer: e.imp}
+	tpkg, err := conf.Check(path, e.fset, p.files, p.info)
+	if err != nil {
+		e.t.Fatalf("type-check %s: %v", path, err)
+	}
+	p.types = tpkg
+	e.imp.module[path] = p
+	return p
+}
+
+// fakeGraph is a stand-in for edgebench/internal/graph with just enough
+// surface for the nodes-mut rule to resolve types against.
+const fakeGraph = `package graph
+
+// Node is a fake.
+type Node struct{}
+
+// Graph is a fake.
+type Graph struct {
+	Nodes []*Node
+}
+
+// Append is a fake.
+func (g *Graph) Append(n *Node) { g.Nodes = append(g.Nodes, n) }
+`
+
+func rules(fs []finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.rule)
+	}
+	return out
+}
+
+func wantRules(t *testing.T, fs []finding, want ...string) {
+	t.Helper()
+	got := rules(fs)
+	if len(got) != len(want) {
+		t.Fatalf("got findings %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestFloatEq(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/floats", `package floats
+
+func cmp(a, b float64) bool { return a == b }
+
+func cmpNE(a float32, b float64) bool { return float64(a) != b }
+
+func zeroGuard(a float64) bool { return a == 0 }
+
+func zeroGuardRev(a float64) bool { return 0.0 != a }
+
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a == b }
+`)
+	wantRules(t, lintPackage(p), "float-eq", "float-eq")
+}
+
+func TestNodesMut(t *testing.T) {
+	e := newEnv(t)
+	e.add(graphPkg, fakeGraph)
+	p := e.add("example.com/m/user", `package user
+
+import "edgebench/internal/graph"
+
+type other struct{ Nodes []int }
+
+func appendMut(g *graph.Graph, n *graph.Node) { g.Nodes = append(g.Nodes, n) }
+
+func indexMut(g graph.Graph, n *graph.Node) { g.Nodes[0] = n }
+
+func sliceMut(g *graph.Graph) { g.Nodes = g.Nodes[:0] }
+
+func notGraph(o *other) { o.Nodes = append(o.Nodes, 1) }
+
+func readOnly(g *graph.Graph) int { return len(g.Nodes) }
+`)
+	wantRules(t, lintPackage(p), "nodes-mut", "nodes-mut", "nodes-mut")
+}
+
+func TestNodesMutAllowedInsideGraph(t *testing.T) {
+	e := newEnv(t)
+	p := e.add(graphPkg, fakeGraph)
+	for _, f := range lintPackage(p) {
+		if f.rule == "nodes-mut" {
+			t.Fatalf("nodes-mut reported inside %s: %v", graphPkg, f.msg)
+		}
+	}
+}
+
+func TestPanicInErr(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/panics", `package panics
+
+import "errors"
+
+func bad() error { panic("boom") }
+
+func badNamed() (err error) {
+	if true {
+		panic("nested boom")
+	}
+	return nil
+}
+
+func okNoErr() { panic("allowed: no error in signature") }
+
+func okReturns() error { return errors.New("fine") }
+
+func okFuncLit() error {
+	defer func() { panic("recover helpers are exempt") }()
+	return nil
+}
+`)
+	wantRules(t, lintPackage(p), "panic-in-err", "panic-in-err")
+}
+
+func TestExportedDoc(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("edgebench/internal/tensor", `package tensor
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// Blocks cover their specs.
+const (
+	BlockA = 1
+	BlockB = 2
+)
+
+func Exported() {}
+
+func unexported() {}
+
+// Method docs count.
+func (d Documented) Ok() {}
+
+func (d Documented) Missing() {}
+
+type hidden struct{}
+
+func (h hidden) Exported() {} // unexported receiver: not API
+`)
+	wantRules(t, lintPackage(p), "exported-doc", "exported-doc", "exported-doc")
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/ign", `package ign
+
+func sameLine(a, b float64) bool { return a == b } // edgelint:ignore float-eq
+
+// edgelint:ignore float-eq
+func lineAbove(a, b float64) bool { return a == b }
+
+// edgelint:ignore nodes-mut
+func wrongRule(a, b float64) bool { return a == b }
+`)
+	wantRules(t, lintPackage(p), "float-eq")
+}
+
+func TestSelected(t *testing.T) {
+	root := "/repo"
+	cases := []struct {
+		dir      string
+		patterns []string
+		want     bool
+	}{
+		{"/repo/internal/graph", []string{"./..."}, true},
+		{"/repo/internal/graph", []string{"./internal/..."}, true},
+		{"/repo/internal/graph", []string{"./internal/graph"}, true},
+		{"/repo/internal/graph", []string{"internal/graph"}, true},
+		{"/repo/internal/graph", []string{"./cmd/..."}, false},
+		{"/repo/internal/graphics", []string{"./internal/graph/..."}, false},
+		{"/repo", []string{"./..."}, true},
+	}
+	for _, c := range cases {
+		if got := selected(c.dir, root, c.patterns); got != c.want {
+			t.Errorf("selected(%q, %v) = %v, want %v", c.dir, c.patterns, got, c.want)
+		}
+	}
+}
+
+// TestSelfLint runs the analyzer over the repository itself: the tree
+// must stay lint-clean, and the loader must keep handling the real
+// module.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, module, err := findModule(".")
+	if err != nil {
+		t.Fatalf("findModule: %v", err)
+	}
+	pkgs, err := loadModule(root, module)
+	if err != nil {
+		t.Fatalf("loadModule: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, f := range lintPackage(p) {
+			t.Errorf("%s:%d: %s: %s", f.pos.Filename, f.pos.Line, f.rule, f.msg)
+		}
+	}
+}

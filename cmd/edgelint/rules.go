@@ -1,0 +1,321 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// graphPkg is the only package allowed to mutate Graph.Nodes directly.
+const graphPkg = "edgebench/internal/graph"
+
+// docPackages are the IR-critical packages whose exported declarations
+// must carry doc comments (the exported-doc rule).
+var docPackages = map[string]bool{
+	"edgebench/internal/graph":  true,
+	"edgebench/internal/tensor": true,
+	"edgebench/internal/verify": true,
+}
+
+// finding is one rule violation at a source position.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+// lintPackage runs every rule over one type-checked package and filters
+// the findings through edgelint:ignore directives.
+func lintPackage(p *pkg) []finding {
+	var fs []finding
+	for _, f := range p.files {
+		fs = append(fs, checkFloatEq(p, f)...)
+		if p.path != graphPkg {
+			fs = append(fs, checkNodesMut(p, f)...)
+		}
+		fs = append(fs, checkPanicInErr(p, f)...)
+		if docPackages[p.path] {
+			fs = append(fs, checkExportedDoc(p, f)...)
+		}
+	}
+	return filterIgnored(p, fs)
+}
+
+// checkFloatEq flags == and != between floating-point operands. Exact
+// float comparison is how calibration drift and quantization error sneak
+// past review; compare against a tolerance instead. Two carve-outs:
+// comparison against constant zero is exempt (zero is exactly
+// representable, and `x == 0` division guards / sparse skips are
+// idiomatic), and test files are not parsed at all, so golden-value
+// assertions stay legal.
+func checkFloatEq(p *pkg, f *ast.File) []finding {
+	var fs []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isConstZero(p, be.X) || isConstZero(p, be.Y) {
+			return true
+		}
+		if isFloat(p.info.TypeOf(be.X)) || isFloat(p.info.TypeOf(be.Y)) {
+			fs = append(fs, finding{
+				pos:  p.fset.Position(be.OpPos),
+				rule: "float-eq",
+				msg:  fmt.Sprintf("%s on floating-point operands; compare with a tolerance", be.Op),
+			})
+		}
+		return true
+	})
+	return fs
+}
+
+// isConstZero reports whether e is a compile-time constant equal to
+// zero.
+func isConstZero(p *pkg, e ast.Expr) bool {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkNodesMut flags assignments through graph.Graph.Nodes outside
+// internal/graph: appending, replacing, or writing elements of the node
+// list bypasses Add/Append and breaks ID uniqueness, topological
+// ordering, and freeze discipline.
+func checkNodesMut(p *pkg, f *ast.File) []finding {
+	var fs []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := baseExpr(lhs).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Nodes" {
+				continue
+			}
+			if !isGraphType(p.info.TypeOf(sel.X)) {
+				continue
+			}
+			fs = append(fs, finding{
+				pos:  p.fset.Position(sel.Pos()),
+				rule: "nodes-mut",
+				msg:  "direct graph.Graph.Nodes mutation outside internal/graph; use Graph.Add or Graph.Append",
+			})
+		}
+		return true
+	})
+	return fs
+}
+
+// baseExpr unwraps parens, indexing, slicing, and derefs down to the
+// expression being assigned through.
+func baseExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func isGraphType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == graphPkg && obj.Name() == "Graph"
+}
+
+// checkPanicInErr flags direct panic calls inside functions whose
+// signature returns error: the signature promised callers a recoverable
+// failure path, so deliver the failure through it. Function literals are
+// skipped — deferred recover helpers and intentionally-fatal callbacks
+// are their own scope.
+func checkPanicInErr(p *pkg, f *ast.File) []finding {
+	var fs []finding
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !returnsError(p, fd) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := p.info.Uses[id]; ok {
+				if _, builtin := obj.(*types.Builtin); !builtin {
+					return true // a local function shadowing the builtin
+				}
+			}
+			fs = append(fs, finding{
+				pos:  p.fset.Position(call.Pos()),
+				rule: "panic-in-err",
+				msg:  fmt.Sprintf("%s returns error but panics; return the error instead", fd.Name.Name),
+			})
+			return true
+		})
+	}
+	return fs
+}
+
+func returnsError(p *pkg, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, field := range fd.Type.Results.List {
+		if t := p.info.TypeOf(field.Type); t != nil && types.Identical(t, errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExportedDoc flags exported top-level declarations without doc
+// comments in the IR-critical packages: the graph IR and tensor kernels
+// are the substrate every experiment trusts, so their contracts must be
+// written down. A doc comment on a const/var/type block covers the whole
+// block.
+func checkExportedDoc(p *pkg, f *ast.File) []finding {
+	var fs []finding
+	undocumented := func(name *ast.Ident, doc *ast.CommentGroup, kind string) {
+		if !name.IsExported() || doc != nil {
+			return
+		}
+		fs = append(fs, finding{
+			pos:  p.fset.Position(name.Pos()),
+			rule: "exported-doc",
+			msg:  fmt.Sprintf("exported %s %s has no doc comment", kind, name.Name),
+		})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue // method on an unexported type: not API surface
+			}
+			undocumented(d.Name, d.Doc, "function")
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					doc := s.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					undocumented(s.Name, doc, "type")
+				case *ast.ValueSpec:
+					doc := s.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					for _, name := range s.Names {
+						undocumented(name, doc, "value")
+					}
+				}
+			}
+		}
+	}
+	return fs
+}
+
+// exportedReceiver reports whether a method's receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// filterIgnored drops findings suppressed by an "edgelint:ignore <rule>"
+// comment on the finding's line or the line directly above it.
+func filterIgnored(p *pkg, fs []finding) []finding {
+	ignored := map[string]map[int]map[string]bool{} // file -> line -> rules
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimLeft(c.Text, "/* ")
+				rest, ok := strings.CutPrefix(text, "edgelint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.fset.Position(c.Pos())
+				m := ignored[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					ignored[pos.Filename] = m
+				}
+				for _, rule := range strings.Fields(rest) {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if m[line] == nil {
+							m[line] = map[string]bool{}
+						}
+						m[line][rule] = true
+					}
+				}
+			}
+		}
+	}
+	var out []finding
+	for _, f := range fs {
+		if ignored[f.pos.Filename][f.pos.Line][f.rule] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

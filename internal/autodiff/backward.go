@@ -78,10 +78,7 @@ func backward(n *graph.Node, values map[*graph.Node]*tensor.Tensor, dOut *tensor
 			return 0
 		})}, nil
 	case graph.OpLeakyReLU:
-		alpha := n.Attrs.Alpha
-		if alpha == 0 {
-			alpha = 0.1
-		}
+		alpha := n.Attrs.LeakySlope()
 		return []*tensor.Tensor{maskGrad(in(0), dOut, func(x float32) float32 {
 			if x > 0 {
 				return 1

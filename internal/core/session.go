@@ -25,6 +25,7 @@ import (
 	"edgebench/internal/model"
 	"edgebench/internal/nn"
 	"edgebench/internal/stats"
+	"edgebench/internal/verify"
 	"edgebench/internal/virt"
 )
 
@@ -92,6 +93,12 @@ func New(modelName, fwName, devName string) (*Session, error) {
 		status:    status,
 	}
 	s.lowered = fw.Lower(spec.Build(nn.Options{}), dev)
+	// Static verification at session open: the lowered graph is what the
+	// latency and memory models price, so a pass that corrupted it would
+	// silently invalidate every measurement downstream.
+	if err := verify.Err(verify.Check(s.lowered)); err != nil {
+		return nil, fmt.Errorf("core: %s lowered by %s for %s: %w", modelName, fwName, devName, err)
+	}
 
 	if status == framework.DynamicGraphRequired && fw.Mode == graph.Static {
 		return nil, fmt.Errorf("core: %s on %s with %s: %w", modelName, devName, fwName, ErrOOM)
@@ -115,6 +122,9 @@ func NewFromGraph(g *graph.Graph, fwName, devName string) (*Session, error) {
 	dev, ok := device.Get(devName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown device %q", devName)
+	}
+	if err := verify.Err(verify.Check(g)); err != nil {
+		return nil, fmt.Errorf("core: graph %s on %s: %w", g.Name, devName, err)
 	}
 	return &Session{
 		Framework: fw,

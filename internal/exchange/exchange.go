@@ -16,6 +16,7 @@ import (
 
 	"edgebench/internal/graph"
 	"edgebench/internal/tensor"
+	"edgebench/internal/verify"
 )
 
 // FormatVersion guards decoding across releases.
@@ -192,7 +193,7 @@ func Import(data []byte) (*graph.Graph, error) {
 			return nil, fmt.Errorf("exchange: node %d: unknown kind %q", i, nj.Kind)
 		}
 		n := &graph.Node{
-			ID: i, Name: nj.Name, Kind: kind,
+			Name: nj.Name, Kind: kind,
 			Attrs: graph.Attrs{
 				Kernel: nj.Kernel, KernelD: nj.KernelD,
 				Stride: nj.Stride, StrideD: nj.StrideD,
@@ -227,9 +228,16 @@ func Import(data []byte) (*graph.Graph, error) {
 			n.OutShape = tensor.Shape(f.InputShape).Clone()
 			g.Input = n
 		} else {
-			n.OutShape = graph.InferShape(n)
+			shape, err := graph.InferShapeE(n)
+			if err != nil {
+				return nil, fmt.Errorf("exchange: node %d: %w", i, err)
+			}
+			n.OutShape = shape
 		}
 		if nj.Weights != nil {
+			if len(nj.Weights) != tensor.Shape(nj.WShape).NumElems() {
+				return nil, fmt.Errorf("exchange: node %d: %d weight values for shape %v", i, len(nj.Weights), nj.WShape)
+			}
 			n.Weights = tensor.FromData(nj.Weights, nj.WShape...)
 		}
 		n.Bias = nj.Bias
@@ -240,7 +248,7 @@ func Import(data []byte) (*graph.Graph, error) {
 			}
 		}
 		nodes[i] = n
-		g.Nodes = append(g.Nodes, n)
+		g.Append(n)
 	}
 	if f.Output < 0 || f.Output >= len(nodes) {
 		return nil, fmt.Errorf("exchange: output index %d out of range", f.Output)
@@ -255,7 +263,10 @@ func Import(data []byte) (*graph.Graph, error) {
 	if g.Input == nil {
 		return nil, fmt.Errorf("exchange: model has no input node")
 	}
-	if err := g.Validate(); err != nil {
+	// Full static verification: a malformed serialized graph must never
+	// reach a session. Error-severity diagnostics reject the file;
+	// warnings (dead nodes a dynamic-mode exporter left in) are tolerated.
+	if err := verify.Err(verify.Check(g)); err != nil {
 		return nil, fmt.Errorf("exchange: %w", err)
 	}
 	return g, nil

@@ -67,12 +67,9 @@ func (e *Executor) run(g *Graph, input *tensor.Tensor) (*tensor.Tensor, error) {
 		if n.Kind == OpInput {
 			continue
 		}
-		out, err := e.eval(n, values)
+		out, err := e.evalNode(n, values)
 		if err != nil {
 			return nil, fmt.Errorf("graph %s: node %s: %w", g.Name, n, err)
-		}
-		if n.Activation != 0 {
-			out = applyActivation(n.Activation, n.Attrs.Alpha, out)
 		}
 		values[n] = out
 		if g.Mode == Dynamic {
@@ -90,6 +87,24 @@ func (e *Executor) run(g *Graph, input *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	e.lastValues = values
 	return out, nil
+}
+
+// evalNode evaluates one node including its fused activation. Conditions
+// the static verifier prevents (shape mismatches, unknown ops) surface
+// here as wrapped errors rather than panics, so a verifier miss degrades
+// gracefully instead of crashing a whole sweep: the recover guard
+// converts residual kernel panics from internal/tensor into errors.
+func (e *Executor) evalNode(n *Node, values map[*Node]*tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("kernel panic: %v", r)
+		}
+	}()
+	out, err = e.eval(n, values)
+	if err == nil && n.Activation != 0 {
+		out, err = applyActivation(n.Activation, n.Attrs.LeakySlope(), out)
+	}
+	return out, err
 }
 
 func (e *Executor) eval(n *Node, values map[*Node]*tensor.Tensor) (*tensor.Tensor, error) {
@@ -145,7 +160,7 @@ func (e *Executor) eval(n *Node, values map[*Node]*tensor.Tensor) (*tensor.Tenso
 		if err != nil {
 			return nil, err
 		}
-		return applyActivation(n.Kind, n.Attrs.Alpha, in.Clone()), nil
+		return applyActivation(n.Kind, n.Attrs.LeakySlope(), in.Clone())
 	case OpMaxPool2D:
 		in, err := get(0)
 		if err != nil {
@@ -265,22 +280,19 @@ func (e *Executor) groupedConv(n *Node, in *tensor.Tensor, groups int, spec tens
 	return tensor.ConcatChannels(outs...), nil
 }
 
-func applyActivation(k OpKind, alpha float32, t *tensor.Tensor) *tensor.Tensor {
+func applyActivation(k OpKind, alpha float32, t *tensor.Tensor) (*tensor.Tensor, error) {
 	switch k {
 	case OpReLU:
-		return tensor.ReLU(t)
+		return tensor.ReLU(t), nil
 	case OpReLU6:
-		return tensor.ReLU6(t)
+		return tensor.ReLU6(t), nil
 	case OpLeakyReLU:
-		if alpha == 0 {
-			alpha = 0.1
-		}
-		return tensor.LeakyReLU(t, alpha)
+		return tensor.LeakyReLU(t, alpha), nil
 	case OpSigmoid:
-		return tensor.Sigmoid(t)
+		return tensor.Sigmoid(t), nil
 	case OpTanh:
-		return tensor.Tanh(t)
+		return tensor.Tanh(t), nil
 	default:
-		panic(fmt.Sprintf("graph: %v is not an activation", k))
+		return nil, fmt.Errorf("%v is not an activation", k)
 	}
 }

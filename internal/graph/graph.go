@@ -20,6 +20,7 @@ const (
 	Dynamic
 )
 
+// String names the execution mode.
 func (m Mode) String() string {
 	if m == Dynamic {
 		return "dynamic"
@@ -61,15 +62,7 @@ func New(name string, inputShape ...int) *Graph {
 }
 
 func (g *Graph) add(n *Node) *Node {
-	if g.Frozen {
-		panic("graph: cannot add nodes to a frozen graph")
-	}
-	n.ID = g.nextID
-	g.nextID++
-	if n.Name == "" {
-		n.Name = fmt.Sprintf("%s_%d", n.Kind, n.ID)
-	}
-	g.Nodes = append(g.Nodes, n)
+	g.Append(n)
 	g.Output = n
 	return n
 }
@@ -89,6 +82,26 @@ func (g *Graph) Add(n *Node) *Node {
 // Freeze marks the graph as deployment-ready. Further structural changes
 // panic. Freezing an already frozen graph is a no-op.
 func (g *Graph) Freeze() { g.Frozen = true }
+
+// Append appends a fully-formed node without shape inference or output
+// rewiring — the entry point for deserializers and graph surgery outside
+// this package (which must not mutate Nodes directly; edgelint's
+// nodes-mut rule enforces that). The caller is responsible for
+// topological placement and for setting Input/Output/Extra; Validate and
+// verify.Check enforce the result. The node receives the next free ID,
+// and an empty name defaults to kind_id.
+func (g *Graph) Append(n *Node) *Node {
+	if g.Frozen {
+		panic("graph: cannot append nodes to a frozen graph")
+	}
+	n.ID = g.nextID
+	g.nextID++
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("%s_%d", n.Kind, n.ID)
+	}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
 
 // NumOps returns the count of non-input nodes (the per-inference dispatch
 // count in the cost model).
@@ -130,7 +143,10 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph %s: node %s has %d inputs, want %d", g.Name, n, len(n.Inputs), want)
 		}
 		if n.Kind != OpInput {
-			inferred := InferShape(n)
+			inferred, err := InferShapeE(n)
+			if err != nil {
+				return fmt.Errorf("graph %s: %w", g.Name, err)
+			}
 			if !inferred.Equal(n.OutShape) {
 				return fmt.Errorf("graph %s: node %s shape %v, inferred %v", g.Name, n, n.OutShape, inferred)
 			}
@@ -211,85 +227,213 @@ func (g *Graph) Clone() *Graph {
 }
 
 // InferShape computes a node's output shape from its inputs and
-// attributes. It panics on inconsistent structure, which Validate converts
-// into errors during graph checking.
+// attributes. It panics on inconsistent structure: model builders are
+// code, so a bad node is a bug. Error-tolerant callers (deserializers,
+// the verifier) use InferShapeE instead.
 func InferShape(n *Node) tensor.Shape {
+	s, err := InferShapeE(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// InferShapeE computes a node's output shape from its inputs and
+// attributes, returning an error for any structural inconsistency: wrong
+// arity, wrong input or weight rank, channel mismatches, or degenerate
+// (non-positive) output dimensions. A recover guard converts residual
+// panics from the tensor spec helpers into errors, so InferShapeE never
+// panics on malformed nodes — the property the exchange fuzzers assert.
+func InferShapeE(n *Node) (shape tensor.Shape, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			shape, err = nil, fmt.Errorf("graph: node %s: shape inference: %v", n, r)
+		}
+	}()
+	if want := arity(n.Kind); want >= 0 {
+		if len(n.Inputs) != want {
+			return nil, fmt.Errorf("graph: node %s: %d inputs, want %d", n, len(n.Inputs), want)
+		}
+	} else if len(n.Inputs) == 0 {
+		return nil, fmt.Errorf("graph: node %s: variadic op needs at least one input", n)
+	}
+	for i, in := range n.Inputs {
+		if in == nil {
+			return nil, fmt.Errorf("graph: node %s: input %d is nil", n, i)
+		}
+	}
+	shape, err = inferShape(n)
+	if err != nil {
+		return nil, fmt.Errorf("graph: node %s: %w", n, err)
+	}
+	for _, d := range shape {
+		if d < 1 {
+			return nil, fmt.Errorf("graph: node %s: inferred shape %v has a non-positive dimension", n, shape)
+		}
+	}
+	return shape, nil
+}
+
+// wantRank checks an input or weight shape's rank.
+func wantRank(what string, s tensor.Shape, rank int) error {
+	if len(s) != rank {
+		return fmt.Errorf("%s %v is rank %d, want %d", what, s, len(s), rank)
+	}
+	return nil
+}
+
+func inferShape(n *Node) (tensor.Shape, error) {
 	switch n.Kind {
 	case OpInput:
-		return n.OutShape
-	case OpConv2D:
-		in := n.in(0).OutShape
-		w := n.WShape
-		h, wd := n.Attrs.ConvSpec().OutDims(in[1], in[2], w[2], w[3])
-		return tensor.Shape{w[0], h, wd}
-	case OpDepthwiseConv2D:
-		in := n.in(0).OutShape
-		w := n.WShape
-		h, wd := n.Attrs.ConvSpec().OutDims(in[1], in[2], w[1], w[2])
-		return tensor.Shape{in[0], h, wd}
-	case OpConv3D:
-		in := n.in(0).OutShape
-		w := n.WShape
-		spec := tensor.Conv3DSpec{Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}
-		return tensor.Shape{w[0], spec.OutDim(in[1], w[2]), spec.OutDim(in[2], w[3]), spec.OutDim(in[3], w[4])}
-	case OpDense:
-		return tensor.Shape{n.WShape[0]}
-	case OpLSTM:
-		in := n.in(0).OutShape
-		hidden := n.WShape[0] / 4
-		if len(in) != 2 || n.WShape[1] != in[1]+hidden {
-			panic(fmt.Sprintf("graph: LSTM weights %v incompatible with input %v", n.WShape, in))
+		if len(n.OutShape) == 0 {
+			return nil, fmt.Errorf("input node has no shape")
 		}
-		return tensor.Shape{hidden}
+		return n.OutShape, nil
+	case OpConv2D:
+		in, w := n.in(0).OutShape, n.WShape
+		if err := wantRank("input", in, 3); err != nil {
+			return nil, err
+		}
+		if err := wantRank("weights", w, 4); err != nil {
+			return nil, err
+		}
+		g := n.Attrs.GroupCount()
+		if in[0] != w[1]*g || w[0]%g != 0 {
+			return nil, fmt.Errorf("conv channels: input %d, weights %v, groups %d", in[0], w, g)
+		}
+		h, wd := n.Attrs.ConvSpec().OutDims(in[1], in[2], w[2], w[3])
+		return tensor.Shape{w[0], h, wd}, nil
+	case OpDepthwiseConv2D:
+		in, w := n.in(0).OutShape, n.WShape
+		if err := wantRank("input", in, 3); err != nil {
+			return nil, err
+		}
+		if err := wantRank("weights", w, 3); err != nil {
+			return nil, err
+		}
+		if in[0] != w[0] {
+			return nil, fmt.Errorf("depthwise channels: input %d, weights %d", in[0], w[0])
+		}
+		h, wd := n.Attrs.ConvSpec().OutDims(in[1], in[2], w[1], w[2])
+		return tensor.Shape{in[0], h, wd}, nil
+	case OpConv3D:
+		in, w := n.in(0).OutShape, n.WShape
+		if err := wantRank("input", in, 4); err != nil {
+			return nil, err
+		}
+		if err := wantRank("weights", w, 5); err != nil {
+			return nil, err
+		}
+		if in[0] != w[1] {
+			return nil, fmt.Errorf("conv3d channels: input %d, weights %d", in[0], w[1])
+		}
+		spec := tensor.Conv3DSpec{Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}
+		return tensor.Shape{w[0], spec.OutDim(in[1], w[2]), spec.OutDim(in[2], w[3]), spec.OutDim(in[3], w[4])}, nil
+	case OpDense:
+		in, w := n.in(0).OutShape, n.WShape
+		if err := wantRank("weights", w, 2); err != nil {
+			return nil, err
+		}
+		if w[1] != in.NumElems() {
+			return nil, fmt.Errorf("dense weights %v incompatible with input %v", w, in)
+		}
+		return tensor.Shape{w[0]}, nil
+	case OpLSTM:
+		in, w := n.in(0).OutShape, n.WShape
+		if err := wantRank("weights", w, 2); err != nil {
+			return nil, err
+		}
+		hidden := w[0] / 4
+		if len(in) != 2 || w[0]%4 != 0 || w[1] != in[1]+hidden {
+			return nil, fmt.Errorf("LSTM weights %v incompatible with input %v", w, in)
+		}
+		return tensor.Shape{hidden}, nil
 	case OpMaxPool2D, OpAvgPool2D:
 		in := n.in(0).OutShape
+		if err := wantRank("input", in, 3); err != nil {
+			return nil, err
+		}
+		if n.Attrs.Kernel < 1 || n.Attrs.Pad < 0 {
+			return nil, fmt.Errorf("bad pool spec %+v", n.Attrs)
+		}
 		spec := tensor.PoolSpec{Kernel: n.Attrs.Kernel, Stride: n.Attrs.Stride, Pad: n.Attrs.Pad}
-		return tensor.Shape{in[0], spec.OutDim(in[1]), spec.OutDim(in[2])}
+		return tensor.Shape{in[0], spec.OutDim(in[1]), spec.OutDim(in[2])}, nil
 	case OpMaxPool3D:
 		in := n.in(0).OutShape
+		if err := wantRank("input", in, 4); err != nil {
+			return nil, err
+		}
+		if n.Attrs.Kernel < 1 || n.Attrs.Pad < 0 {
+			return nil, fmt.Errorf("bad pool spec %+v", n.Attrs)
+		}
 		d, h, w := n.Attrs.Pool3DSpec().OutDims(in[1], in[2], in[3])
-		return tensor.Shape{in[0], d, h, w}
+		return tensor.Shape{in[0], d, h, w}, nil
 	case OpUpsample:
 		in := n.in(0).OutShape
+		if err := wantRank("input", in, 3); err != nil {
+			return nil, err
+		}
 		f := n.Attrs.Factor
 		if f < 1 {
 			f = 1
 		}
-		return tensor.Shape{in[0], in[1] * f, in[2] * f}
+		return tensor.Shape{in[0], in[1] * f, in[2] * f}, nil
 	case OpGlobalAvgPool:
-		return tensor.Shape{n.in(0).OutShape[0]}
+		in := n.in(0).OutShape
+		if err := wantRank("input", in, 3); err != nil {
+			return nil, err
+		}
+		return tensor.Shape{in[0]}, nil
 	case OpFlatten:
-		return tensor.Shape{n.in(0).OutShape.NumElems()}
+		return tensor.Shape{n.in(0).OutShape.NumElems()}, nil
 	case OpAdd:
 		a, b := n.in(0).OutShape, n.in(1).OutShape
 		if !a.Equal(b) {
-			panic(fmt.Sprintf("graph: add shape mismatch %v vs %v", a, b))
+			return nil, fmt.Errorf("add shape mismatch %v vs %v", a, b)
 		}
-		return a.Clone()
+		return a.Clone(), nil
 	case OpConcat:
 		first := n.in(0).OutShape
+		if err := wantRank("input", first, 3); err != nil {
+			return nil, err
+		}
 		c := 0
 		for _, in := range n.Inputs {
 			s := in.OutShape
 			if len(s) != 3 || s[1] != first[1] || s[2] != first[2] {
-				panic(fmt.Sprintf("graph: concat spatial mismatch %v vs %v", s, first))
+				return nil, fmt.Errorf("concat spatial mismatch %v vs %v", s, first)
 			}
 			c += s[0]
 		}
-		return tensor.Shape{c, first[1], first[2]}
+		return tensor.Shape{c, first[1], first[2]}, nil
 	case OpPad:
 		in := n.in(0).OutShape
+		if err := wantRank("input", in, 3); err != nil {
+			return nil, err
+		}
 		p := n.Attrs.Pad
-		return tensor.Shape{in[0], in[1] + 2*p, in[2] + 2*p}
-	case OpBatchNorm, OpReLU, OpReLU6, OpLeakyReLU, OpSigmoid, OpTanh, OpSoftmax:
-		return n.in(0).OutShape.Clone()
+		if p < 0 {
+			return nil, fmt.Errorf("negative padding %d", p)
+		}
+		return tensor.Shape{in[0], in[1] + 2*p, in[2] + 2*p}, nil
+	case OpBatchNorm:
+		in := n.in(0).OutShape
+		if n.BNChannels > 0 && n.BNChannels != in[0] {
+			return nil, fmt.Errorf("batchnorm channels %d over input %v", n.BNChannels, in)
+		}
+		return in.Clone(), nil
+	case OpReLU, OpReLU6, OpLeakyReLU, OpSigmoid, OpTanh, OpSoftmax:
+		return n.in(0).OutShape.Clone(), nil
 	case OpShuffle:
 		in := n.in(0).OutShape
-		if g := n.Attrs.GroupCount(); in[0]%g != 0 {
-			panic(fmt.Sprintf("graph: shuffle groups %d do not divide channels %d", g, in[0]))
+		if err := wantRank("input", in, 3); err != nil {
+			return nil, err
 		}
-		return in.Clone()
+		if g := n.Attrs.GroupCount(); in[0]%g != 0 {
+			return nil, fmt.Errorf("shuffle groups %d do not divide channels %d", g, in[0])
+		}
+		return in.Clone(), nil
 	default:
-		panic(fmt.Sprintf("graph: cannot infer shape for op %v", n.Kind))
+		return nil, fmt.Errorf("cannot infer shape for op %v", n.Kind)
 	}
 }

@@ -48,6 +48,17 @@ func (a Attrs) GroupCount() int {
 	return a.Groups
 }
 
+// LeakySlope returns the effective LeakyReLU negative slope: Alpha when
+// set, else the DarkNet default 0.1. Centralizing the default keeps the
+// forward and backward paths agreeing and avoids sentinel float
+// comparisons at use sites (edgelint's float-eq rule).
+func (a Attrs) LeakySlope() float32 {
+	if a.Alpha > 0 {
+		return a.Alpha
+	}
+	return 0.1
+}
+
 // BNParams holds frozen batch-normalization statistics and affine terms.
 type BNParams struct {
 	Gamma, Beta, Mean, Variance []float32
@@ -113,6 +124,7 @@ type Node struct {
 	Sparsity float64
 }
 
+// String renders the node as "#ID name(kind)->shape" for diagnostics.
 func (n *Node) String() string {
 	return fmt.Sprintf("#%d %s(%s)->%v", n.ID, n.Name, n.Kind, n.OutShape)
 }

@@ -89,6 +89,7 @@ var opNames = map[OpKind]string{
 	OpShuffle:         "shuffle",
 }
 
+// String names the op kind.
 func (k OpKind) String() string {
 	if s, ok := opNames[k]; ok {
 		return s

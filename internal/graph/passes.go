@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"fmt"
-
 	"edgebench/internal/tensor"
 )
 
@@ -211,20 +209,14 @@ func Prune(fraction float64) Pass {
 // after their offline passes).
 func FreezeGraph(g *Graph) { g.Freeze() }
 
-// Pipeline composes passes into one.
+// Pipeline composes passes into one. It runs them unverified — for the
+// checked analogue that re-verifies the graph between passes, see
+// verify.Pipeline (this package cannot import the verifier without a
+// cycle; the old CheckAfterPass hook is absorbed into verify.Checked).
 func Pipeline(passes ...Pass) Pass {
 	return func(g *Graph) {
 		for _, p := range passes {
 			p(g)
 		}
-	}
-}
-
-// CheckAfterPass validates the graph and panics with context on
-// violation. Passes are internal transformations, so a violation is a
-// programming error, not a runtime condition.
-func CheckAfterPass(g *Graph, pass string) {
-	if err := g.Validate(); err != nil {
-		panic(fmt.Sprintf("graph: pass %s broke invariants: %v", pass, err))
 	}
 }

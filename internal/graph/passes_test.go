@@ -9,7 +9,17 @@ import (
 	"edgebench/internal/nn"
 	"edgebench/internal/stats"
 	"edgebench/internal/tensor"
+	"edgebench/internal/verify"
 )
+
+// checkAfterPass asserts the graph verifies clean after a pass — the
+// verify.Checked contract, usable mid-test without the panic.
+func checkAfterPass(t *testing.T, g *graph.Graph, pass string) {
+	t.Helper()
+	if err := verify.Err(verify.Check(g)); err != nil {
+		t.Fatalf("pass %s broke invariants: %v", pass, err)
+	}
+}
 
 func run(t *testing.T, g *graph.Graph, in *tensor.Tensor) *tensor.Tensor {
 	t.Helper()
@@ -39,7 +49,7 @@ func TestFoldBNPreservesSemantics(t *testing.T) {
 	opt := g.Clone()
 	before := len(opt.Nodes)
 	graph.FoldBN(opt)
-	graph.CheckAfterPass(opt, "FoldBN")
+	checkAfterPass(t, opt, "FoldBN")
 	if len(opt.Nodes) != before-1 {
 		t.Fatalf("FoldBN removed %d nodes, want 1", before-len(opt.Nodes))
 	}
@@ -74,7 +84,7 @@ func TestFuseActivationsPreservesSemantics(t *testing.T) {
 	graph.FoldBN(opt)
 	before := len(opt.Nodes)
 	graph.FuseActivations(opt)
-	graph.CheckAfterPass(opt, "FuseActivations")
+	checkAfterPass(t, opt, "FuseActivations")
 	if len(opt.Nodes) >= before {
 		t.Fatal("FuseActivations removed no nodes")
 	}
@@ -104,7 +114,7 @@ func TestFuseSkipsMultiConsumerProducer(t *testing.T) {
 	in := tensor.New(2, 6, 6).Fill(-1)
 	ref := run(t, g, in)
 	graph.FuseActivations(g)
-	graph.CheckAfterPass(g, "FuseActivations")
+	checkAfterPass(t, g, "FuseActivations")
 	got := run(t, g, in)
 	if d := maxAbsDiff(ref, got); d != 0 {
 		t.Fatalf("fusion with shared producer changed output by %v", d)
@@ -125,7 +135,7 @@ func TestEliminateDead(t *testing.T) {
 	}
 	before := len(g.Nodes)
 	graph.EliminateDead(g)
-	graph.CheckAfterPass(g, "EliminateDead")
+	checkAfterPass(t, g, "EliminateDead")
 	if len(g.Nodes) != before-1 {
 		t.Fatalf("dead elimination removed %d, want 1", before-len(g.Nodes))
 	}
@@ -136,7 +146,7 @@ func TestQuantizeINT8(t *testing.T) {
 	in := tensor.New(3, 8, 8).Fill(0.2)
 	ref := run(t, g, in)
 	graph.QuantizeINT8(g)
-	graph.CheckAfterPass(g, "QuantizeINT8")
+	checkAfterPass(t, g, "QuantizeINT8")
 	for _, n := range g.Nodes {
 		if n.DType != tensor.INT8 {
 			t.Fatalf("node %s dtype = %v", n, n.DType)
@@ -155,7 +165,7 @@ func TestCastFP16(t *testing.T) {
 	in := tensor.New(3, 8, 8).Fill(0.2)
 	ref := run(t, g, in)
 	graph.CastFP16(g)
-	graph.CheckAfterPass(g, "CastFP16")
+	checkAfterPass(t, g, "CastFP16")
 	for _, n := range g.Nodes {
 		if n.DType != tensor.FP16 {
 			t.Fatalf("node %s dtype = %v", n, n.DType)
@@ -170,7 +180,7 @@ func TestCastFP16(t *testing.T) {
 func TestPrunePass(t *testing.T) {
 	g := smallCNN(t, 16)
 	graph.Prune(0.5)(g)
-	graph.CheckAfterPass(g, "Prune")
+	checkAfterPass(t, g, "Prune")
 	checked := 0
 	for _, n := range g.Nodes {
 		if n.Kind == graph.OpConv2D || n.Kind == graph.OpDense {

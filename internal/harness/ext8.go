@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/verify"
+)
+
+func init() {
+	register("ext8", "Extension: static verification conformance of the model zoo (§III validity)", Ext8Verification)
+}
+
+// Ext8Verification runs the graph-IR verifier over the entire
+// experimental surface: every zoo model as built, and every model as
+// lowered by every framework for a representative device. The paper's
+// cross-framework comparisons are only meaningful if every optimized
+// graph is structurally equivalent to its source — this report is the
+// mechanical receipt. Any nonzero cell means some measurement upstream
+// is untrustworthy.
+func Ext8Verification() (*Report, error) {
+	dev, ok := device.Get("JetsonTX2")
+	if !ok {
+		return nil, fmt.Errorf("ext8: device registry has no JetsonTX2")
+	}
+	fws := framework.All()
+
+	t := Table{
+		Title:  "verifier diagnostics per graph (errors/warnings; all cells must be 0/0)",
+		Header: append([]string{"Model", "as built"}, fwNames(fws)...),
+	}
+	graphsChecked, nodesChecked := 0, 0
+	var dirty int
+	for _, spec := range model.AllWithExtensions() {
+		g := spec.Build(nn.Options{})
+		row := []string{spec.Name, diagCell(g, &dirty)}
+		graphsChecked++
+		nodesChecked += len(g.Nodes)
+		for _, fw := range fws {
+			lowered := fw.Lower(g.Clone(), dev)
+			row = append(row, diagCell(lowered, &dirty))
+			graphsChecked++
+			nodesChecked += len(lowered.Nodes)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d graphs, %d nodes checked against the full rule catalog (see internal/verify)", graphsChecked, nodesChecked),
+		fmt.Sprintf("lowerings target %s; the verifier also gates exchange.Import and core session open", dev.Name))
+	if dirty > 0 {
+		return nil, fmt.Errorf("ext8: %d graphs failed verification", dirty)
+	}
+	return &Report{ID: "ext8", Title: "Static verification conformance", Tables: []Table{t}}, nil
+}
+
+func fwNames(fws []*framework.Framework) []string {
+	out := make([]string, len(fws))
+	for i, fw := range fws {
+		out[i] = fw.Name
+	}
+	return out
+}
+
+// diagCell renders a graph's diagnostic counts as "errors/warnings" and
+// bumps dirty when any Error-severity diagnostic is present.
+func diagCell(g *graph.Graph, dirty *int) string {
+	diags := verify.Check(g)
+	errs := len(verify.Errors(diags))
+	if errs > 0 {
+		*dirty++
+	}
+	return fmt.Sprintf("%d/%d", errs, len(diags)-errs)
+}

@@ -13,7 +13,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
 	}
 	for _, id := range want {
 		if _, ok := harness.Get(id); !ok {
@@ -25,7 +25,7 @@ func TestRegistryCoversEveryArtifact(t *testing.T) {
 	}
 	// Paper order: tables first, then figures numerically.
 	all := harness.All()
-	if all[0].ID != "table1" || all[6].ID != "fig1" || all[len(all)-1].ID != "ext7" {
+	if all[0].ID != "table1" || all[6].ID != "fig1" || all[len(all)-1].ID != "ext8" {
 		t.Errorf("ordering wrong: first %s, seventh %s, last %s", all[0].ID, all[6].ID, all[len(all)-1].ID)
 	}
 }

@@ -128,8 +128,7 @@ func Split(g *graph.Graph, cut CutPoint) (head, tail *graph.Graph, err error) {
 			}
 			cp.Inputs = append(cp.Inputs, m)
 		}
-		dst.Nodes = append(dst.Nodes, cp)
-		cp.ID = len(dst.Nodes)
+		dst.Append(cp)
 		mapping[n] = cp
 		return cp
 	}
@@ -145,8 +144,12 @@ func Split(g *graph.Graph, cut CutPoint) (head, tail *graph.Graph, err error) {
 	}
 
 	tail = &graph.Graph{Name: g.Name + "/tail", Mode: g.Mode}
-	bridge := &graph.Node{Kind: graph.OpInput, Name: "cut_input", OutShape: cut.After.OutShape.Clone()}
-	tail.Nodes = append(tail.Nodes, bridge)
+	// The bridge input inherits the cut node's execution datatype so a
+	// split of a quantized graph keeps every edge dtype-uniform (the
+	// verifier rejects mixed-dtype edges).
+	bridge := &graph.Node{Kind: graph.OpInput, Name: "cut_input",
+		OutShape: cut.After.OutShape.Clone(), DType: cut.After.DType}
+	tail.Append(bridge)
 	tail.Input = bridge
 	tail.Output = bridge
 	mapping = map[*graph.Node]*graph.Node{cut.After: bridge}

@@ -132,7 +132,7 @@ func PipelinePartition(modelName string, devices []string, fw string, link Link)
 	// finishing stage d exactly at boundary b.
 	K := len(devices)
 	B := len(bounds)
-	const inf = math.MaxFloat64
+	inf := math.Inf(1)
 	dp := make([][]float64, B)
 	from := make([][]int, B)
 	for i := range dp {
@@ -156,7 +156,7 @@ func PipelinePartition(modelName string, devices []string, fw string, link Link)
 	for d := 1; d < K; d++ {
 		for b := d; b < B; b++ {
 			for pb := d - 1; pb < b; pb++ {
-				if dp[pb][d-1] == inf {
+				if math.IsInf(dp[pb][d-1], 1) {
 					continue
 				}
 				cand := math.Max(dp[pb][d-1], stageCost(d, bounds[pb].pos, b))
@@ -167,7 +167,7 @@ func PipelinePartition(modelName string, devices []string, fw string, link Link)
 			}
 		}
 	}
-	if dp[B-1][K-1] == inf {
+	if math.IsInf(dp[B-1][K-1], 1) {
 		return nil, fmt.Errorf("partition: no feasible %d-way split", K)
 	}
 

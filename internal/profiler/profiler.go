@@ -53,8 +53,11 @@ func Profile(s *core.Session, iters int) []Entry {
 		out = append(out, Entry{Group: g, Seconds: v, Share: v / total})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Share != out[j].Share {
-			return out[i].Share > out[j].Share
+		if out[i].Share > out[j].Share {
+			return true
+		}
+		if out[i].Share < out[j].Share {
+			return false
 		}
 		return out[i].Group < out[j].Group
 	})

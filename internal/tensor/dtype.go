@@ -33,6 +33,7 @@ func (d DType) Bytes() int {
 	}
 }
 
+// String names the datatype.
 func (d DType) String() string {
 	switch d {
 	case FP32:

@@ -48,6 +48,7 @@ func (s Shape) Equal(o Shape) bool {
 // Clone returns an independent copy of the shape.
 func (s Shape) Clone() Shape { return append(Shape(nil), s...) }
 
+// String renders the shape as a bracketed dimension list.
 func (s Shape) String() string { return fmt.Sprint([]int(s)) }
 
 // Tensor is a dense float32 tensor with row-major layout.

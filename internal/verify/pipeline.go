@@ -1,0 +1,41 @@
+package verify
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+)
+
+// Checked wraps an optimization pass so the graph is re-verified after
+// it runs. Passes are internal transformations, so an invariant
+// violation is a programming error, not a runtime condition: Checked
+// panics with the full diagnostic list. It replaces the old
+// graph.CheckAfterPass hook with the complete rule catalog.
+func Checked(name string, p graph.Pass) graph.Pass {
+	return func(g *graph.Graph) {
+		p(g)
+		if err := Err(Check(g)); err != nil {
+			panic(fmt.Sprintf("verify: pass %s broke invariants: %v", name, err))
+		}
+	}
+}
+
+// Pipeline composes passes into one, re-verifying the graph between
+// every pass (the verified analogue of graph.Pipeline). The pass index
+// names the offender in the panic message.
+func Pipeline(passes ...graph.Pass) graph.Pass {
+	return func(g *graph.Graph) {
+		for i, p := range passes {
+			Checked(fmt.Sprintf("#%d", i), p)(g)
+		}
+	}
+}
+
+// MustVerify panics unless g verifies with no Error-severity
+// diagnostics — the assertion form used by code that constructs graphs
+// programmatically (model builders are code, so a bad graph is a bug).
+func MustVerify(g *graph.Graph, context string) {
+	if err := Err(Check(g)); err != nil {
+		panic(fmt.Sprintf("verify: %s: %v", context, err))
+	}
+}
