@@ -21,7 +21,10 @@ test:
 lint:
 	$(GO) run ./cmd/edgelint ./...
 
-# Full test suite under the race detector.
+# Full test suite under the race detector. This is the scheduler's
+# correctness gate: the engine-equivalence tests (internal/graph,
+# internal/model, internal/serving, internal/core) run the parallel and
+# pooled executors against sequential reference outputs with -race on.
 race:
 	$(GO) test -race ./...
 
@@ -31,7 +34,10 @@ check: build vet lint race
 cover:
 	$(GO) test -cover ./...
 
+# Engine performance snapshot (writes BENCH_engine.json), then the
+# package micro-benchmarks.
 bench:
+	$(GO) run ./cmd/engbench
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure plus the extensions.

@@ -139,6 +139,55 @@ func TestNodesMutAllowedInsideGraph(t *testing.T) {
 	}
 }
 
+// fakeTensor is a stand-in for edgebench/internal/tensor with just the
+// allocator surface the pool-alloc rule resolves against.
+const fakeTensor = `package tensor
+
+// Tensor is a fake.
+type Tensor struct{}
+
+// New is a fake.
+func New(shape ...int) *Tensor { return &Tensor{} }
+`
+
+func TestPoolAlloc(t *testing.T) {
+	e := newEnv(t)
+	e.add(tensorPkg, fakeTensor)
+	p := e.add(graphPkg, `package graph
+
+import "edgebench/internal/tensor"
+
+func alloc() *tensor.Tensor { return tensor.New(1, 2) }
+
+func allowed() *tensor.Tensor {
+	return tensor.New(3) // edgelint:ignore pool-alloc
+}
+
+type local struct{}
+
+func (local) New(shape ...int) *tensor.Tensor { return nil }
+
+func notTensorNew(l local) *tensor.Tensor { return l.New(5) }
+`)
+	wantRules(t, lintPackage(p), "pool-alloc")
+}
+
+func TestPoolAllocOutsideGraph(t *testing.T) {
+	e := newEnv(t)
+	e.add(tensorPkg, fakeTensor)
+	p := e.add("example.com/m/user", `package user
+
+import "edgebench/internal/tensor"
+
+func alloc() *tensor.Tensor { return tensor.New(4) }
+`)
+	for _, f := range lintPackage(p) {
+		if f.rule == "pool-alloc" {
+			t.Fatalf("pool-alloc reported outside %s: %s", graphPkg, f.msg)
+		}
+	}
+}
+
 func TestPanicInErr(t *testing.T) {
 	e := newEnv(t)
 	p := e.add("example.com/m/panics", `package panics

@@ -12,6 +12,10 @@ import (
 // graphPkg is the only package allowed to mutate Graph.Nodes directly.
 const graphPkg = "edgebench/internal/graph"
 
+// tensorPkg is the kernel package whose allocator the pool-alloc rule
+// guards against inside the executor.
+const tensorPkg = "edgebench/internal/tensor"
+
 // docPackages are the IR-critical packages whose exported declarations
 // must carry doc comments (the exported-doc rule).
 var docPackages = map[string]bool{
@@ -35,6 +39,8 @@ func lintPackage(p *pkg) []finding {
 		fs = append(fs, checkFloatEq(p, f)...)
 		if p.path != graphPkg {
 			fs = append(fs, checkNodesMut(p, f)...)
+		} else {
+			fs = append(fs, checkPoolAlloc(p, f)...)
 		}
 		fs = append(fs, checkPanicInErr(p, f)...)
 		if docPackages[p.path] {
@@ -157,6 +163,41 @@ func isGraphType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == graphPkg && obj.Name() == "Graph"
+}
+
+// checkPoolAlloc flags direct tensor.New calls inside internal/graph:
+// executor eval paths must obtain output buffers through the run state's
+// pool-aware allocator so the static-graph planner's arena keeps being
+// reused. A new op wired up with tensor.New would silently regress
+// steady-state allocation behaviour; the single legitimate non-planned
+// fallback carries an edgelint:ignore directive.
+func checkPoolAlloc(p *pkg, f *ast.File) []finding {
+	var fs []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "New" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != tensorPkg {
+			return true
+		}
+		fs = append(fs, finding{
+			pos:  p.fset.Position(call.Pos()),
+			rule: "pool-alloc",
+			msg:  "tensor.New inside internal/graph; allocate through the executor's pool-aware alloc so planned buffers are reused",
+		})
+		return true
+	})
+	return fs
 }
 
 // checkPanicInErr flags direct panic calls inside functions whose

@@ -1,0 +1,208 @@
+// Command engbench benchmarks the numeric execution engine — the
+// blocked GEMM kernels, the pooled (static-memory-planner) executor,
+// and the branch-parallel scheduler — and writes the measurements to
+// BENCH_engine.json so perf regressions are diffable across commits.
+//
+// Three groups:
+//
+//   - matmul: naive ijk baseline vs the cache-blocked serial kernel vs
+//     the row-sharded parallel kernel, at a large square size.
+//   - conv2d: im2col+GEMM convolution, allocating vs pooled-scratch.
+//   - forward: a full MobileNet-class model forward pass under the
+//     executor's four modes (serial, parallel, pooled, pooled+parallel),
+//     with allocs/op capturing the static memory planner's effect.
+//
+// Speedups are computed from the host's actual timings; on a
+// single-core host the parallel numbers legitimately match serial.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+type result struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	GemmDim    int                `json:"gemm_dim"`
+	Model      string             `json:"model"`
+	Results    []result           `json:"results"`
+	Summary    map[string]float64 `json:"summary"`
+}
+
+func bench(name string, rep *report, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	out := result{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	fmt.Printf("%-24s %12d ns/op %10d allocs/op %12d B/op\n",
+		name, out.NsPerOp, out.AllocsPerOp, out.BytesPerOp)
+	rep.Results = append(rep.Results, out)
+	return out
+}
+
+func naiveMatMul(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for l := 0; l < k; l++ {
+				s += a[i*k+l] * b[l*n+j]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+func fill(t *tensor.Tensor, seed int) {
+	for i := range t.Data {
+		t.Data[i] = float32((i*2654435761+seed)%1024)/512 - 1
+	}
+}
+
+func main() {
+	dim := flag.Int("dim", 512, "square GEMM dimension for the matmul group")
+	modelName := flag.String("model", "MobileNet-v2", "zoo model for the forward group")
+	benchtime := flag.String("benchtime", "300ms", "per-benchmark measurement budget")
+	out := flag.String("o", "BENCH_engine.json", "output JSON path")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := &report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GemmDim:    *dim,
+		Model:      *modelName,
+		Summary:    map[string]float64{},
+	}
+
+	// --- matmul group -------------------------------------------------
+	d := *dim
+	a, b := tensor.New(d, d), tensor.New(d, d)
+	fill(a, 1)
+	fill(b, 2)
+	dst := make([]float32, d*d)
+	naive := bench("matmul/naive", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			naiveMatMul(dst, a.Data, b.Data, d, d, d)
+		}
+	})
+	blocked := bench("matmul/blocked", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.MatMulSerial(a, b)
+		}
+	})
+	par := bench("matmul/parallel", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.MatMulParallel(a, b)
+		}
+	})
+	rep.Summary["matmul_blocked_vs_naive_speedup"] = ratio(naive.NsPerOp, blocked.NsPerOp)
+	rep.Summary["matmul_parallel_vs_naive_speedup"] = ratio(naive.NsPerOp, par.NsPerOp)
+	rep.Summary["matmul_parallel_vs_blocked_speedup"] = ratio(blocked.NsPerOp, par.NsPerOp)
+
+	// --- conv2d group -------------------------------------------------
+	in := tensor.New(32, 56, 56)
+	w := tensor.New(64, 32, 3, 3)
+	fill(in, 3)
+	fill(w, 4)
+	bias := make([]float32, 64)
+	spec := tensor.Conv2DSpec{Stride: 1, Pad: 1}
+	direct := bench("conv2d/direct", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.Conv2D(in, w, bias, spec)
+		}
+	})
+	alloc := bench("conv2d/gemm", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.Conv2DGEMM(in, w, bias, spec)
+		}
+	})
+	scratch := tensor.NewPool()
+	cdst := tensor.New(64, 56, 56)
+	tensor.Conv2DGEMMInto(cdst, in, w, bias, spec, scratch) // warm the scratch arena
+	pooled := bench("conv2d/gemm-pooled", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.Conv2DGEMMInto(cdst, in, w, bias, spec, scratch)
+		}
+	})
+	rep.Summary["conv2d_gemm_vs_direct_speedup"] = ratio(direct.NsPerOp, pooled.NsPerOp)
+	rep.Summary["conv2d_pooled_alloc_reduction"] = reduction(alloc.AllocsPerOp, pooled.AllocsPerOp)
+
+	// --- forward group ------------------------------------------------
+	spec2, ok := model.Get(*modelName)
+	if !ok {
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	g := spec2.Build(nn.Options{Materialize: true, Seed: 11})
+	input := tensor.New(g.Input.OutShape...)
+	fill(input, 5)
+	forward := func(ex *graph.Executor) func(b *testing.B) {
+		return func(bb *testing.B) {
+			if _, err := ex.Run(g, input); err != nil { // warmup: plan + arena
+				bb.Fatal(err)
+			}
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				if _, err := ex.Run(g, input); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		}
+	}
+	serial := bench("forward/serial", rep, forward(&graph.Executor{}))
+	bench("forward/parallel", rep, forward(&graph.Executor{Parallel: true}))
+	fpool := bench("forward/pooled", rep, forward(&graph.Executor{Pooled: true}))
+	both := bench("forward/pooled-parallel", rep, forward(&graph.Executor{Pooled: true, Parallel: true}))
+	rep.Summary["forward_pooled_alloc_reduction"] = reduction(serial.AllocsPerOp, fpool.AllocsPerOp)
+	rep.Summary["forward_pooled_parallel_speedup"] = ratio(serial.NsPerOp, both.NsPerOp)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGOMAXPROCS=%d  blocked GEMM %.2fx vs naive, pooled forward cuts allocs/op by %.1f%%\nwrote %s\n",
+		rep.GoMaxProcs,
+		rep.Summary["matmul_blocked_vs_naive_speedup"],
+		100*rep.Summary["forward_pooled_alloc_reduction"],
+		*out)
+}
+
+// ratio returns before/after as a speedup factor (guarding div-by-zero).
+func ratio(before, after int64) float64 {
+	if after == 0 {
+		return 0
+	}
+	return float64(before) / float64(after)
+}
+
+// reduction returns the fractional drop from before to after allocs.
+func reduction(before, after int64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 1 - float64(after)/float64(before)
+}

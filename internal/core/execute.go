@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+	"edgebench/internal/verify"
+)
+
+// Numeric execution on sessions. The analytic latency model prices a
+// structural graph; Materialize swaps in the same lowering with real
+// (seeded) weights so Infer can run actual forward passes through the
+// execution engine — pooled buffer reuse for static-graph frameworks,
+// eager release for define-by-run ones, mirroring the memory behaviour
+// the latency model prices.
+
+// Materialize rebuilds and re-lowers the session's graph with
+// materialized weights (seeded, random — §VI-A fn.4: random weights are
+// the standard performance-evaluation proxy) so Infer can execute it.
+// Sessions created by NewFromGraph skip this when their graph already
+// carries weights.
+func (s *Session) Materialize(seed int64) error {
+	if s.Model == nil {
+		return fmt.Errorf("core: session has no model spec; pass an already-materialized graph to NewFromGraph instead")
+	}
+	g := s.Framework.Lower(s.Model.Build(nn.Options{Materialize: true, Seed: seed}), s.Device)
+	if err := verify.Err(verify.Check(g)); err != nil {
+		return fmt.Errorf("core: %s materialized for %s: %w", s.Model.Name, s.Device.Name, err)
+	}
+	s.lowered = g
+	s.exec = nil
+	return nil
+}
+
+// Infer executes one real single-batch forward pass through the lowered
+// graph and returns the output tensor. Static-graph frameworks run with
+// the planned buffer arena (allocation-free in steady state) and the
+// wavefront scheduler; dynamic frameworks run define-by-run with eager
+// release. The graph must carry materialized weights (Materialize, or a
+// NewFromGraph session built from a materialized graph).
+func (s *Session) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if s.exec == nil {
+		s.exec = &graph.Executor{
+			Parallel: true,
+			Pooled:   s.lowered.Mode == graph.Static,
+		}
+	}
+	return s.exec.Run(s.lowered, in)
+}
+
+// ExecStats reports the arena counters of the session's executor —
+// zero-valued before the first pooled Infer.
+func (s *Session) ExecStats() tensor.PoolStats {
+	if s.exec == nil {
+		return tensor.PoolStats{}
+	}
+	return s.exec.PoolStats()
+}

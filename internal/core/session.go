@@ -60,6 +60,10 @@ type Session struct {
 	lowered *graph.Graph
 	calib   Calib
 	status  framework.Status
+
+	// exec lazily holds the numeric execution engine for Infer; reset
+	// whenever the lowered graph is replaced (Materialize).
+	exec *graph.Executor
 }
 
 // New prepares a session, enforcing the paper's deployment rules:

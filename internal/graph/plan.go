@@ -1,0 +1,173 @@
+package graph
+
+import "fmt"
+
+// Plan is a static-mode buffer plan: a liveness-driven assignment of
+// every pooled intermediate to a reusable arena slot, computed once from
+// the verifier's shape inference and reused by every subsequent
+// Executor.Run on the same graph. Two nodes share a slot only when their
+// live ranges are disjoint in the executor's topological order, so a
+// planned run touches a bounded arena instead of allocating each
+// intermediate.
+type Plan struct {
+	// Slots holds the element count of each arena slot.
+	Slots []int
+	// PeakBytes is the peak simultaneously-live activation footprint
+	// (float32 bytes) under the plan, including the input and all kept
+	// outputs.
+	PeakBytes int64
+
+	slot    map[*Node]int     // pooled node -> slot index
+	root    map[*Node]*Node   // alias node -> storage owner
+	aliases map[*Node][]*Node // storage owner -> alias nodes
+	refs    map[*Node]int     // storage owner -> counted consumer edges
+	keep    map[*Node]bool    // storage owners that outlive the run
+}
+
+// isAliasOp reports whether a node's output is a view sharing its input's
+// storage (no buffer of its own; its reads keep the input buffer alive).
+func isAliasOp(n *Node) bool { return n.Kind == OpFlatten }
+
+// poolable reports whether the executor can evaluate n into a dirty
+// recycled buffer. Ops outside this set (Conv3D, LSTM, grouped
+// convolutions, pool3d) allocate eagerly; aliases own no storage at all.
+func poolable(n *Node) bool {
+	switch n.Kind {
+	case OpConv2D:
+		return n.Attrs.GroupCount() <= 1
+	case OpDepthwiseConv2D, OpDense, OpBatchNorm,
+		OpReLU, OpReLU6, OpLeakyReLU, OpSigmoid, OpTanh,
+		OpMaxPool2D, OpAvgPool2D, OpGlobalAvgPool,
+		OpAdd, OpConcat, OpSoftmax, OpPad, OpUpsample, OpShuffle:
+		return true
+	}
+	return false
+}
+
+// PlanBuffers computes the buffer plan for a static graph. The graph must
+// validate (shape inference is the source of slot sizes). Dynamic graphs
+// are rejected: their define-by-run semantics release buffers eagerly
+// instead of reusing a persistent arena, the paper's static/dynamic
+// memory distinction.
+func PlanBuffers(g *Graph) (*Plan, error) {
+	if g == nil {
+		return nil, fmt.Errorf("plan: nil graph")
+	}
+	if g.Mode != Static {
+		return nil, fmt.Errorf("plan: graph %s is dynamic; buffer planning needs a static graph", g.Name)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	p := &Plan{
+		slot:    make(map[*Node]int),
+		root:    make(map[*Node]*Node),
+		aliases: make(map[*Node][]*Node),
+		refs:    make(map[*Node]int),
+		keep:    make(map[*Node]bool),
+	}
+	// Resolve storage owners through alias chains (nodes appear after
+	// their inputs, so the input's root is already known).
+	for _, n := range g.Nodes {
+		if isAliasOp(n) {
+			p.root[n] = p.Root(n.Inputs[0])
+		}
+	}
+	// Count consumer edges against storage owners. Alias nodes don't
+	// finish a buffer by reading it — their consumers do.
+	for _, n := range g.Nodes {
+		if isAliasOp(n) {
+			continue
+		}
+		for _, in := range n.Inputs {
+			p.refs[p.Root(in)]++
+		}
+	}
+	for _, root := range g.Roots() {
+		p.keep[p.Root(root)] = true
+	}
+	if g.Input != nil {
+		p.keep[g.Input] = true
+	}
+	for owner, root := range p.root {
+		p.aliases[root] = append(p.aliases[root], owner)
+	}
+
+	// Liveness walk in executor order: assign each pooled node the first
+	// free slot of its exact element count (mirroring the pool's keying),
+	// then return the slots of inputs whose last counted consumer just
+	// ran. Allocation happens before release on purpose: a node must
+	// never be handed one of its own inputs' buffers.
+	free := make(map[int][]int)
+	left := make(map[*Node]int, len(p.refs))
+	for n, c := range p.refs {
+		left[n] = c
+	}
+	var cur, peak int64
+	if g.Input != nil {
+		cur += int64(g.Input.OutShape.NumElems()) * 4
+	}
+	peak = cur
+	for _, n := range g.Nodes {
+		if n.Kind == OpInput || isAliasOp(n) {
+			continue
+		}
+		elems := n.OutShape.NumElems()
+		if poolable(n) && !p.keep[n] {
+			if ids := free[elems]; len(ids) > 0 {
+				p.slot[n] = ids[len(ids)-1]
+				free[elems] = ids[:len(ids)-1]
+			} else {
+				p.slot[n] = len(p.Slots)
+				p.Slots = append(p.Slots, elems)
+			}
+		}
+		cur += int64(elems) * 4
+		if cur > peak {
+			peak = cur
+		}
+		for _, in := range n.Inputs {
+			root := p.Root(in)
+			left[root]--
+			if left[root] == 0 && !p.keep[root] {
+				cur -= int64(root.OutShape.NumElems()) * 4
+				if s, ok := p.slot[root]; ok {
+					free[root.OutShape.NumElems()] = append(free[root.OutShape.NumElems()], s)
+				}
+			}
+		}
+	}
+	p.PeakBytes = peak
+	return p, nil
+}
+
+// Root returns the storage owner of n's output buffer: n itself, or the
+// non-alias ancestor a view chain (Flatten) shares data with.
+func (p *Plan) Root(n *Node) *Node {
+	if r, ok := p.root[n]; ok {
+		return r
+	}
+	return n
+}
+
+// Pooled reports whether the plan assigned n an arena slot.
+func (p *Plan) Pooled(n *Node) bool {
+	_, ok := p.slot[n]
+	return ok
+}
+
+// Kept reports whether n's storage owner must survive the run (graph
+// input, output, or extra root) and so never returns to the arena.
+func (p *Plan) Kept(n *Node) bool { return p.keep[p.Root(n)] }
+
+// NumSlots returns the number of arena slots the plan uses.
+func (p *Plan) NumSlots() int { return len(p.Slots) }
+
+// ArenaBytes returns the total float32 byte size of the arena.
+func (p *Plan) ArenaBytes() int64 {
+	var b int64
+	for _, e := range p.Slots {
+		b += int64(e) * 4
+	}
+	return b
+}

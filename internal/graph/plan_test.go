@@ -1,0 +1,296 @@
+package graph_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+	"edgebench/internal/verify"
+)
+
+// branchyCNN builds a materialized graph exercising every planner hazard:
+// an Inception-style concat fan-out, a residual Add whose left arm is
+// longer than its right, and a Flatten alias feeding a Dense while a
+// second branch still reads the flattened buffer's storage.
+func branchyCNN(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("branchy", nn.Options{Materialize: true, Seed: seed}, 3, 16, 16)
+	stem := b.ConvBNReLU("stem", 8, 3, 1, 1)
+	// Inception-style branches off the stem.
+	br1 := b.From(stem).Conv2D("br1", 8, 1, 1, 0, true)
+	br2a := b.From(stem).Conv2D("br2a", 8, 3, 1, 1, true)
+	b.ReLU("br2a_relu")
+	br2 := b.Conv2D("br2b", 8, 3, 1, 1, true)
+	_ = br2a
+	br3 := b.From(stem).MaxPool("br3", 3, 1, 1)
+	cat := b.Concat("cat", br1, br2, br3)
+	// Residual arm: identity vs conv path.
+	arm := b.From(cat).Conv2D("arm1", 24, 3, 1, 1, true)
+	b.ReLU("arm_relu")
+	arm2 := b.Conv2D("arm2", 24, 3, 1, 1, true)
+	_ = arm
+	sum := b.Add("residual", cat, arm2)
+	b.From(sum).GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+// flattenAliasCNN stresses the alias hazard: conv1's buffer is viewed by
+// Flatten and must stay live until the Dense consumer reads the view,
+// even though another branch (the Extra output) already consumed conv1.
+func flattenAliasCNN(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("alias", nn.Options{Materialize: true, Seed: seed}, 3, 8, 8)
+	conv1 := b.Conv2D("conv1", 4, 3, 1, 1, true)
+	side := b.From(conv1).Conv2D("side", 4, 3, 1, 1, true)
+	b.MarkOutput(side)
+	b.From(conv1).Flatten("flat")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func TestPlanBuffersSlotReuse(t *testing.T) {
+	// A pure chain of same-shape ops needs exactly two slots: producer
+	// and consumer ping-pong.
+	b := nn.NewBuilder("chain", nn.Options{Materialize: true, Seed: 1}, 4, 8, 8)
+	b.Conv2D("c1", 4, 3, 1, 1, true)
+	b.ReLU("r1")
+	b.Conv2D("c2", 4, 3, 1, 1, true)
+	b.ReLU("r2")
+	b.Conv2D("c3", 4, 3, 1, 1, true)
+	b.ReLU("r3")
+	b.Conv2D("c4", 4, 3, 1, 1, true)
+	g := b.Build()
+	plan, err := graph.PlanBuffers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumSlots() != 2 {
+		t.Errorf("chain plan uses %d slots (%v), want 2", plan.NumSlots(), plan.Slots)
+	}
+	if plan.ArenaBytes() != 2*4*8*8*4 {
+		t.Errorf("arena bytes = %d", plan.ArenaBytes())
+	}
+	if plan.PeakBytes <= 0 {
+		t.Error("peak bytes not computed")
+	}
+}
+
+func TestPlanBuffersRejectsDynamic(t *testing.T) {
+	g := smallCNN(t, 1)
+	g.Mode = graph.Dynamic
+	if _, err := graph.PlanBuffers(g); err == nil || !strings.Contains(err.Error(), "dynamic") {
+		t.Fatalf("dynamic graph must be rejected, got %v", err)
+	}
+}
+
+func TestPlanBuffersKeepsRootsUnpooled(t *testing.T) {
+	g := flattenAliasCNN(t, 2)
+	plan, err := graph.PlanBuffers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, root := range g.Roots() {
+		if plan.Pooled(root) {
+			t.Errorf("root %s assigned an arena slot; kept outputs must not recycle", root)
+		}
+		if !plan.Kept(root) {
+			t.Errorf("root %s not marked kept", root)
+		}
+	}
+	if plan.Pooled(g.Input) {
+		t.Error("graph input must never be pooled")
+	}
+}
+
+// TestPlanVerifiesZooGraphs is covered per-model in internal/model; here
+// we pin that planning itself never mutates the graph: verify stays clean
+// after PlanBuffers.
+func TestPlanBuffersLeavesGraphVerified(t *testing.T) {
+	g := branchyCNN(t, 3)
+	if diags := verify.Check(g); len(diags) != 0 {
+		t.Fatalf("pre-plan diagnostics: %v", diags)
+	}
+	if _, err := graph.PlanBuffers(g); err != nil {
+		t.Fatal(err)
+	}
+	if diags := verify.Check(g); len(diags) != 0 {
+		t.Fatalf("post-plan diagnostics: %v", diags)
+	}
+}
+
+// runVariants executes g under every executor configuration and checks
+// outputs match the plain sequential run bitwise. Each pooled executor
+// runs three times so later passes consume recycled (dirty) buffers.
+func runVariants(t *testing.T, g *graph.Graph, in *tensor.Tensor) {
+	t.Helper()
+	ref, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]*graph.Executor{
+		"parallel":        {Parallel: true},
+		"parallel2":       {Parallel: true, Workers: 2},
+		"pooled":          {Pooled: true},
+		"pooled+parallel": {Pooled: true, Parallel: true},
+		"pooled+gemm":     {Pooled: true, UseGEMMConv: true},
+	}
+	gemmRef, err := (&graph.Executor{UseGEMMConv: true}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range variants {
+		want := ref
+		if e.UseGEMMConv {
+			want = gemmRef
+		}
+		for pass := 0; pass < 3; pass++ {
+			got, err := e.Run(g, in)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", name, pass, err)
+			}
+			if !got.Shape.Equal(want.Shape) {
+				t.Fatalf("%s pass %d: shape %v, want %v", name, pass, got.Shape, want.Shape)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s pass %d: out[%d] = %v, want %v", name, pass, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExecutorVariantsEquivalentOnBranchyGraph(t *testing.T) {
+	g := branchyCNN(t, 7)
+	in := tensor.New(3, 16, 16)
+	fillDeterministic(in)
+	runVariants(t, g, in)
+}
+
+func TestExecutorVariantsEquivalentOnAliasGraph(t *testing.T) {
+	g := flattenAliasCNN(t, 8)
+	in := tensor.New(3, 8, 8)
+	fillDeterministic(in)
+	runVariants(t, g, in)
+	// The Extra output must also survive pooling intact: run pooled and
+	// compare the side output via RunValues on a fresh executor.
+	vals, err := (&graph.Executor{}).RunValues(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var side *graph.Node
+	for _, n := range g.Nodes {
+		if n.Name == "side" {
+			side = n
+		}
+	}
+	want := vals[side]
+	pooled := &graph.Executor{Pooled: true}
+	if _, err := pooled.Run(g, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pooled.Run(g, in); err != nil {
+		t.Fatal(err)
+	}
+	// Kept side outputs are not exposed by Run; re-check through
+	// RunValues on the pooled executor (pooling disabled there, but the
+	// executor must recover cleanly from pooled state).
+	vals2, err := pooled.RunValues(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vals2[side]
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("side output diverged at %d", i)
+		}
+	}
+}
+
+// TestPooledExecutorReusesArena pins the planner's win: after the first
+// pass, repeated inference performs zero pool misses (every intermediate
+// comes from the arena) and the executor's outputs stay immutable —
+// the previous pass's returned tensor is not overwritten.
+func TestPooledExecutorReusesArena(t *testing.T) {
+	g := branchyCNN(t, 9)
+	in := tensor.New(3, 16, 16)
+	fillDeterministic(in)
+	e := &graph.Executor{Pooled: true}
+	first, err := e.Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float32(nil), first.Data...)
+	misses0 := e.PoolStats().Misses
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(g, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.PoolStats()
+	if st.Misses != misses0 {
+		t.Errorf("steady-state pool misses grew from %d to %d; arena not reused", misses0, st.Misses)
+	}
+	if st.Gets <= misses0 {
+		t.Errorf("pool stats %+v: expected hits on repeated runs", st)
+	}
+	for i := range snapshot {
+		if first.Data[i] != snapshot[i] {
+			t.Fatalf("first run's output mutated at %d: caller-visible tensor recycled", i)
+		}
+	}
+}
+
+// TestParallelErrorDeterministic forces a kernel failure and checks the
+// parallel scheduler reports the same first-failing node as sequential.
+func TestParallelErrorDeterministic(t *testing.T) {
+	g := smallCNN(t, 10)
+	// Corrupt a mid-graph node's weights so its kernel panics.
+	var victim *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpDense {
+			victim = n
+		}
+	}
+	victim.Weights = tensor.New(1, 1)
+	in := tensor.New(3, 8, 8).Fill(0.5)
+	_, errSeq := (&graph.Executor{}).Run(g, in)
+	_, errPar := (&graph.Executor{Parallel: true}).Run(g, in)
+	if errSeq == nil || errPar == nil {
+		t.Fatalf("expected failures, got seq=%v par=%v", errSeq, errPar)
+	}
+	if !strings.Contains(errPar.Error(), victim.Name) || !strings.Contains(errSeq.Error(), victim.Name) {
+		t.Fatalf("errors should name node %s: seq=%v par=%v", victim.Name, errSeq, errPar)
+	}
+}
+
+// TestRunValuesUnaffectedByPooling checks the training path still retains
+// every node value when the executor is configured for pooling.
+func TestRunValuesUnaffectedByPooling(t *testing.T) {
+	g := smallCNN(t, 11)
+	in := tensor.New(3, 8, 8).Fill(0.3)
+	vals, err := (&graph.Executor{Pooled: true, Parallel: true}).RunValues(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpInput {
+			continue
+		}
+		if vals[n] == nil {
+			t.Fatalf("RunValues missing value for %s", n)
+		}
+	}
+}
+
+func fillDeterministic(t *tensor.Tensor) {
+	for i := range t.Data {
+		t.Data[i] = float32(math.Sin(float64(i))) * 0.5
+	}
+}

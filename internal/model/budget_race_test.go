@@ -1,0 +1,8 @@
+//go:build race
+
+package model_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the execution-equivalence suite shrinks its compute budget
+// accordingly (instrumented numeric kernels run ~10x slower).
+const raceEnabled = true

@@ -1,0 +1,101 @@
+// Real batch execution behind the serving simulation: an Engine owns a
+// fixed set of executor replicas (each with its own planned buffer
+// arena) and drives concurrent single-batch inferences through them —
+// the ROADMAP's "serving shim" growing from analytic simulation toward
+// actually running requests.
+package serving
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/tensor"
+	"edgebench/internal/verify"
+)
+
+// Engine executes real inferences over a materialized graph with a pool
+// of executor replicas. Each replica is an independent graph.Executor —
+// pooled (arena-reusing) for static graphs, eager-release for dynamic
+// ones — so concurrent requests never contend on buffers while still
+// reusing memory across requests hitting the same replica. Infer and
+// InferBatch are safe for concurrent use.
+type Engine struct {
+	g        *graph.Graph
+	replicas chan *graph.Executor
+}
+
+// NewEngine verifies g, requires materialized weights, and builds an
+// engine with the given number of executor replicas (<= 0 means
+// GOMAXPROCS).
+func NewEngine(g *graph.Graph, replicas int) (*Engine, error) {
+	if err := verify.Err(verify.Check(g)); err != nil {
+		return nil, fmt.Errorf("serving: graph %s: %w", g.Name, err)
+	}
+	for _, n := range g.Nodes {
+		if !n.Materialized() {
+			return nil, fmt.Errorf("serving: graph %s: node %s has structural-only parameters", g.Name, n)
+		}
+	}
+	if replicas <= 0 {
+		replicas = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{g: g, replicas: make(chan *graph.Executor, replicas)}
+	for i := 0; i < replicas; i++ {
+		e.replicas <- &graph.Executor{Pooled: g.Mode == graph.Static}
+	}
+	return e, nil
+}
+
+// Infer runs one single-batch forward pass, borrowing a replica for the
+// duration of the call.
+func (e *Engine) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	ex := <-e.replicas
+	defer func() { e.replicas <- ex }()
+	return ex.Run(e.g, in)
+}
+
+// InferBatch runs every input concurrently across the replica pool and
+// returns outputs in input order. The first error (by input index) is
+// returned; outputs past a failed input may be nil.
+func (e *Engine) InferBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs := make([]*tensor.Tensor, len(ins))
+	errs := make([]error, len(ins))
+	var wg sync.WaitGroup
+	for i, in := range ins {
+		wg.Add(1)
+		go func(i int, in *tensor.Tensor) {
+			defer wg.Done()
+			outs[i], errs[i] = e.Infer(in)
+		}(i, in)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return outs, fmt.Errorf("serving: request %d: %w", i, err)
+		}
+	}
+	return outs, nil
+}
+
+// PoolStats sums the arena counters across all replicas currently parked
+// in the pool (callers should quiesce the engine first for exact totals).
+func (e *Engine) PoolStats() tensor.PoolStats {
+	var total tensor.PoolStats
+	n := len(e.replicas)
+	held := make([]*graph.Executor, 0, n)
+	for i := 0; i < n; i++ {
+		ex := <-e.replicas
+		st := ex.PoolStats()
+		total.Gets += st.Gets
+		total.Misses += st.Misses
+		total.Puts += st.Puts
+		total.Idle += st.Idle
+		held = append(held, ex)
+	}
+	for _, ex := range held {
+		e.replicas <- ex
+	}
+	return total
+}

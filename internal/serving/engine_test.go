@@ -1,0 +1,86 @@
+package serving_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/serving"
+	"edgebench/internal/tensor"
+)
+
+func engineCNN(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("engine-cnn", nn.Options{Materialize: true, Seed: 5}, 3, 16, 16)
+	stem := b.ConvBNReLU("stem", 8, 3, 1, 1)
+	br1 := b.From(stem).Conv2D("br1", 8, 1, 1, 0, true)
+	br2 := b.From(stem).Conv2D("br2", 8, 3, 1, 1, true)
+	b.Concat("cat", br1, br2)
+	b.MaxPool("pool", 2, 2, 0)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func engineInput(i int) *tensor.Tensor {
+	in := tensor.New(3, 16, 16)
+	for j := range in.Data {
+		in.Data[j] = float32(math.Sin(float64(i*131 + j)))
+	}
+	return in
+}
+
+// TestEngineBatchMatchesSequential runs a concurrent batch through the
+// replica pool and checks every output equals a dedicated sequential
+// executor's result for the same input.
+func TestEngineBatchMatchesSequential(t *testing.T) {
+	g := engineCNN(t)
+	eng, err := serving.NewEngine(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		ins[i] = engineInput(i)
+	}
+	outs, err := eng.InferBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &graph.Executor{}
+	for i, in := range ins {
+		want, err := ref.Run(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Data {
+			if outs[i].Data[j] != want.Data[j] {
+				t.Fatalf("request %d: out[%d] = %v, want %v", i, j, outs[i].Data[j], want.Data[j])
+			}
+		}
+	}
+	// Static graph: replicas must be reusing their arenas, not
+	// allocating per request — with 16 requests over 4 replicas, hits
+	// must dominate after each replica's first pass.
+	st := eng.PoolStats()
+	if st.Gets == 0 {
+		t.Fatal("engine never touched its arenas")
+	}
+	if hits := st.Gets - st.Misses; hits <= st.Misses {
+		t.Errorf("arena stats %+v: expected steady-state reuse to dominate", st)
+	}
+}
+
+// TestEngineRejectsStructuralGraph pins the materialization gate.
+func TestEngineRejectsStructuralGraph(t *testing.T) {
+	b := nn.NewBuilder("structural", nn.Options{}, 3, 8, 8)
+	b.Conv2D("c", 4, 3, 1, 1, true)
+	b.GlobalAvgPool("gap")
+	b.Softmax("sm")
+	if _, err := serving.NewEngine(b.Build(), 2); err == nil {
+		t.Fatal("structural graph must be rejected")
+	}
+}

@@ -61,11 +61,9 @@ func (s Conv2DSpec) OutDims(h, w, kh, kw int) (int, int) {
 	return s.outDim(h, kh, s.PadH), s.outDim(w, kw, s.PadW)
 }
 
-// Conv2D computes a direct (naive loop-nest) 2-D convolution with bias.
-// bias may be nil. This is the reference implementation; Conv2DGEMM is the
-// optimized path, and tests assert both agree.
-func Conv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
-	spec = spec.check()
+// conv2DDims validates operand shapes against the spec and returns
+// (cin, h, w, cout, kh, kw, hout, wout).
+func conv2DDims(in, w *Tensor, bias []float32, spec Conv2DSpec) (int, int, int, int, int, int, int, int) {
 	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
 	cout, wcin, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
 	if cin != wcin {
@@ -74,38 +72,36 @@ func Conv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 	if bias != nil && len(bias) != cout {
 		panic("tensor: Conv2D bias length mismatch")
 	}
-	padH, padW := spec.padHW()
 	hout, wout := spec.OutDims(h, wd, kh, kw)
-	out := New(cout, hout, wout)
-	for oc := 0; oc < cout; oc++ {
-		var b float32
-		if bias != nil {
-			b = bias[oc]
-		}
-		for oy := 0; oy < hout; oy++ {
-			for ox := 0; ox < wout; ox++ {
-				sum := b
-				for ic := 0; ic < cin; ic++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*spec.Stride + ky - padH
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*spec.Stride + kx - padW
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							sum += in.Data[(ic*h+iy)*wd+ix] *
-								w.Data[((oc*cin+ic)*kh+ky)*kw+kx]
-						}
-					}
-				}
-				out.Data[(oc*hout+oy)*wout+ox] = sum
-			}
-		}
+	return cin, h, wd, cout, kh, kw, hout, wout
+}
+
+// checkConvDst validates a preallocated conv output buffer.
+func checkConvDst(dst *Tensor, cout, hout, wout int) {
+	if len(dst.Shape) != 3 || dst.Shape[0] != cout || dst.Shape[1] != hout || dst.Shape[2] != wout {
+		panic(fmt.Sprintf("tensor: conv dst shape %v, want [%d %d %d]", dst.Shape, cout, hout, wout))
 	}
+}
+
+// Conv2D computes a direct (naive loop-nest) 2-D convolution with bias.
+// bias may be nil. This is the reference implementation; Conv2DGEMM is the
+// optimized path, and tests assert both agree.
+func Conv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	out := New(cout, hout, wout)
+	convChannels(in, w, bias, spec, out, 0, cout)
 	return out
+}
+
+// Conv2DInto computes the direct convolution into a preallocated dst of
+// shape [Cout, Hout, Wout], overwriting every element (safe for dirty
+// pooled buffers).
+func Conv2DInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
+	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	checkConvDst(dst, cout, hout, wout)
+	convChannels(in, w, bias, spec, dst, 0, cout)
 }
 
 // Im2Col lowers the convolution input into a [Cin*KH*KW, Hout*Wout] matrix
@@ -114,23 +110,39 @@ func Conv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 func Im2Col(in *Tensor, kh, kw int, spec Conv2DSpec) *Tensor {
 	spec = spec.check()
 	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
-	padH, padW := spec.padHW()
 	hout, wout := spec.OutDims(h, wd, kh, kw)
-	rows := cin * kh * kw
-	cols := hout * wout
-	out := New(rows, cols)
+	out := New(cin*kh*kw, hout*wout)
+	im2colInto(out.Data, in, kh, kw, spec, hout, wout)
+	return out
+}
+
+// im2colInto writes the im2col lowering into cols[0 : cin*kh*kw*hout*wout],
+// storing every element — padding positions are written as explicit zeros
+// so a dirty pooled scratch buffer cannot leak stale values.
+func im2colInto(cols []float32, in *Tensor, kh, kw int, spec Conv2DSpec, hout, wout int) {
+	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	padH, padW := spec.padHW()
+	ncols := hout * wout
 	row := 0
 	for ic := 0; ic < cin; ic++ {
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				dst := out.Data[row*cols : (row+1)*cols]
+				dst := cols[row*ncols : (row+1)*ncols]
 				col := 0
 				for oy := 0; oy < hout; oy++ {
 					iy := oy*spec.Stride + ky - padH
+					if iy < 0 || iy >= h {
+						clear(dst[col : col+wout])
+						col += wout
+						continue
+					}
+					src := in.Data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
 					for ox := 0; ox < wout; ox++ {
 						ix := ox*spec.Stride + kx - padW
-						if iy >= 0 && iy < h && ix >= 0 && ix < wd {
-							dst[col] = in.Data[(ic*h+iy)*wd+ix]
+						if ix >= 0 && ix < wd {
+							dst[col] = src[ix]
+						} else {
+							dst[col] = 0
 						}
 						col++
 					}
@@ -139,7 +151,6 @@ func Im2Col(in *Tensor, kh, kw int, spec Conv2DSpec) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Conv2DGEMM computes the convolution by im2col lowering followed by
@@ -147,35 +158,67 @@ func Im2Col(in *Tensor, kh, kw int, spec Conv2DSpec) *Tensor {
 // reassociation tolerance.
 func Conv2DGEMM(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	out := New(cout, hout, wout)
+	conv2DGEMMInto(out, in, w, bias, spec, nil)
+	return out
+}
+
+// Conv2DGEMMInto computes the im2col+GEMM convolution into a preallocated
+// dst of shape [Cout, Hout, Wout], overwriting every element. When
+// scratch is non-nil the im2col matrix is borrowed from (and returned to)
+// it, so repeated calls on a static graph do no scratch allocation.
+func Conv2DGEMMInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, scratch *Pool) {
+	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	checkConvDst(dst, cout, hout, wout)
+	conv2DGEMMInto(dst, in, w, bias, spec, scratch)
+}
+
+func conv2DGEMMInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, scratch *Pool) {
 	cout, cin, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
-	if cin != in.Shape[0] {
-		panic("tensor: Conv2DGEMM channel mismatch")
+	hout, wout := dst.Shape[1], dst.Shape[2]
+	rows := cin * kh * kw
+	ncols := hout * wout
+	var cols *Tensor
+	if scratch != nil {
+		cols = scratch.Get(rows, ncols)
+	} else {
+		cols = New(rows, ncols)
 	}
-	cols := Im2Col(in, kh, kw, spec)
-	wm := w.Reshape(cout, cin*kh*kw)
-	prod := MatMul(wm, cols)
-	hout, wout := spec.OutDims(in.Shape[1], in.Shape[2], kh, kw)
-	out := prod.Reshape(cout, hout, wout)
+	im2colInto(cols.Data, in, kh, kw, spec, hout, wout)
+	matmulInto(dst.Data, w.Data, cols.Data, cout, rows, ncols)
+	if scratch != nil {
+		scratch.Put(cols)
+	}
 	if bias != nil {
-		if len(bias) != cout {
-			panic("tensor: Conv2DGEMM bias length mismatch")
-		}
-		plane := hout * wout
+		plane := ncols
 		for oc := 0; oc < cout; oc++ {
 			b := bias[oc]
-			seg := out.Data[oc*plane : (oc+1)*plane]
+			seg := dst.Data[oc*plane : (oc+1)*plane]
 			for i := range seg {
 				seg[i] += b
 			}
 		}
 	}
-	return out
 }
 
 // DepthwiseConv2D applies one [KH, KW] filter per input channel (the
 // MobileNet depthwise-separable building block). Weights are
 // [C, KH, KW]; bias may be nil.
 func DepthwiseConv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
+	spec = spec.check()
+	c := in.Shape[0]
+	kh, kw := w.Shape[1], w.Shape[2]
+	hout, wout := spec.OutDims(in.Shape[1], in.Shape[2], kh, kw)
+	out := New(c, hout, wout)
+	DepthwiseConv2DInto(out, in, w, bias, spec)
+	return out
+}
+
+// DepthwiseConv2DInto computes the depthwise convolution into a
+// preallocated dst of shape [C, Hout, Wout], overwriting every element.
+func DepthwiseConv2DInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
 	spec = spec.check()
 	c, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
 	wc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
@@ -187,7 +230,7 @@ func DepthwiseConv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 	}
 	padH, padW := spec.padHW()
 	hout, wout := spec.OutDims(h, wd, kh, kw)
-	out := New(c, hout, wout)
+	checkConvDst(dst, c, hout, wout)
 	for ic := 0; ic < c; ic++ {
 		var b float32
 		if bias != nil {
@@ -209,9 +252,8 @@ func DepthwiseConv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 						sum += in.Data[(ic*h+iy)*wd+ix] * w.Data[(ic*kh+ky)*kw+kx]
 					}
 				}
-				out.Data[(ic*hout+oy)*wout+ox] = sum
+				dst.Data[(ic*hout+oy)*wout+ox] = sum
 			}
 		}
 	}
-	return out
 }

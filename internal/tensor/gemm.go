@@ -1,0 +1,223 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GEMM blocking parameters. The kernel tiles over N (gemmNC columns) and
+// K (gemmKC rows of B) so the packed B panel (gemmKC x gemmNC floats,
+// 256 KiB) and the current output row stripe stay cache-resident while
+// every A row streams over them. Within a panel, B rows are packed in
+// interleaved groups of gemmMR so the microkernel reads gemmMR
+// consecutive B values per output element and makes one write pass over
+// the output row per gemmMR K-steps instead of per K-step.
+const (
+	gemmKC = 128 // K-block: rows of B packed per panel
+	gemmNC = 512 // N-block: columns of B packed per panel
+	gemmMR = 4   // K-interleave of the packed panel / microkernel unroll
+)
+
+// sparseSkipFraction is the zero fraction of the left operand above which
+// MatMul dispatches to the zero-skipping kernel. Pruned-weight matrices
+// (the paper's sparsity study) sit far above this; dense activations sit
+// far below, so the dense path never pays a per-element branch.
+const sparseSkipFraction = 0.6
+
+// gemmPanelElems is the scratch size one packed B panel needs.
+func gemmPanelElems() int { return gemmKC * gemmNC }
+
+// matmulInto computes dst = a x b for row-major a [m, k] and b [k, n],
+// overwriting all of dst[0:m*n]. It dispatches between the sparse,
+// parallel-blocked, and serial-blocked kernels; the parallel split is by
+// output rows, so results are bitwise identical to the serial kernel.
+func matmulInto(dst, a, b []float32, m, k, n int) {
+	macs := m * k * n
+	if macs >= parallelThresholdMACs {
+		if zeroFraction(a) >= sparseSkipFraction {
+			matmulSparseInto(dst, a, b, m, k, n)
+			return
+		}
+		workers := runtime.GOMAXPROCS(0)
+		if workers > m {
+			workers = m
+		}
+		if workers > 1 {
+			matmulParallelInto(dst, a, b, m, k, n, workers)
+			return
+		}
+	}
+	matmulBlockedRange(dst, a, b, m, k, n, 0, m, nil)
+}
+
+// zeroFraction returns the fraction of exactly-zero entries in a.
+func zeroFraction(a []float32) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, v := range a {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(a))
+}
+
+// matmulParallelInto shards output rows [0, m) across workers; each shard
+// runs the blocked kernel with its own packed panel. Per-row results do
+// not depend on the shard split, so the output is bitwise identical to a
+// single-shard run.
+func matmulParallelInto(dst, a, b []float32, m, k, n, workers int) {
+	per := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += per {
+		hi := lo + per
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulBlockedRange(dst, a, b, m, k, n, lo, hi, nil)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulBlockedRange computes output rows [rlo, rhi) of dst = a x b with
+// cache blocking. panel is optional scratch of gemmPanelElems() floats
+// (allocated when nil). Rows are zeroed first, then accumulated one
+// (K-block, N-block) panel at a time.
+func matmulBlockedRange(dst, a, b []float32, m, k, n, rlo, rhi int, panel []float32) {
+	_ = m
+	if panel == nil {
+		panel = make([]float32, gemmPanelElems())
+	}
+	for i := rlo; i < rhi; i++ {
+		clear(dst[i*n : (i+1)*n])
+	}
+	var abuf [gemmKC]float32
+	for jc := 0; jc < n; jc += gemmNC {
+		jb := n - jc
+		if jb > gemmNC {
+			jb = gemmNC
+		}
+		for kc := 0; kc < k; kc += gemmKC {
+			kb := k - kc
+			if kb > gemmKC {
+				kb = gemmKC
+			}
+			kb4 := (kb + gemmMR - 1) &^ (gemmMR - 1)
+			packPanel(panel, b, n, kc, kb, kb4, jc, jb)
+			for i := rlo; i < rhi; i++ {
+				copy(abuf[:kb], a[i*k+kc:i*k+kc+kb])
+				for z := kb; z < kb4; z++ {
+					abuf[z] = 0
+				}
+				orow := dst[i*n+jc : i*n+jc+jb]
+				for g := 0; g < kb4; g += gemmMR {
+					a0, a1, a2, a3 := abuf[g], abuf[g+1], abuf[g+2], abuf[g+3]
+					p := panel[g*jb : g*jb+jb*gemmMR]
+					for j := range orow {
+						base := j * gemmMR
+						orow[j] += a0*p[base] + a1*p[base+1] + a2*p[base+2] + a3*p[base+3]
+					}
+				}
+			}
+		}
+	}
+}
+
+// packPanel copies the B block rows [kc, kc+kb) x cols [jc, jc+jb) into
+// panel, interleaved in groups of gemmMR K-rows: element (kc+g+r, jc+j)
+// lands at panel[g*jb + j*gemmMR + r]. Rows past kb (up to the kb4
+// round-up) are zero-filled so the microkernel needs no K-remainder.
+func packPanel(panel, b []float32, n, kc, kb, kb4, jc, jb int) {
+	for g := 0; g < kb4; g += gemmMR {
+		dst := panel[g*jb : (g+gemmMR)*jb]
+		for r := 0; r < gemmMR; r++ {
+			kk := g + r
+			if kk >= kb {
+				for j := 0; j < jb; j++ {
+					dst[j*gemmMR+r] = 0
+				}
+				continue
+			}
+			brow := b[(kc+kk)*n+jc : (kc+kk)*n+jc+jb]
+			for j, v := range brow {
+				dst[j*gemmMR+r] = v
+			}
+		}
+	}
+}
+
+// matmulSparseInto is the zero-skipping ikj kernel for pruned left
+// operands: rows of a with mostly-zero entries skip whole B rows. Dense
+// inputs should use the blocked kernel instead (matmulInto dispatches).
+func matmulSparseInto(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : (i+1)*n]
+		clear(orow)
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// checkMatMul validates MatMul operand shapes and returns (m, k, n).
+func checkMatMul(a, b *Tensor) (int, int, int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMul needs rank-2 operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic("tensor: MatMul inner dims differ")
+	}
+	return m, k, b.Shape[1]
+}
+
+// MatMulSerial multiplies a [M, K] by b [K, N] on the calling goroutine
+// with the cache-blocked kernel — the deterministic reference the
+// parallel path is checked against.
+func MatMulSerial(a, b *Tensor) *Tensor {
+	m, k, nn := checkMatMul(a, b)
+	out := New(m, nn)
+	matmulBlockedRange(out.Data, a.Data, b.Data, m, k, nn, 0, m, nil)
+	return out
+}
+
+// MatMulParallel multiplies a [M, K] by b [K, N] with output rows sharded
+// across GOMAXPROCS goroutines, each running the cache-blocked kernel.
+// Results are bitwise identical to MatMulSerial.
+func MatMulParallel(a, b *Tensor) *Tensor {
+	m, k, nn := checkMatMul(a, b)
+	out := New(m, nn)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		matmulBlockedRange(out.Data, a.Data, b.Data, m, k, nn, 0, m, nil)
+		return out
+	}
+	matmulParallelInto(out.Data, a.Data, b.Data, m, k, nn, workers)
+	return out
+}
+
+// MatMulSparse multiplies a [M, K] by b [K, N] skipping zero entries of
+// a — the pruned-weight fast path. Dense operands should use MatMul,
+// which pays no per-element branch.
+func MatMulSparse(a, b *Tensor) *Tensor {
+	m, k, nn := checkMatMul(a, b)
+	out := New(m, nn)
+	matmulSparseInto(out.Data, a.Data, b.Data, m, k, nn)
+	return out
+}

@@ -1,0 +1,314 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveMatMul is the straightforward triple loop used as the oracle for
+// the blocked kernel.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float32
+			for kk := 0; kk < k; kk++ {
+				sum += a.Data[i*k+kk] * b.Data[kk*n+j]
+			}
+			out.Data[i*n+j] = sum
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestBlockedMatMulMatchesNaive sweeps awkward sizes around the blocking
+// parameters (K remainders, N remainders, tiny dims) against the naive
+// oracle.
+func TestBlockedMatMulMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {4, gemmKC, 9}, {5, gemmKC - 1, 7},
+		{2, gemmKC + 1, gemmNC + 3}, {7, 300, 17}, {16, 130, 515},
+		{9, 2*gemmKC + 3, 33},
+	}
+	for _, c := range cases {
+		a := New(c.m, c.k).Randomize(r, 1)
+		b := New(c.k, c.n).Randomize(r, 1)
+		want := naiveMatMul(a, b)
+		got := MatMulSerial(a, b)
+		// The blocked kernel reassociates the K sum, so allow a small
+		// accumulation tolerance scaled by K.
+		tol := 1e-5 * float64(c.k)
+		if d := maxAbsDiff(got.Data, want.Data); d > tol {
+			t.Errorf("m=%d k=%d n=%d: blocked vs naive diff %g > %g", c.m, c.k, c.n, d, tol)
+		}
+	}
+}
+
+// TestMatMulParallelBitwiseEqualsSerial verifies the row-shard split
+// changes nothing: identical bits, not just close values.
+func TestMatMulParallelBitwiseEqualsSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := New(37, 301).Randomize(r, 1)
+	b := New(301, 129).Randomize(r, 1)
+	serial := MatMulSerial(a, b)
+	parallel := MatMulParallel(a, b)
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("element %d: serial %v != parallel %v", i, serial.Data[i], parallel.Data[i])
+		}
+	}
+}
+
+// TestMatMulSparseMatchesDense checks the pruned-weight path and that the
+// dense dispatcher routes a mostly-zero left operand through it with the
+// same results.
+func TestMatMulSparseMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a := New(130, 140)
+	for i := range a.Data {
+		if r.Float32() < 0.2 { // 80% zeros: above sparseSkipFraction
+			a.Data[i] = r.Float32()*2 - 1
+		}
+	}
+	b := New(140, 150).Randomize(r, 1)
+	want := naiveMatMul(a, b)
+	for name, got := range map[string]*Tensor{
+		"MatMulSparse": MatMulSparse(a, b),
+		"MatMul":       MatMul(a, b),
+	} {
+		if d := maxAbsDiff(got.Data, want.Data); d > 1e-3 {
+			t.Errorf("%s vs naive diff %g", name, d)
+		}
+	}
+	if zf := zeroFraction(a.Data); zf < sparseSkipFraction {
+		t.Fatalf("test matrix zero fraction %v below dispatch threshold", zf)
+	}
+}
+
+// TestConvMACsDispatchThreshold pins the Conv2DAuto dispatch metric: the
+// old estimate divided and re-multiplied by Cout, truncating to a wrong
+// value; the metric must be exactly filter-elems x output-positions.
+func TestConvMACsDispatchThreshold(t *testing.T) {
+	// 7 output channels: w elems = 7*3*3*3 = 189. With hout=wout=10,
+	// MACs = 189*100 = 18900. The old buggy form computed
+	// 18900/7*7 = 18900 only when divisible — pick dims where the
+	// truncation bites: elems*hout*wout = 18900, /7*7 = 18900 (divisible);
+	// instead check against an explicit product for several shapes.
+	cases := []struct {
+		cout, cin, kh, kw, hout, wout int
+	}{
+		{7, 3, 3, 3, 10, 10},
+		{5, 13, 3, 1, 17, 23},
+		{64, 32, 3, 3, 28, 28},
+	}
+	for _, c := range cases {
+		w := New(c.cout, c.cin, c.kh, c.kw)
+		want := c.cout * c.cin * c.kh * c.kw * c.hout * c.wout
+		if got := ConvMACs(w, c.hout, c.wout); got != want {
+			t.Errorf("ConvMACs(%dx%dx%dx%d, %dx%d) = %d, want %d",
+				c.cout, c.cin, c.kh, c.kw, c.hout, c.wout, got, want)
+		}
+	}
+	// Pin the threshold itself so dispatch behaviour cannot drift
+	// silently: a 16->16 3x3 conv on a 56x56 output (7.2M MACs) is above
+	// it, the same conv on 14x14 (450K MACs) is below.
+	w := New(16, 16, 3, 3)
+	if ConvMACs(w, 56, 56) < ParallelThresholdMACs() {
+		t.Error("56x56 16->16 3x3 conv should dispatch parallel")
+	}
+	if ConvMACs(w, 14, 14) >= ParallelThresholdMACs() {
+		t.Error("14x14 16->16 3x3 conv should stay serial")
+	}
+	if ParallelThresholdMACs() != 1<<20 {
+		t.Errorf("parallel threshold changed to %d; update benchmarks and this pin deliberately", ParallelThresholdMACs())
+	}
+}
+
+// dirty returns a tensor filled with a sentinel value, standing in for a
+// recycled pool buffer with stale contents.
+func dirty(shape ...int) *Tensor {
+	return New(shape...).Fill(float32(math.NaN()))
+}
+
+// TestIntoKernelsOverwriteDirtyBuffers runs every destination-passing
+// kernel against a NaN-poisoned dst and requires exact agreement with the
+// allocating variant — any cell the kernel forgets to write stays NaN and
+// fails the comparison.
+func TestIntoKernelsOverwriteDirtyBuffers(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	in := New(3, 9, 9).Randomize(r, 1)
+	w := New(4, 3, 3, 3).Randomize(r, 1)
+	dw := New(3, 3, 3).Randomize(r, 1)
+	bias := []float32{0.1, -0.2, 0.3, -0.4}
+	spec := Conv2DSpec{Stride: 2, Pad: 1}
+
+	check := func(name string, want *Tensor, run func(dst *Tensor)) {
+		t.Helper()
+		dst := dirty(want.Shape...)
+		run(dst)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("%s: dst[%d] = %v, want %v (stale cell?)", name, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+
+	check("Conv2DInto", Conv2D(in, w, bias, spec), func(d *Tensor) { Conv2DInto(d, in, w, bias, spec) })
+	check("Conv2DAutoInto", Conv2DAuto(in, w, bias, spec), func(d *Tensor) { Conv2DAutoInto(d, in, w, bias, spec) })
+	check("Conv2DGEMMInto", Conv2DGEMM(in, w, bias, spec), func(d *Tensor) { Conv2DGEMMInto(d, in, w, bias, spec, nil) })
+	check("DepthwiseConv2DInto", DepthwiseConv2D(in, dw, bias[:3], spec), func(d *Tensor) { DepthwiseConv2DInto(d, in, dw, bias[:3], spec) })
+	check("AddInto", Add(in, in), func(d *Tensor) { AddInto(d, in, in) })
+	check("ConcatChannelsInto", ConcatChannels(in, in), func(d *Tensor) { ConcatChannelsInto(d, in, in) })
+	check("Pad2DInto", Pad2D(in, 2), func(d *Tensor) { Pad2DInto(d, in, 2) })
+	check("UpsampleNearest2DInto", UpsampleNearest2D(in, 2), func(d *Tensor) { UpsampleNearest2DInto(d, in, 2) })
+	check("ShuffleChannelsInto", ShuffleChannels(in, 3), func(d *Tensor) { ShuffleChannelsInto(d, in, 3) })
+	check("ReLUInto", ReLU(in.Clone()), func(d *Tensor) { ReLUInto(d, in) })
+	check("ReLU6Into", ReLU6(in.Clone()), func(d *Tensor) { ReLU6Into(d, in) })
+	check("LeakyReLUInto", LeakyReLU(in.Clone(), 0.1), func(d *Tensor) { LeakyReLUInto(d, in, 0.1) })
+	check("SigmoidInto", Sigmoid(in.Clone()), func(d *Tensor) { SigmoidInto(d, in) })
+	check("TanhInto", Tanh(in.Clone()), func(d *Tensor) { TanhInto(d, in) })
+
+	gamma := []float32{1, 0.5, 2}
+	beta := []float32{0, 1, -1}
+	mean := []float32{0.1, 0.2, 0.3}
+	variance := []float32{1, 2, 3}
+	check("BatchNormInto", BatchNorm(in, gamma, beta, mean, variance, 1e-5),
+		func(d *Tensor) { BatchNormInto(d, in, gamma, beta, mean, variance, 1e-5) })
+
+	pspec := PoolSpec{Kernel: 3, Stride: 2, Pad: 1}
+	check("MaxPool2DInto", MaxPool2D(in, pspec), func(d *Tensor) { MaxPool2DInto(d, in, pspec) })
+	check("AvgPool2DInto", AvgPool2D(in, pspec), func(d *Tensor) { AvgPool2DInto(d, in, pspec) })
+
+	// Vector-destination kernels.
+	dm := New(5, len(in.Data)).Randomize(r, 1)
+	wantDense := Dense(dm, []float32{1, 2, 3, 4, 5}, in.Data)
+	gotDense := []float32{negInf, negInf, negInf, negInf, negInf}
+	DenseInto(gotDense, dm, []float32{1, 2, 3, 4, 5}, in.Data)
+	for i := range wantDense {
+		if gotDense[i] != wantDense[i] {
+			t.Fatalf("DenseInto[%d] = %v, want %v", i, gotDense[i], wantDense[i])
+		}
+	}
+	wantSm := Softmax(wantDense)
+	gotSm := []float32{negInf, negInf, negInf, negInf, negInf}
+	SoftmaxInto(gotSm, wantDense)
+	for i := range wantSm {
+		if gotSm[i] != wantSm[i] {
+			t.Fatalf("SoftmaxInto[%d] = %v, want %v", i, gotSm[i], wantSm[i])
+		}
+	}
+	wantGap := GlobalAvgPool2D(in)
+	gotGap := []float32{negInf, negInf, negInf}
+	GlobalAvgPool2DInto(gotGap, in)
+	for i := range wantGap {
+		if gotGap[i] != wantGap[i] {
+			t.Fatalf("GlobalAvgPool2DInto[%d] = %v, want %v", i, gotGap[i], wantGap[i])
+		}
+	}
+}
+
+// TestIm2ColIntoWritesPaddingZeros poisons the scratch buffer and checks
+// the lowering still matches a fresh Im2Col — the padding cells must be
+// written as explicit zeros.
+func TestIm2ColIntoWritesPaddingZeros(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	in := New(2, 5, 5).Randomize(r, 1)
+	spec := Conv2DSpec{Stride: 1, Pad: 2}
+	want := Im2Col(in, 3, 3, spec)
+	hout, wout := spec.OutDims(5, 5, 3, 3)
+	got := dirty(want.Shape...)
+	im2colInto(got.Data, in, 3, 3, spec.check(), hout, wout)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("im2colInto[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestConv2DGEMMIntoWithPoolScratch runs the pooled-scratch GEMM conv
+// twice so the second call reuses the first call's dirty im2col buffer.
+func TestConv2DGEMMIntoWithPoolScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	in := New(3, 17, 17).Randomize(r, 1)
+	w := New(8, 3, 3, 3).Randomize(r, 1)
+	spec := Conv2DSpec{Stride: 1, Pad: 1}
+	want := Conv2DGEMM(in, w, nil, spec)
+	pool := NewPool()
+	for run := 0; run < 2; run++ {
+		dst := dirty(want.Shape...)
+		Conv2DGEMMInto(dst, in, w, nil, spec, pool)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("run %d: dst[%d] = %v, want %v", run, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+	st := pool.Stats()
+	if st.Gets != 2 || st.Misses != 1 || st.Puts != 2 {
+		t.Errorf("pool stats %+v: want 2 gets, 1 miss, 2 puts (scratch reused)", st)
+	}
+}
+
+// TestPoolReuse pins the arena contract: same element count reuses the
+// buffer (under a fresh shape), different count allocates.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get(2, 3)
+	p.Put(a)
+	b := p.Get(3, 2) // same elems, new shape: must reuse storage
+	if &b.Data[0] != &a.Data[0] {
+		t.Error("pool did not reuse same-elems buffer")
+	}
+	if !b.Shape.Equal(Shape{3, 2}) {
+		t.Errorf("reused tensor shape %v, want [3 2]", b.Shape)
+	}
+	c := p.Get(4, 4)
+	if len(c.Data) != 16 {
+		t.Errorf("fresh buffer len %d", len(c.Data))
+	}
+	st := p.Stats()
+	if st.Gets != 3 || st.Misses != 2 || st.Puts != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	p.Preallocate(16, 5)
+	d := p.Get(4, 4)
+	if st2 := p.Stats(); st2.Misses != 2 {
+		t.Errorf("Get after Preallocate missed: %+v", st2)
+	}
+	_ = d
+}
+
+// TestMatVecParallelMatchesSerial pins the sharded MatVec against the
+// plain row loop on a matrix above the parallel threshold.
+func TestMatVecParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	m, k := 2048, 1024 // 2M MACs: above parallelThresholdMACs
+	a := New(m, k).Randomize(r, 1)
+	x := make([]float32, k)
+	for i := range x {
+		x[i] = r.Float32()*2 - 1
+	}
+	want := make([]float32, m)
+	matVecRange(want, a.Data, x, k, 0, m)
+	got := MatVec(a, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

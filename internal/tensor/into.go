@@ -1,0 +1,327 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the destination-passing variants of the pointwise and
+// pooling kernels. Every *Into function overwrites all of dst — never
+// read-modify-write — so destinations may come from a tensor.Pool whose
+// buffers carry stale values from earlier inferences.
+
+func checkSameShape(op string, dst *Tensor, shape Shape) {
+	if !dst.Shape.Equal(shape) {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want %v", op, dst.Shape, shape))
+	}
+}
+
+// AddInto computes dst = a + b elementwise; dst must match both shapes.
+func AddInto(dst, a, b *Tensor) {
+	if !a.Shape.Equal(b.Shape) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	checkSameShape("Add", dst, a.Shape)
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v + bd[i]
+	}
+}
+
+// ActivationInto copies src into dst applying the activation f elementwise.
+func activationInto(dst, src *Tensor, f func(float32) float32) {
+	checkSameShape("activation", dst, src.Shape)
+	for i, v := range src.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// ReLUInto writes max(0, src) into dst.
+func ReLUInto(dst, src *Tensor) {
+	activationInto(dst, src, func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+}
+
+// ReLU6Into writes min(max(0, src), 6) into dst.
+func ReLU6Into(dst, src *Tensor) {
+	activationInto(dst, src, func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		if v > 6 {
+			return 6
+		}
+		return v
+	})
+}
+
+// LeakyReLUInto writes x if x>0 else alpha*x into dst.
+func LeakyReLUInto(dst, src *Tensor, alpha float32) {
+	activationInto(dst, src, func(v float32) float32 {
+		if v < 0 {
+			return alpha * v
+		}
+		return v
+	})
+}
+
+// SigmoidInto writes the logistic function of src into dst.
+func SigmoidInto(dst, src *Tensor) {
+	activationInto(dst, src, func(v float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	})
+}
+
+// TanhInto writes the hyperbolic tangent of src into dst.
+func TanhInto(dst, src *Tensor) {
+	activationInto(dst, src, func(v float32) float32 {
+		return float32(math.Tanh(float64(v)))
+	})
+}
+
+// ConcatChannelsInto concatenates [C?, H, W] tensors along channels into
+// dst, which must have the summed channel count.
+func ConcatChannelsInto(dst *Tensor, ts ...*Tensor) {
+	if len(ts) == 0 {
+		panic("tensor: ConcatChannels needs at least one input")
+	}
+	h, w := ts[0].Shape[1], ts[0].Shape[2]
+	totalC := 0
+	for _, t := range ts {
+		if len(t.Shape) != 3 || t.Shape[1] != h || t.Shape[2] != w {
+			panic(fmt.Sprintf("tensor: ConcatChannels spatial mismatch: %v", t.Shape))
+		}
+		totalC += t.Shape[0]
+	}
+	checkSameShape("ConcatChannels", dst, Shape{totalC, h, w})
+	off := 0
+	for _, t := range ts {
+		copy(dst.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+}
+
+// BatchNormInto applies inference-mode per-channel affine normalization
+// of src into dst (see BatchNorm).
+func BatchNormInto(dst, src *Tensor, gamma, beta, mean, variance []float32, eps float32) {
+	c := src.Shape[0]
+	if len(gamma) != c || len(beta) != c || len(mean) != c || len(variance) != c {
+		panic("tensor: BatchNorm parameter length mismatch")
+	}
+	checkSameShape("BatchNorm", dst, src.Shape)
+	plane := src.Shape.NumElems() / c
+	for ic := 0; ic < c; ic++ {
+		scale := gamma[ic] / float32(math.Sqrt(float64(variance[ic]+eps)))
+		shift := beta[ic] - mean[ic]*scale
+		in := src.Data[ic*plane : (ic+1)*plane]
+		out := dst.Data[ic*plane : (ic+1)*plane]
+		for i, v := range in {
+			out[i] = v*scale + shift
+		}
+	}
+}
+
+// DenseInto computes dst = w*x + bias for a [Out, In] weight matrix,
+// overwriting all of dst (length Out).
+func DenseInto(dst []float32, w *Tensor, bias, x []float32) {
+	if len(w.Shape) != 2 || w.Shape[1] != len(x) {
+		panic(fmt.Sprintf("tensor: Dense shape mismatch: %v x vec(%d)", w.Shape, len(x)))
+	}
+	m, k := w.Shape[0], w.Shape[1]
+	if len(dst) != m {
+		panic("tensor: Dense dst length mismatch")
+	}
+	if bias != nil && len(bias) != m {
+		panic("tensor: Dense bias length mismatch")
+	}
+	matVecInto(dst, w.Data, x, m, k)
+	if bias != nil {
+		for i := range dst {
+			dst[i] += bias[i]
+		}
+	}
+}
+
+// SoftmaxInto writes the softmax of x into dst (same length), using the
+// max-subtraction trick for numerical stability.
+func SoftmaxInto(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic("tensor: Softmax dst length mismatch")
+	}
+	if len(x) == 0 {
+		return
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - m))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// Pad2DInto zero-pads src by p on every spatial side into dst of shape
+// [C, H+2p, W+2p], writing the border zeros explicitly.
+func Pad2DInto(dst, src *Tensor, p int) {
+	if p < 0 {
+		panic("tensor: negative padding")
+	}
+	c, h, w := src.Shape[0], src.Shape[1], src.Shape[2]
+	checkSameShape("Pad2D", dst, Shape{c, h + 2*p, w + 2*p})
+	if p == 0 {
+		copy(dst.Data, src.Data)
+		return
+	}
+	clear(dst.Data)
+	ow := w + 2*p
+	for ic := 0; ic < c; ic++ {
+		for iy := 0; iy < h; iy++ {
+			srow := src.Data[(ic*h+iy)*w : (ic*h+iy)*w+w]
+			dstOff := (ic*(h+2*p)+iy+p)*ow + p
+			copy(dst.Data[dstOff:dstOff+w], srow)
+		}
+	}
+}
+
+// MaxPool2DInto applies max pooling of src into dst of shape
+// [C, Hout, Wout]. Padded positions never win the max.
+func MaxPool2DInto(dst, src *Tensor, spec PoolSpec) {
+	spec = spec.check()
+	c, h, w := src.Shape[0], src.Shape[1], src.Shape[2]
+	hout, wout := spec.OutDim(h), spec.OutDim(w)
+	checkSameShape("MaxPool2D", dst, Shape{c, hout, wout})
+	for ic := 0; ic < c; ic++ {
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < wout; ox++ {
+				m := negInf
+				for ky := 0; ky < spec.Kernel; ky++ {
+					iy := oy*spec.Stride + ky - spec.Pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < spec.Kernel; kx++ {
+						ix := ox*spec.Stride + kx - spec.Pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						if v := src.Data[(ic*h+iy)*w+ix]; v > m {
+							m = v
+						}
+					}
+				}
+				dst.Data[(ic*hout+oy)*wout+ox] = m
+			}
+		}
+	}
+}
+
+// AvgPool2DInto applies average pooling of src into dst of shape
+// [C, Hout, Wout] (count_exclude_pad divisor). Windows with no in-bounds
+// positions are written as zero explicitly.
+func AvgPool2DInto(dst, src *Tensor, spec PoolSpec) {
+	spec = spec.check()
+	c, h, w := src.Shape[0], src.Shape[1], src.Shape[2]
+	hout, wout := spec.OutDim(h), spec.OutDim(w)
+	checkSameShape("AvgPool2D", dst, Shape{c, hout, wout})
+	for ic := 0; ic < c; ic++ {
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < wout; ox++ {
+				var sum float32
+				var n int
+				for ky := 0; ky < spec.Kernel; ky++ {
+					iy := oy*spec.Stride + ky - spec.Pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < spec.Kernel; kx++ {
+						ix := ox*spec.Stride + kx - spec.Pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						sum += src.Data[(ic*h+iy)*w+ix]
+						n++
+					}
+				}
+				var v float32
+				if n > 0 {
+					v = sum / float32(n)
+				}
+				dst.Data[(ic*hout+oy)*wout+ox] = v
+			}
+		}
+	}
+}
+
+// GlobalAvgPool2DInto writes per-channel means of a [C, H, W] src into
+// dst (length C).
+func GlobalAvgPool2DInto(dst []float32, src *Tensor) {
+	c, h, w := src.Shape[0], src.Shape[1], src.Shape[2]
+	if len(dst) != c {
+		panic("tensor: GlobalAvgPool2D dst length mismatch")
+	}
+	plane := h * w
+	for ic := 0; ic < c; ic++ {
+		var sum float32
+		for _, v := range src.Data[ic*plane : (ic+1)*plane] {
+			sum += v
+		}
+		dst[ic] = sum / float32(plane)
+	}
+}
+
+// UpsampleNearest2DInto scales src spatially by integer factor into dst
+// of shape [C, H*factor, W*factor] using nearest-neighbor replication.
+func UpsampleNearest2DInto(dst, src *Tensor, factor int) {
+	if factor < 1 {
+		panic(fmt.Sprintf("tensor: upsample factor %d < 1", factor))
+	}
+	c, h, w := src.Shape[0], src.Shape[1], src.Shape[2]
+	oh, ow := h*factor, w*factor
+	checkSameShape("UpsampleNearest2D", dst, Shape{c, oh, ow})
+	if factor == 1 {
+		copy(dst.Data, src.Data)
+		return
+	}
+	for ic := 0; ic < c; ic++ {
+		for oy := 0; oy < oh; oy++ {
+			srow := src.Data[(ic*h+oy/factor)*w : (ic*h+oy/factor+1)*w]
+			drow := dst.Data[(ic*oh+oy)*ow : (ic*oh+oy+1)*ow]
+			for ox := 0; ox < ow; ox++ {
+				drow[ox] = srow[ox/factor]
+			}
+		}
+	}
+}
+
+// ShuffleChannelsInto permutes src's channels across groups into dst
+// (ShuffleNet interleave; see ShuffleChannels).
+func ShuffleChannelsInto(dst, src *Tensor, groups int) {
+	c := src.Shape[0]
+	checkSameShape("ShuffleChannels", dst, src.Shape)
+	if groups <= 1 {
+		copy(dst.Data, src.Data)
+		return
+	}
+	if c%groups != 0 {
+		panic(fmt.Sprintf("tensor: shuffle groups %d do not divide channels %d", groups, c))
+	}
+	plane := src.Shape.NumElems() / c
+	per := c / groups
+	for i := 0; i < c; i++ {
+		d := (i%groups)*per + i/groups
+		copy(dst.Data[d*plane:(d+1)*plane], src.Data[i*plane:(i+1)*plane])
+	}
+}

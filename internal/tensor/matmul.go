@@ -1,34 +1,20 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // MatMul multiplies a [M, K] tensor by a [K, N] tensor producing [M, N].
-// It uses an ikj loop order with a flat inner loop, the cache-friendly
-// structure GEMM-based convolution (im2col) relies on.
+// The dense path is the cache-blocked kernel in gemm.go (parallel above
+// parallelThresholdMACs multiply-accumulates) with no per-element
+// branches; left operands that are at least sparseSkipFraction zeros
+// (pruned weights) dispatch to MatMulSparse's zero-skipping kernel.
 func MatMul(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v x %v", a.Shape, b.Shape))
-	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.Shape, b.Shape))
-	}
+	m, k, n := checkMatMul(a, b)
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue // sparse-friendly: skip pruned weights
-			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
 	return out
 }
 
@@ -36,19 +22,52 @@ func MatMul(a, b *Tensor) *Tensor {
 // length-M vector. Fully-connected layers in single-batch inference reduce
 // to this shape, which is why the paper calls CNN compute "dominated by
 // matrix-matrix and matrix-vector multiplications" (Table I footnote).
+// Large matrices (VGG's 4096x25088 fc6) shard rows across goroutines.
 func MatVec(a *Tensor, x []float32) []float32 {
 	if len(a.Shape) != 2 || a.Shape[1] != len(x) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch: %v x vec(%d)", a.Shape, len(x)))
 	}
 	m, k := a.Shape[0], a.Shape[1]
 	out := make([]float32, m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*k : (i+1)*k]
+	matVecInto(out, a.Data, x, m, k)
+	return out
+}
+
+// matVecInto computes out = a x vec for row-major a [m, k], overwriting
+// all of out[0:m]. Rows are independent, so the parallel split is
+// bitwise-equal to the serial order.
+func matVecInto(out, a, x []float32, m, k int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if m*k < parallelThresholdMACs || workers <= 1 {
+		matVecRange(out, a, x, k, 0, m)
+		return
+	}
+	per := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += per {
+		hi := lo + per
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matVecRange(out, a, x, k, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matVecRange(out, a, x []float32, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a[i*k : (i+1)*k]
 		var sum float32
 		for j, v := range row {
 			sum += v * x[j]
 		}
 		out[i] = sum
 	}
-	return out
 }

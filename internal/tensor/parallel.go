@@ -12,18 +12,32 @@ import (
 // executor) fall back to the serial kernel below a work threshold.
 func Conv2DParallel(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	out := New(cout, hout, wout)
+	conv2DParallelInto(out, in, w, bias, spec)
+	return out
+}
+
+// Conv2DParallelInto computes the channel-sharded direct convolution into
+// a preallocated dst of shape [Cout, Hout, Wout], overwriting every
+// element.
+func Conv2DParallelInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
+	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	checkConvDst(dst, cout, hout, wout)
+	conv2DParallelInto(dst, in, w, bias, spec)
+}
+
+func conv2DParallelInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
 	cout := w.Shape[0]
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cout {
 		workers = cout
 	}
 	if workers <= 1 {
-		return Conv2D(in, w, bias, spec)
+		convChannels(in, w, bias, spec, dst, 0, cout)
+		return
 	}
-	kh, kw := w.Shape[2], w.Shape[3]
-	hout, wout := spec.OutDims(in.Shape[1], in.Shape[2], kh, kw)
-	out := New(cout, hout, wout)
-
 	var wg sync.WaitGroup
 	per := (cout + workers - 1) / workers
 	for start := 0; start < cout; start += per {
@@ -34,11 +48,10 @@ func Conv2DParallel(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			convChannels(in, w, bias, spec, out, lo, hi)
+			convChannels(in, w, bias, spec, dst, lo, hi)
 		}(start, end)
 	}
 	wg.Wait()
-	return out
 }
 
 // convChannels computes output channels [lo, hi) into out.
@@ -81,15 +94,39 @@ func convChannels(in, w *Tensor, bias []float32, spec Conv2DSpec, out *Tensor, l
 // its goroutine overhead (~1M multiply-accumulates).
 const parallelThresholdMACs = 1 << 20
 
+// ConvMACs returns the multiply-accumulate count of a convolution with
+// the given weight tensor and output spatial dims: filter elements times
+// output positions. The executor and Conv2DAuto use it as the dispatch
+// metric against parallelThresholdMACs.
+func ConvMACs(w *Tensor, hout, wout int) int {
+	return w.Shape.NumElems() * hout * wout
+}
+
+// ParallelThresholdMACs exposes the kernel-dispatch work threshold for
+// tests and benchmarks that pin dispatch behaviour.
+func ParallelThresholdMACs() int { return parallelThresholdMACs }
+
 // Conv2DAuto picks the parallel kernel for large layers and the serial
 // one otherwise.
 func Conv2DAuto(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 	spec = spec.check()
 	kh, kw := w.Shape[2], w.Shape[3]
 	hout, wout := spec.OutDims(in.Shape[1], in.Shape[2], kh, kw)
-	macs := w.Shape.NumElems() * hout * wout / w.Shape[0] * w.Shape[0] // filter elems x output positions
-	if macs >= parallelThresholdMACs {
+	if ConvMACs(w, hout, wout) >= parallelThresholdMACs {
 		return Conv2DParallel(in, w, bias, spec)
 	}
 	return Conv2D(in, w, bias, spec)
+}
+
+// Conv2DAutoInto is Conv2DAuto writing into a preallocated dst of shape
+// [Cout, Hout, Wout], overwriting every element.
+func Conv2DAutoInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
+	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	checkConvDst(dst, cout, hout, wout)
+	if ConvMACs(w, hout, wout) >= parallelThresholdMACs {
+		conv2DParallelInto(dst, in, w, bias, spec)
+		return
+	}
+	convChannels(in, w, bias, spec, dst, 0, cout)
 }
