@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race check cover bench reproduce sweep examples clean
+.PHONY: all build vet test lint race check cover bench reproduce sweep examples serve-smoke clean
 
 all: build vet test
 
@@ -28,8 +28,17 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# Live-serving smoke: boots the real HTTP inference server on a free
+# port, auto-picks an attack rate well inside both the live and the
+# simulated envelope, fires a burst load through the built-in generator,
+# scrapes /metrics, and exits nonzero unless the run was clean (zero
+# errors, zero shed, micro-batching demonstrably active).
+serve-smoke:
+	$(GO) run ./cmd/edgeserve -model CifarNet -framework TFLite -device EdgeTPU \
+		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke
+
 # The CI gate: everything that must be clean before a merge.
-check: build vet lint race
+check: build vet lint race serve-smoke
 
 cover:
 	$(GO) test -cover ./...

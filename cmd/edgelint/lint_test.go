@@ -307,3 +307,40 @@ func TestSelfLint(t *testing.T) {
 		}
 	}
 }
+
+// TestHandlerCtx pins the handler-ctx rule: handlers doing per-request
+// work must consult r.Context() or delegate r; static responders and
+// non-handler signatures are exempt.
+func TestHandlerCtx(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/httpuser", `package httpuser
+
+import "net/http"
+
+func bad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != "POST" {
+		w.WriteHeader(405)
+	}
+}
+
+func good(w http.ResponseWriter, r *http.Request) {
+	<-r.Context().Done()
+	w.WriteHeader(200)
+}
+
+func delegates(w http.ResponseWriter, r *http.Request) {
+	http.NotFound(w, r)
+}
+
+func static(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok"))
+}
+
+var litBad = func(w http.ResponseWriter, r *http.Request) {
+	_ = r.URL
+}
+
+func notHandler(a string, b int) { _ = a }
+`)
+	wantRules(t, lintPackage(p), "handler-ctx", "handler-ctx")
+}

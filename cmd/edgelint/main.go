@@ -17,6 +17,10 @@
 //	             discipline stay intact
 //	panic-in-err a function that returns error must not call panic —
 //	             it promised its caller a recoverable failure path
+//	handler-ctx  an HTTP handler that reads the request must consult
+//	             r.Context() (or delegate r onward) — a handler that
+//	             ignores cancellation keeps burning an inference slot
+//	             after the client hung up
 //	exported-doc exported declarations in the IR-critical packages
 //	             (internal/graph, internal/tensor, internal/verify)
 //	             must carry doc comments

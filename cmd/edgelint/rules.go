@@ -43,6 +43,7 @@ func lintPackage(p *pkg) []finding {
 			fs = append(fs, checkPoolAlloc(p, f)...)
 		}
 		fs = append(fs, checkPanicInErr(p, f)...)
+		fs = append(fs, checkHandlerCtx(p, f)...)
 		if docPackages[p.path] {
 			fs = append(fs, checkExportedDoc(p, f)...)
 		}
@@ -251,6 +252,103 @@ func returnsError(p *pkg, fd *ast.FuncDecl) bool {
 		}
 	}
 	return false
+}
+
+// httpPkg anchors the handler-ctx rule's type checks.
+const httpPkg = "net/http"
+
+// checkHandlerCtx flags HTTP handlers — functions or literals with the
+// func(http.ResponseWriter, *http.Request) signature — that do
+// per-request work (they read the request) but never consult
+// r.Context() and never delegate r to another handler. Such a handler
+// keeps serving after the client hung up or its deadline passed, which
+// on an inference server means burning an engine slot for a response
+// nobody will read. Handlers that never touch the request at all
+// (static responders like /healthz) are exempt: they have no work to
+// cancel.
+func checkHandlerCtx(p *pkg, f *ast.File) []finding {
+	var fs []finding
+	check := func(ft *ast.FuncType, body *ast.BlockStmt, what string, pos token.Pos) {
+		if body == nil || ft.Params == nil || len(ft.Params.List) != 2 {
+			return
+		}
+		wField, rField := ft.Params.List[0], ft.Params.List[1]
+		if len(wField.Names) != 1 || len(rField.Names) != 1 {
+			return // combined or anonymous params: not the handler idiom
+		}
+		if !isResponseWriter(p.info.TypeOf(wField.Type)) || !isRequestPtr(p.info.TypeOf(rField.Type)) {
+			return
+		}
+		reqObj := p.info.Defs[rField.Names[0]]
+		if reqObj == nil {
+			return // blank request param: nothing to misuse
+		}
+		isReq := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && p.info.Uses[id] == reqObj
+		}
+		var usesReq, hasCtx, delegates bool
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if p.info.Uses[x] == reqObj {
+					usesReq = true
+				}
+			case *ast.SelectorExpr:
+				if x.Sel.Name == "Context" && isReq(x.X) {
+					hasCtx = true
+				}
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					if isReq(arg) {
+						delegates = true
+					}
+				}
+			}
+			return true
+		})
+		if usesReq && !hasCtx && !delegates {
+			fs = append(fs, finding{
+				pos:  p.fset.Position(pos),
+				rule: "handler-ctx",
+				msg:  fmt.Sprintf("%s reads the request but ignores r.Context(); propagate cancellation (or delegate r)", what),
+			})
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			check(d.Type, d.Body, "handler "+d.Name.Name, d.Name.Pos())
+		case *ast.FuncLit:
+			check(d.Type, d.Body, "handler literal", d.Pos())
+		}
+		return true
+	})
+	return fs
+}
+
+// isResponseWriter reports whether t is net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == httpPkg && obj.Name() == "ResponseWriter"
+}
+
+// isRequestPtr reports whether t is *net/http.Request.
+func isRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == httpPkg && obj.Name() == "Request"
 }
 
 // checkExportedDoc flags exported top-level declarations without doc

@@ -1,21 +1,46 @@
 // Command edgeserve explores a deployment's real-time serving envelope
-// (§VI-C): latency percentiles across an arrival-rate sweep, the maximum
-// rate sustaining a P99 budget, and behaviour at overload.
+// (§VI-C) in two modes.
+//
+// Simulation (default): latency percentiles across an arrival-rate
+// sweep, the maximum rate sustaining a P99 budget, and behaviour at
+// overload — all from the analytic discrete-event model.
+//
+// Live serving (-listen): materializes the model, builds a replica-pool
+// engine, and serves real inferences over HTTP with dynamic
+// micro-batching, admission control, and a Prometheus /metrics
+// endpoint, so the simulated envelope can be validated against a live
+// process. With -attack it also drives its own load generator against
+// the listener and compares the measured tail to the simulation.
 //
 // Usage:
 //
 //	edgeserve -model MobileNet-v2 -framework TFLite -device EdgeTPU
 //	edgeserve -model SSD-MobileNet-v1 -framework TensorRT -device JetsonNano -p99 50ms -periodic
+//	edgeserve -model CifarNet -listen :8080 -replicas 4
+//	edgeserve -model CifarNet -listen 127.0.0.1:0 -attack auto,2s,4 -smoke
+//
+// Endpoints: POST /infer ({"data":[...]} or {"seed":n,"deadline_ms":m}),
+// GET /healthz, GET /metrics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"edgebench/internal/core"
+	"edgebench/internal/server"
 	"edgebench/internal/serving"
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
 )
 
 func main() {
@@ -25,7 +50,16 @@ func main() {
 	p99 := flag.Duration("p99", 100*time.Millisecond, "tail-latency budget")
 	duration := flag.Float64("duration", 90, "simulated seconds per point")
 	periodic := flag.Bool("periodic", false, "fixed-interval (camera) arrivals instead of Poisson")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "simulation and weight seed")
+
+	listen := flag.String("listen", "", "serve real inferences over HTTP on this address (e.g. :8080); empty runs the simulation")
+	replicas := flag.Int("replicas", 0, "executor replicas in the serving engine (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("maxbatch", 8, "max requests per micro-batch")
+	maxWait := flag.Duration("maxwait", 2*time.Millisecond, "micro-batch window")
+	queueCap := flag.Int("queue", 64, "admission queue capacity (overflow is shed with 429)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	attack := flag.String("attack", "", "fire the built-in load generator: rate,duration[,burst] with rate in req/s or 'auto'")
+	smoke := flag.Bool("smoke", false, "with -attack: exit nonzero unless the run is clean (no errors, no shed, batching active)")
 	flag.Parse()
 
 	s, err := core.New(*modelName, *fwName, *devName)
@@ -37,11 +71,35 @@ func main() {
 	fmt.Printf("%s via %s on %s: %.1f ms/inference (service ceiling %.1f req/s)\n\n",
 		*modelName, *fwName, *devName, base*1e3, 1/base)
 
+	if *listen == "" {
+		simulate(s, *p99, *duration, *periodic, *seed)
+		return
+	}
+	serve(s, serveOptions{
+		listen:   *listen,
+		replicas: *replicas,
+		seed:     *seed,
+		p99:      *p99,
+		attack:   *attack,
+		smoke:    *smoke,
+		cfg: server.Config{
+			MaxBatch: *maxBatch,
+			MaxWait:  *maxWait,
+			QueueCap: *queueCap,
+			Deadline: *deadline,
+		},
+	})
+}
+
+// simulate is the original analytic mode: a load sweep plus the max
+// sustainable rate under the P99 budget.
+func simulate(s *core.Session, p99 time.Duration, duration float64, periodic bool, seed int64) {
+	base := s.InferenceSeconds()
 	fmt.Printf("%-10s %10s %10s %10s %10s %8s\n", "load", "req/s", "p50", "p95", "p99", "util")
 	for _, rho := range []float64{0.2, 0.5, 0.8, 0.95, 1.2} {
 		rate := rho / base
 		r, err := serving.Simulate(s, serving.Config{
-			ArrivalPerSec: rate, DurationSec: *duration, Seed: *seed, Periodic: *periodic,
+			ArrivalPerSec: rate, DurationSec: duration, Seed: seed, Periodic: periodic,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "edgeserve:", err)
@@ -51,15 +109,209 @@ func main() {
 			rho, rate, r.P50*1e3, r.P95*1e3, r.P99*1e3, r.Utilization*100)
 	}
 
-	maxRate, err := serving.MaxSustainableRate(s, p99.Seconds(), *duration, *seed)
+	maxRate, err := serving.MaxSustainableRate(s, p99.Seconds(), duration, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edgeserve:", err)
 		os.Exit(1)
 	}
 	if maxRate == 0 {
-		fmt.Printf("\nno arrival rate meets p99 <= %v (a single inference already misses)\n", *p99)
+		fmt.Printf("\nno arrival rate meets p99 <= %v (a single inference already misses)\n", p99)
 		return
 	}
 	fmt.Printf("\nmax sustainable rate at p99 <= %v: %.1f req/s (%.0f%% of the service ceiling)\n",
-		*p99, maxRate, 100*maxRate*base)
+		p99, maxRate, 100*maxRate*base)
+}
+
+type serveOptions struct {
+	listen   string
+	replicas int
+	seed     int64
+	p99      time.Duration
+	attack   string
+	smoke    bool
+	cfg      server.Config
+}
+
+// serve is the live mode: materialize, build the engine and HTTP
+// server, then either run the load generator or block until a signal.
+func serve(s *core.Session, o serveOptions) {
+	if err := s.Materialize(o.seed); err != nil {
+		fatal(err)
+	}
+	eng, err := serving.NewEngine(s.Lowered(), o.replicas)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(eng, o.cfg)
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Printf("serving %s on http://%s (replicas %d, batch <= %d within %v, queue %d)\n",
+		s.Model.Name, addr, eng.Replicas(), o.cfg.MaxBatch, o.cfg.MaxWait, o.cfg.QueueCap)
+
+	// The simulated envelope for the same deployment, for comparison.
+	simMax, err := serving.MaxSustainableRate(s, o.p99.Seconds(), 30, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated envelope: max %.1f req/s at p99 <= %v\n\n", simMax, o.p99)
+
+	exitCode := 0
+	if o.attack != "" {
+		exitCode = runAttack(srv, eng, "http://"+addr, o, simMax)
+	} else {
+		waitForSignal()
+		fmt.Println("\nshutting down: draining connections and queued requests...")
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "edgeserve: shutdown:", err)
+		exitCode = 1
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "edgeserve: close:", err)
+		exitCode = 1
+	}
+	os.Exit(exitCode)
+}
+
+// runAttack fires the load generator at the live listener, prints the
+// comparison against the analytic envelope, scrapes /metrics, and (in
+// smoke mode) asserts the run was clean. Returns the process exit code.
+func runAttack(srv *server.Server, eng *serving.Engine, baseURL string, o serveOptions, simMax float64) int {
+	opts, err := parseAttack(o.attack)
+	if err != nil {
+		fatal(err)
+	}
+	if opts.Rate == 0 { // "auto": probe live capacity, stay well inside it
+		single := measureLive(eng)
+		liveCeil := 1 / single
+		opts.Rate = 0.5 * liveCeil
+		if simMax > 0 && 0.5*simMax < opts.Rate {
+			opts.Rate = 0.5 * simMax
+		}
+		fmt.Printf("auto rate: live single-stream %.1f ms/inf (ceiling %.1f req/s) -> attacking at %.1f req/s\n",
+			single*1e3, liveCeil, opts.Rate)
+	}
+	opts.Seed = o.seed
+	fmt.Printf("attack: %.1f req/s for %v in bursts of %d\n", opts.Rate, opts.Duration, opts.Burst)
+	rep, err := server.Attack(baseURL, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("live:      %s\n", rep)
+
+	raw, series, err := server.ScrapeMetrics(baseURL)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\n/metrics excerpt:")
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.HasPrefix(line, "edgeserve_") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	if !o.smoke {
+		return 0
+	}
+	var problems []string
+	if rep.Sent == 0 {
+		problems = append(problems, "no requests sent")
+	}
+	if rep.Failed > 0 {
+		problems = append(problems, fmt.Sprintf("%d failed requests", rep.Failed))
+	}
+	if rep.Shed > 0 {
+		problems = append(problems, fmt.Sprintf("%d shed requests at a rate below the envelope", rep.Shed))
+	}
+	if rep.Deadline > 0 {
+		problems = append(problems, fmt.Sprintf("%d deadline misses", rep.Deadline))
+	}
+	if ok := series[`edgeserve_requests_total{code="200"}`]; int(ok) != rep.OK {
+		problems = append(problems, fmt.Sprintf("metrics report %d OKs, load generator saw %d", int(ok), rep.OK))
+	}
+	if errs := series["edgeserve_engine_errors_total"]; errs != 0 {
+		problems = append(problems, fmt.Sprintf("%v engine errors", errs))
+	}
+	if opts.Burst > 1 && series["edgeserve_batch_size_max"] < 2 {
+		problems = append(problems, "micro-batching never coalesced (batch_size_max < 2)")
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "\nedgeserve: smoke FAILED: %s\n", strings.Join(problems, "; "))
+		return 1
+	}
+	fmt.Println("\nsmoke OK: zero errors, zero shed, micro-batching active")
+	return 0
+}
+
+// parseAttack parses "rate,duration[,burst]"; rate "auto" leaves
+// Rate 0 for the caller to fill from the live capacity probe.
+func parseAttack(s string) (server.AttackOptions, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 || len(parts) > 3 {
+		return server.AttackOptions{}, fmt.Errorf("edgeserve: -attack wants rate,duration[,burst], got %q", s)
+	}
+	var opts server.AttackOptions
+	if parts[0] != "auto" {
+		rate, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || rate <= 0 {
+			return opts, fmt.Errorf("edgeserve: bad attack rate %q", parts[0])
+		}
+		opts.Rate = rate
+	}
+	d, err := time.ParseDuration(parts[1])
+	if err != nil || d <= 0 {
+		return opts, fmt.Errorf("edgeserve: bad attack duration %q", parts[1])
+	}
+	opts.Duration = d
+	opts.Burst = 4
+	if len(parts) == 3 {
+		b, err := strconv.Atoi(parts[2])
+		if err != nil || b < 1 {
+			return opts, fmt.Errorf("edgeserve: bad attack burst %q", parts[2])
+		}
+		opts.Burst = b
+	}
+	return opts, nil
+}
+
+// measureLive times a few single-stream inferences through the engine
+// to find the real (host) service rate, which bounds a sane attack.
+func measureLive(eng *serving.Engine) float64 {
+	in := seededInput(eng, 0)
+	eng.Infer(in) // warm the replica's arena
+	const n = 3
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		eng.Infer(in)
+	}
+	return time.Since(start).Seconds() / n
+}
+
+// seededInput builds one deterministic input matching the engine shape.
+func seededInput(eng *serving.Engine, seed int64) *tensor.Tensor {
+	in := tensor.New(eng.InputShape()...)
+	rng := stats.NewRNG(seed)
+	for i := range in.Data {
+		in.Data[i] = float32(rng.Float64()*2 - 1)
+	}
+	return in
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edgeserve:", err)
+	os.Exit(1)
 }

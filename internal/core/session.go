@@ -72,15 +72,15 @@ type Session struct {
 func New(modelName, fwName, devName string) (*Session, error) {
 	spec, ok := model.Get(modelName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown model %q", modelName)
+		return nil, unknownName("model", modelName)
 	}
 	fw, ok := framework.Get(fwName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown framework %q", fwName)
+		return nil, unknownName("framework", fwName)
 	}
 	dev, ok := device.Get(devName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown device %q", devName)
+		return nil, unknownName("device", devName)
 	}
 	if !fw.SupportedOn(devName) {
 		return nil, fmt.Errorf("core: %s on %s: %w", fwName, devName, ErrUnsupported)
@@ -121,11 +121,11 @@ func New(modelName, fwName, devName string) (*Session, error) {
 func NewFromGraph(g *graph.Graph, fwName, devName string) (*Session, error) {
 	fw, ok := framework.Get(fwName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown framework %q", fwName)
+		return nil, unknownName("framework", fwName)
 	}
 	dev, ok := device.Get(devName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown device %q", devName)
+		return nil, unknownName("device", devName)
 	}
 	if err := verify.Err(verify.Check(g)); err != nil {
 		return nil, fmt.Errorf("core: graph %s on %s: %w", g.Name, devName, err)

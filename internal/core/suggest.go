@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"edgebench/internal/device"
+	"edgebench/internal/framework"
+	"edgebench/internal/model"
+)
+
+// UnknownNameError reports a model/framework/device name that matched no
+// registry entry, carrying the nearest registered names so CLI surfaces
+// can print a "did you mean" hint instead of a bare failure. The paper's
+// registries use exact, punctuation-heavy names ("MobileNet-v2",
+// "SSD-MobileNet-v1") that are easy to mistype.
+type UnknownNameError struct {
+	// Kind is "model", "framework", or "device".
+	Kind string
+	// Name is the rejected input.
+	Name string
+	// Suggestions holds the closest registered names, best first.
+	Suggestions []string
+}
+
+func (e *UnknownNameError) Error() string {
+	if len(e.Suggestions) == 0 {
+		return fmt.Sprintf("core: unknown %s %q", e.Kind, e.Name)
+	}
+	return fmt.Sprintf("core: unknown %s %q (did you mean %s?)",
+		e.Kind, e.Name, strings.Join(e.Suggestions, ", "))
+}
+
+// unknownName builds the typed error with suggestions drawn from the
+// matching registry.
+func unknownName(kind, name string) *UnknownNameError {
+	var candidates []string
+	switch kind {
+	case "model":
+		for _, s := range model.AllWithExtensions() {
+			candidates = append(candidates, s.Name)
+		}
+	case "framework":
+		for _, f := range framework.All() {
+			candidates = append(candidates, f.Name)
+		}
+	case "device":
+		for _, d := range device.All() {
+			candidates = append(candidates, d.Name)
+		}
+	}
+	return &UnknownNameError{Kind: kind, Name: name, Suggestions: Suggest(name, candidates, 3)}
+}
+
+// Suggest returns up to max candidate names ranked by similarity to
+// name: case-insensitive exact and substring matches first, then
+// Levenshtein distance within a third of the name's length (so "RPi4"
+// suggests "RPi3" but garbage suggests nothing). Ties break toward the
+// registry's original order, which follows the paper's tables.
+func Suggest(name string, candidates []string, max int) []string {
+	if max <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	lower := strings.ToLower(name)
+	type scored struct {
+		name string
+		cost int
+		idx  int
+	}
+	var ranked []scored
+	for i, c := range candidates {
+		cl := strings.ToLower(c)
+		switch {
+		case cl == lower:
+			ranked = append(ranked, scored{c, 0, i})
+		case strings.Contains(cl, lower) || strings.Contains(lower, cl):
+			ranked = append(ranked, scored{c, 1, i})
+		default:
+			d := levenshtein(lower, cl)
+			limit := len(name)/3 + 1
+			if d <= limit {
+				ranked = append(ranked, scored{c, 1 + d, i})
+			}
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].cost != ranked[j].cost {
+			return ranked[i].cost < ranked[j].cost
+		}
+		return ranked[i].idx < ranked[j].idx
+	})
+	if len(ranked) > max {
+		ranked = ranked[:max]
+	}
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.name
+	}
+	return out
+}
+
+// levenshtein returns the edit distance between a and b using the
+// two-row dynamic program.
+func levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			m := sub
+			if del < m {
+				m = del
+			}
+			if ins < m {
+				m = ins
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSuggestRanksCandidates(t *testing.T) {
+	candidates := []string{"MobileNet-v2", "ResNet-50", "ResNet-18", "TinyYolo"}
+	got := Suggest("mobilenet", candidates, 3)
+	if len(got) == 0 || got[0] != "MobileNet-v2" {
+		t.Fatalf("Suggest(mobilenet) = %v, want MobileNet-v2 first", got)
+	}
+	// One character off: edit distance catches it.
+	got = Suggest("ResNet-51", candidates, 3)
+	if len(got) == 0 || !strings.HasPrefix(got[0], "ResNet") {
+		t.Fatalf("Suggest(ResNet-51) = %v, want a ResNet", got)
+	}
+	// Garbage suggests nothing.
+	if got := Suggest("qqqqqqqqqqqq", candidates, 3); len(got) != 0 {
+		t.Fatalf("garbage input suggested %v", got)
+	}
+}
+
+func TestSuggestCaps(t *testing.T) {
+	candidates := []string{"a1", "a2", "a3", "a4", "a5"}
+	if got := Suggest("a", candidates, 2); len(got) > 2 {
+		t.Fatalf("Suggest returned %d items, cap was 2", len(got))
+	}
+	if got := Suggest("a", candidates, 0); got != nil {
+		t.Fatalf("max 0 should return nil, got %v", got)
+	}
+}
+
+// TestNewUnknownNamesCarrySuggestions pins the did-you-mean surface on
+// the session constructor for all three registries.
+func TestNewUnknownNamesCarrySuggestions(t *testing.T) {
+	cases := []struct {
+		model, fw, dev string
+		kind           string
+		wantSuggestion string
+	}{
+		{"MobileNetv2", "TFLite", "EdgeTPU", "model", "MobileNet-v2"},
+		{"MobileNet-v2", "TFLight", "EdgeTPU", "framework", "TFLite"},
+		{"MobileNet-v2", "TFLite", "EdgeGPU", "device", "EdgeTPU"},
+	}
+	for _, c := range cases {
+		_, err := New(c.model, c.fw, c.dev)
+		var ue *UnknownNameError
+		if !errors.As(err, &ue) {
+			t.Fatalf("New(%q,%q,%q) = %v, want UnknownNameError", c.model, c.fw, c.dev, err)
+		}
+		if ue.Kind != c.kind {
+			t.Errorf("kind %q, want %q", ue.Kind, c.kind)
+		}
+		found := false
+		for _, s := range ue.Suggestions {
+			if s == c.wantSuggestion {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s suggestions %v missing %q", c.kind, ue.Suggestions, c.wantSuggestion)
+		}
+		if !strings.Contains(ue.Error(), "did you mean") {
+			t.Errorf("error %q lacks did-you-mean hint", ue.Error())
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

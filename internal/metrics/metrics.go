@@ -1,0 +1,280 @@
+// Package metrics is a small, dependency-free instrumentation layer for
+// the live serving path: counters, gauges, latency summaries (streaming
+// quantiles via the stats reservoir digest), and a Prometheus
+// text-format exposition endpoint. It exists because the paper's §VI-C
+// serving claims are about observable tail behaviour under load, and a
+// real server can only be validated against the analytic envelope if it
+// exports the same quantities the simulation reports.
+//
+// All metric types are safe for concurrent use. Exposition order is
+// registration order, so scrapes are deterministic and testable.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"edgebench/internal/stats"
+)
+
+// metric is one exposable family: it renders its HELP/TYPE header and
+// sample lines in Prometheus text format.
+type metric interface {
+	expose(w io.Writer)
+}
+
+// Registry holds metric families in registration order and renders them
+// for scraping. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	order  []metric
+	byName map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// register adds m under name, panicking on duplicates — a duplicate
+// family is a programming error that would corrupt the exposition.
+func (r *Registry) register(name string, m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format (version 0.0.4, the format every Prometheus scraper accepts).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]metric(nil), r.order...)
+	r.mu.Unlock()
+	for _, m := range fams {
+		m.expose(w)
+	}
+}
+
+// Handler returns the /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters never go down).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) expose(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+}
+
+// CounterVec is a family of counters split by one label (e.g. HTTP
+// status code). Children are created on first use and exposed sorted by
+// label value.
+type CounterVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*atomic.Uint64
+}
+
+// NewCounterVec registers and returns a one-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	cv := &CounterVec{name: name, help: help, label: label, children: map[string]*atomic.Uint64{}}
+	r.register(name, cv)
+	return cv
+}
+
+// Inc adds one to the child with the given label value.
+func (cv *CounterVec) Inc(value string) {
+	cv.mu.Lock()
+	c := cv.children[value]
+	if c == nil {
+		c = &atomic.Uint64{}
+		cv.children[value] = c
+	}
+	cv.mu.Unlock()
+	c.Add(1)
+}
+
+// Value returns the child's count (zero for a label never incremented).
+func (cv *CounterVec) Value(value string) uint64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c := cv.children[value]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+func (cv *CounterVec) expose(w io.Writer) {
+	cv.mu.Lock()
+	vals := make([]string, 0, len(cv.children))
+	for v := range cv.children {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", cv.name, cv.help, cv.name)
+	for _, v := range vals {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", cv.name, cv.label, v, cv.children[v].Load())
+	}
+	cv.mu.Unlock()
+}
+
+// Gauge is an instantaneous value that can move both ways (queue depth,
+// in-flight requests). Stored as float64 bits in an atomic word.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; safe under contention).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark (e.g. largest batch ever dispatched).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) expose(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, formatFloat(g.Value()))
+}
+
+// Summary tracks a value distribution with streaming quantiles (via the
+// stats reservoir digest), a running sum, and a count — the Prometheus
+// "summary" type. Observe is safe for concurrent use.
+type Summary struct {
+	name, help string
+	quantiles  []float64
+	mu         sync.Mutex
+	digest     *stats.Digest
+	sum        float64
+	count      uint64
+}
+
+// DefaultQuantiles are the exposition quantiles used when NewSummary is
+// given none: the median and the two tails the paper's serving analysis
+// provisions by.
+var DefaultQuantiles = []float64{0.5, 0.95, 0.99}
+
+// NewSummary registers and returns a summary with the given exposition
+// quantiles (nil means DefaultQuantiles).
+func (r *Registry) NewSummary(name, help string, quantiles ...float64) *Summary {
+	if len(quantiles) == 0 {
+		quantiles = DefaultQuantiles
+	}
+	s := &Summary{
+		name:      name,
+		help:      help,
+		quantiles: quantiles,
+		digest:    stats.NewDigest(0, 1),
+	}
+	r.register(name, s)
+	return s
+}
+
+// Observe folds one observation into the summary.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.digest.Add(v)
+	s.sum += v
+	s.count++
+	s.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Quantile returns the current estimate for q in [0,1] (NaN when empty).
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.digest.Quantile(q)
+}
+
+func (s *Summary) expose(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", s.name, s.help, s.name)
+	for _, q := range s.quantiles {
+		v := s.digest.Quantile(q)
+		if math.IsNaN(v) {
+			continue // no observations yet: omit, per exposition convention
+		}
+		fmt.Fprintf(w, "%s{quantile=%q} %s\n", s.name, trimFloat(q), formatFloat(v))
+	}
+	fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.name, formatFloat(s.sum), s.name, s.count)
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integers without exponent.
+func formatFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+// trimFloat renders a quantile label like 0.5 / 0.99.
+func trimFloat(q float64) string { return fmt.Sprintf("%g", q) }

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	g := r.NewGauge("g", "a gauge")
+	c.Inc()
+	c.Add(2)
+	g.Set(4)
+	g.Add(-1.5)
+	if c.Value() != 3 {
+		t.Errorf("counter %d, want 3", c.Value())
+	}
+	if g.Value() != 2.5 {
+		t.Errorf("gauge %v, want 2.5", g.Value())
+	}
+	g.SetMax(10)
+	g.SetMax(7) // lower: ignored
+	if g.Value() != 10 {
+		t.Errorf("gauge after SetMax %v, want 10", g.Value())
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("req_total", "requests", "code")
+	cv.Inc("200")
+	cv.Inc("200")
+	cv.Inc("429")
+	if cv.Value("200") != 2 || cv.Value("429") != 1 || cv.Value("500") != 0 {
+		t.Errorf("unexpected child values: 200=%d 429=%d 500=%d",
+			cv.Value("200"), cv.Value("429"), cv.Value("500"))
+	}
+}
+
+func TestSummaryQuantiles(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewSummary("lat_seconds", "latency")
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Errorf("count %d, want 100", s.Count())
+	}
+	if q := s.Quantile(0.99); q < 95 || q > 100 {
+		t.Errorf("p99 %v out of range", q)
+	}
+}
+
+// TestExpositionFormat pins the Prometheus text rendering end to end,
+// including the HTTP handler and content type.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs processed.")
+	cv := r.NewCounterVec("req_total", "Requests by code.", "code")
+	g := r.NewGauge("depth", "Queue depth.")
+	s := r.NewSummary("lat", "Latency.")
+	c.Add(7)
+	cv.Inc("200")
+	cv.Inc("429")
+	g.Set(3)
+	s.Observe(1)
+	s.Observe(2)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	r.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		"jobs_total 7",
+		`req_total{code="200"} 1`,
+		`req_total{code="429"} 1`,
+		"# TYPE depth gauge",
+		"depth 3",
+		"# TYPE lat summary",
+		`lat{quantile="0.5"} 1.5`,
+		"lat_sum 3",
+		"lat_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("dup", "one")
+	r.NewCounter("dup", "two")
+}
+
+// TestConcurrentUse hammers every metric type under the race detector.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	cv := r.NewCounterVec("v_total", "v", "k")
+	g := r.NewGauge("g", "g")
+	hw := r.NewGauge("hw", "high-water")
+	s := r.NewSummary("s", "s")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				cv.Inc("a")
+				g.Add(1)
+				hw.SetMax(float64(j))
+				s.Observe(float64(j))
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.WritePrometheus(&strings.Builder{})
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 4000 {
+		t.Errorf("counter %d, want 4000", c.Value())
+	}
+	if g.Value() != 4000 {
+		t.Errorf("gauge %v, want 4000", g.Value())
+	}
+	if hw.Value() != 499 {
+		t.Errorf("high-water %v, want 499", hw.Value())
+	}
+}

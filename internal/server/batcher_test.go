@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/serving"
+	"edgebench/internal/tensor"
+)
+
+// servingCNN builds a small materialized graph with branching, matching
+// the engine tests' workload.
+func servingCNN(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("server-cnn", nn.Options{Materialize: true, Seed: 11}, 3, 16, 16)
+	stem := b.ConvBNReLU("stem", 8, 3, 1, 1)
+	br1 := b.From(stem).Conv2D("br1", 8, 1, 1, 0, true)
+	br2 := b.From(stem).Conv2D("br2", 8, 3, 1, 1, true)
+	b.Concat("cat", br1, br2)
+	b.MaxPool("pool", 2, 2, 0)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func testInput(i int) *tensor.Tensor {
+	in := tensor.New(3, 16, 16)
+	for j := range in.Data {
+		in.Data[j] = float32(math.Sin(float64(i*257 + j)))
+	}
+	return in
+}
+
+// fakeBackend records every tensor it sees and answers with a
+// configurable delay; it lets tests assert exactly which requests
+// reached the engine.
+type fakeBackend struct {
+	mu      sync.Mutex
+	batches [][]*tensor.Tensor
+	delay   time.Duration
+	block   chan struct{} // when non-nil, InferBatch waits for it
+	entered atomic.Int32  // calls that have entered InferBatch
+}
+
+func (f *fakeBackend) InferBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	f.entered.Add(1)
+	if f.block != nil {
+		<-f.block
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	f.batches = append(f.batches, append([]*tensor.Tensor(nil), ins...))
+	f.mu.Unlock()
+	outs := make([]*tensor.Tensor, len(ins))
+	for i, in := range ins {
+		outs[i] = in // echo
+	}
+	return outs, nil
+}
+
+func (f *fakeBackend) sawTensor(t *tensor.Tensor) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, b := range f.batches {
+		for _, in := range b {
+			if in == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (f *fakeBackend) dispatched() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, b := range f.batches {
+		n += len(b)
+	}
+	return n
+}
+
+// TestBatcherMatchesSequentialInfer is the batching correctness gate
+// (run under -race by make race): many concurrent requests through the
+// batcher + real engine must produce outputs element-identical to a
+// dedicated sequential executor on the same inputs.
+func TestBatcherMatchesSequentialInfer(t *testing.T) {
+	g := servingCNN(t)
+	eng, err := serving.NewEngine(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	b := NewBatcher(eng, Config{MaxBatch: 4, MaxWait: 5 * time.Millisecond}, NewMetrics())
+	defer b.Close()
+
+	const n = 24
+	ins := make([]*tensor.Tensor, n)
+	outs := make([]*tensor.Tensor, n)
+	batches := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ins[i] = testInput(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], batches[i], errs[i] = b.Do(context.Background(), ins[i])
+		}(i)
+	}
+	wg.Wait()
+
+	ref := &graph.Executor{}
+	sawMultiRequestBatch := false
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if batches[i] > 1 {
+			sawMultiRequestBatch = true
+		}
+		want, err := ref.Run(g, ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Data {
+			if outs[i].Data[j] != want.Data[j] {
+				t.Fatalf("request %d: out[%d] = %v, want %v", i, j, outs[i].Data[j], want.Data[j])
+			}
+		}
+	}
+	// 24 simultaneous arrivals against a 4-wide window must coalesce at
+	// least once; if every batch had size 1 the scheduler is not batching.
+	if !sawMultiRequestBatch {
+		t.Error("no request rode in a batch > 1 despite 24 concurrent arrivals")
+	}
+}
+
+// TestBatcherDeadlineExpiry pins context propagation: a request whose
+// deadline fires while queued is answered with the context error and is
+// never dispatched to the backend.
+func TestBatcherDeadlineExpiry(t *testing.T) {
+	release := make(chan struct{})
+	be := &fakeBackend{block: release}
+	b := NewBatcher(be, Config{MaxBatch: 1, MaxWait: time.Millisecond, QueueCap: 8}, NewMetrics())
+	defer b.Close()
+
+	// Occupy the collector: this request blocks inside the backend.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := b.Do(context.Background(), testInput(0)); err != nil {
+			t.Errorf("blocker request failed: %v", err)
+		}
+	}()
+	// Wait until the blocker is actually inside InferBatch.
+	waitUntil(t, func() bool { return be.inFlight() })
+
+	// This one queues behind it with a deadline shorter than the block.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	victim := testInput(1)
+	_, _, err := b.Do(ctx, victim)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired request returned %v, want DeadlineExceeded", err)
+	}
+
+	close(release)
+	wg.Wait()
+	b.Close()
+	if be.sawTensor(victim) {
+		t.Fatal("expired request reached the backend")
+	}
+}
+
+// TestBatcherOverloadShedding pins admission control: once the queue is
+// full, further requests fail fast with ErrOverloaded and none of the
+// shed inputs ever reach the backend.
+func TestBatcherOverloadShedding(t *testing.T) {
+	release := make(chan struct{})
+	be := &fakeBackend{block: release}
+	m := NewMetrics()
+	const qcap = 4
+	b := NewBatcher(be, Config{MaxBatch: 1, MaxWait: time.Millisecond, QueueCap: qcap}, m)
+	defer b.Close()
+
+	// One request occupies the collector inside the backend...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Do(context.Background(), testInput(0))
+	}()
+	waitUntil(t, func() bool { return be.inFlight() })
+
+	// ...then cap more fill the queue.
+	accepted := make([]*tensor.Tensor, qcap)
+	for i := range accepted {
+		accepted[i] = testInput(100 + i)
+		wg.Add(1)
+		go func(in *tensor.Tensor) {
+			defer wg.Done()
+			if _, _, err := b.Do(context.Background(), in); err != nil {
+				t.Errorf("admitted request failed: %v", err)
+			}
+		}(accepted[i])
+	}
+	waitUntil(t, func() bool { return len(b.queue) == qcap })
+
+	// Every further arrival must shed without queueing.
+	shed := make([]*tensor.Tensor, 6)
+	for i := range shed {
+		shed[i] = testInput(200 + i)
+		if _, _, err := b.Do(context.Background(), shed[i]); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("overload request %d returned %v, want ErrOverloaded", i, err)
+		}
+	}
+	if got := m.Shed.Value(); got != uint64(len(shed)) {
+		t.Errorf("shed counter = %d, want %d", got, len(shed))
+	}
+
+	close(release)
+	wg.Wait()
+	b.Close() // drain everything admitted
+	for _, in := range shed {
+		if be.sawTensor(in) {
+			t.Fatal("shed request reached the backend")
+		}
+	}
+	if got := be.dispatched(); got != 1+qcap {
+		t.Errorf("backend saw %d requests, want %d (blocker + admitted)", got, 1+qcap)
+	}
+}
+
+// TestBatcherCloseDrains pins graceful shutdown: requests admitted
+// before Close complete, requests after Close fail with ErrClosed.
+func TestBatcherCloseDrains(t *testing.T) {
+	be := &fakeBackend{delay: 2 * time.Millisecond}
+	b := NewBatcher(be, Config{MaxBatch: 4, MaxWait: time.Millisecond, QueueCap: 16}, nil)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Do(context.Background(), testInput(i))
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("pre-close request %d: %v", i, err)
+		}
+	}
+	if _, _, err := b.Do(context.Background(), testInput(9)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close request returned %v, want ErrClosed", err)
+	}
+}
+
+// inFlight reports whether some InferBatch call has started (and, in
+// blocking mode, is parked on the release channel).
+func (f *fakeBackend) inFlight() bool { return f.entered.Load() > 0 }
+
+// waitUntil polls cond for up to 2s.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"edgebench/internal/metrics"
+	"edgebench/internal/serving"
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+// Metrics is the server's observability surface: every quantity the
+// paper's serving analysis provisions by (request rate, tail latency,
+// queue depth, shed rate) plus the batching-specific ones (batch-size
+// distribution, high-water mark). Exposed on /metrics in Prometheus
+// text format.
+type Metrics struct {
+	// Registry renders the families below on /metrics.
+	Registry *metrics.Registry
+	// Requests counts completed HTTP requests by status code.
+	Requests *metrics.CounterVec
+	// Shed counts admission rejections (429s before any queueing).
+	Shed *metrics.Counter
+	// Batches counts dispatched engine batches.
+	Batches *metrics.Counter
+	// EngineErrors counts batches that failed inside the engine.
+	EngineErrors *metrics.Counter
+	// DeadlineDrops counts requests whose context expired while queued,
+	// dropped before reaching the engine.
+	DeadlineDrops *metrics.Counter
+	// QueueDepth gauges requests currently waiting for a batch window.
+	QueueDepth *metrics.Gauge
+	// InFlight gauges requests between admission and response.
+	InFlight *metrics.Gauge
+	// BatchSize summarizes dispatched batch sizes (quantiles).
+	BatchSize *metrics.Summary
+	// BatchMax is the high-water batch size — the single number that
+	// proves micro-batching is active (> 1 under concurrent load).
+	BatchMax *metrics.Gauge
+	// Latency summarizes total request latency in seconds.
+	Latency *metrics.Summary
+	// QueueWait summarizes time spent queued before dispatch, seconds.
+	QueueWait *metrics.Summary
+}
+
+// NewMetrics builds the standard serving metric set on a fresh registry.
+func NewMetrics() *Metrics {
+	r := metrics.NewRegistry()
+	return &Metrics{
+		Registry:      r,
+		Requests:      r.NewCounterVec("edgeserve_requests_total", "Completed HTTP inference requests by status code.", "code"),
+		Shed:          r.NewCounter("edgeserve_shed_total", "Requests rejected at admission because the queue was full."),
+		Batches:       r.NewCounter("edgeserve_batches_total", "Batches dispatched to the inference engine."),
+		EngineErrors:  r.NewCounter("edgeserve_engine_errors_total", "Batches that failed inside the inference engine."),
+		DeadlineDrops: r.NewCounter("edgeserve_deadline_drops_total", "Requests whose deadline expired while queued, dropped before the engine."),
+		QueueDepth:    r.NewGauge("edgeserve_queue_depth", "Requests currently waiting for a batch window."),
+		InFlight:      r.NewGauge("edgeserve_inflight", "Requests between admission and response."),
+		BatchSize:     r.NewSummary("edgeserve_batch_size", "Dispatched batch size distribution."),
+		BatchMax:      r.NewGauge("edgeserve_batch_size_max", "Largest batch dispatched since start."),
+		Latency:       r.NewSummary("edgeserve_request_seconds", "Total request latency in seconds (successful requests)."),
+		QueueWait:     r.NewSummary("edgeserve_queue_wait_seconds", "Time requests spent queued before dispatch."),
+	}
+}
+
+// Server is the HTTP inference server: admission control and
+// micro-batching in front of a serving.Engine, with /infer, /healthz,
+// and /metrics endpoints.
+type Server struct {
+	cfg   Config
+	eng   *serving.Engine
+	bat   *Batcher
+	m     *Metrics
+	mux   *http.ServeMux
+	ready atomic.Bool
+	shape tensor.Shape
+}
+
+// New wires a server around an engine. The engine must be built from a
+// materialized graph (serving.NewEngine enforces this).
+func New(eng *serving.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:   cfg,
+		eng:   eng,
+		bat:   NewBatcher(eng, cfg, m),
+		m:     m,
+		mux:   http.NewServeMux(),
+		shape: eng.InputShape(),
+	}
+	s.mux.HandleFunc("/infer", s.handleInfer)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", m.Registry.Handler())
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the root handler (mount it on an http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the metric set for in-process assertions.
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// Close begins graceful drain: readiness flips to failing (load
+// balancers stop sending), new work is rejected with 503, queued work is
+// served to completion, and the engine's replicas are drained. Callers
+// should http.Server.Shutdown first so in-flight connections finish.
+func (s *Server) Close() error {
+	s.ready.Store(false)
+	s.bat.Close()
+	return s.eng.Close()
+}
+
+// InferRequest is the /infer request body. Either Data carries a full
+// input tensor (length must match the model's input shape) or Seed asks
+// the server to generate a deterministic pseudo-random input — the
+// load-generator path, which keeps attack payloads tiny.
+type InferRequest struct {
+	Data       []float32 `json:"data,omitempty"`
+	Seed       int64     `json:"seed,omitempty"`
+	DeadlineMs float64   `json:"deadline_ms,omitempty"`
+}
+
+// InferResponse is the /infer response body.
+type InferResponse struct {
+	// Argmax is the index of the largest output element (the predicted
+	// class for classifiers).
+	Argmax int `json:"argmax"`
+	// Output is the full output tensor, flattened.
+	Output []float32 `json:"output"`
+	// BatchSize is the size of the micro-batch this request rode in.
+	BatchSize int `json:"batch_size"`
+	// TotalMs is the server-side latency: admission to engine result.
+	TotalMs float64 `json:"total_ms"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	// An empty body is legal (seed-0 generated input), so io.EOF passes.
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	in, err := s.buildInput(req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Deadline propagation: explicit per-request deadline wins, then the
+	// server default; both ride the request context so queue, batcher,
+	// and engine all observe the same clock.
+	ctx := r.Context()
+	deadline := s.cfg.Deadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs * float64(time.Millisecond))
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	s.m.InFlight.Add(1)
+	defer s.m.InFlight.Add(-1)
+	start := time.Now()
+	out, batch, err := s.bat.Do(ctx, in)
+	if err != nil {
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+1)))
+		}
+		s.fail(w, code, err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.m.Latency.Observe(elapsed.Seconds())
+	s.m.Requests.Inc("200")
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(InferResponse{
+		Argmax:    argmax(out.Data),
+		Output:    out.Data,
+		BatchSize: batch,
+		TotalMs:   float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// handleHealthz is the readiness probe: 200 while serving, 503 once
+// drain has begun so load balancers stop routing here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// buildInput materializes the request's input tensor.
+func (s *Server) buildInput(req InferRequest) (*tensor.Tensor, error) {
+	n := s.shape.NumElems()
+	if len(req.Data) > 0 {
+		if len(req.Data) != n {
+			return nil, fmt.Errorf("data length %d does not match input shape %v (%d elements)", len(req.Data), s.shape, n)
+		}
+		return tensor.FromData(req.Data, s.shape...), nil
+	}
+	in := tensor.New(s.shape...)
+	rng := stats.NewRNG(req.Seed)
+	for i := range in.Data {
+		in.Data[i] = float32(rng.Float64()*2 - 1)
+	}
+	return in, nil
+}
+
+// fail writes the JSON error envelope and records the status metric.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.m.Requests.Inc(strconv.Itoa(code))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// statusFor maps pipeline errors onto HTTP semantics.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed), errors.Is(err, serving.ErrEngineClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// argmax returns the index of the largest element (0 for empty).
+func argmax(xs []float32) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

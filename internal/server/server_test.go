@@ -1,0 +1,287 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/server"
+	"edgebench/internal/serving"
+	"edgebench/internal/tensor"
+)
+
+func buildEngine(t testing.TB, replicas int) (*graph.Graph, *serving.Engine) {
+	t.Helper()
+	b := nn.NewBuilder("http-cnn", nn.Options{Materialize: true, Seed: 7}, 3, 16, 16)
+	b.ConvBNReLU("stem", 8, 3, 1, 1)
+	b.MaxPool("pool", 2, 2, 0)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	g := b.Build()
+	eng, err := serving.NewEngine(g, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, eng
+}
+
+func postInfer(t *testing.T, url string, req server.InferRequest) (*http.Response, server.InferResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out server.InferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+// TestServerInferMatchesEngine: a round trip through HTTP + batcher must
+// return exactly what a direct engine call returns for the same input.
+func TestServerInferMatchesEngine(t *testing.T) {
+	g, eng := buildEngine(t, 2)
+	srv := server.New(eng, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	in := tensor.New(3, 16, 16)
+	for j := range in.Data {
+		in.Data[j] = float32(math.Cos(float64(j)))
+	}
+	want, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, out := postInfer(t, ts.URL, server.InferRequest{Data: in.Data})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Output) != len(want.Data) {
+		t.Fatalf("output length %d, want %d", len(out.Output), len(want.Data))
+	}
+	for j := range want.Data {
+		if out.Output[j] != want.Data[j] {
+			t.Fatalf("output[%d] = %v, want %v", j, out.Output[j], want.Data[j])
+		}
+	}
+	if out.BatchSize < 1 {
+		t.Errorf("batch size %d", out.BatchSize)
+	}
+}
+
+// TestServerSeededInputDeterministic: the seed path must be reproducible
+// request to request.
+func TestServerSeededInputDeterministic(t *testing.T) {
+	_, eng := buildEngine(t, 1)
+	srv := server.New(eng, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	_, a := postInfer(t, ts.URL, server.InferRequest{Seed: 42})
+	_, b := postInfer(t, ts.URL, server.InferRequest{Seed: 42})
+	for j := range a.Output {
+		if a.Output[j] != b.Output[j] {
+			t.Fatalf("seeded inference not deterministic at %d: %v vs %v", j, a.Output[j], b.Output[j])
+		}
+	}
+}
+
+// TestServerBadInput pins the 400 path: wrong-size data never reaches
+// the engine.
+func TestServerBadInput(t *testing.T) {
+	_, eng := buildEngine(t, 1)
+	srv := server.New(eng, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	resp, _ := postInfer(t, ts.URL, server.InferRequest{Data: []float32{1, 2, 3}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if got := srv.Metrics().Requests.Value("400"); got != 1 {
+		t.Errorf("400 counter = %d, want 1", got)
+	}
+}
+
+// TestServerOverloadReturns429 floods a tiny queue and requires shed
+// requests to come back 429 with a Retry-After hint.
+func TestServerOverloadReturns429(t *testing.T) {
+	_, eng := buildEngine(t, 1)
+	srv := server.New(eng, server.Config{MaxBatch: 1, QueueCap: 1, MaxWait: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	const n = 24
+	var (
+		mu         sync.Mutex
+		shed, ok   int
+		retryAfter bool
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(server.InferRequest{Seed: int64(i)})
+			resp, err := http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok++
+			case http.StatusTooManyRequests:
+				shed++
+				if resp.Header.Get("Retry-After") != "" {
+					retryAfter = true
+				}
+			default:
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Fatal("no request was shed despite queue capacity 1 and 24 concurrent arrivals")
+	}
+	if !retryAfter {
+		t.Error("429 responses carried no Retry-After header")
+	}
+	if got := srv.Metrics().Shed.Value(); got != uint64(shed) {
+		t.Errorf("shed metric %d, want %d", got, shed)
+	}
+	if ok == 0 {
+		t.Error("every request was shed; expected some admitted")
+	}
+}
+
+// TestServerMetricsEndpoint scrapes /metrics after traffic and checks
+// the exposition carries the serving families with sane values.
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, eng := buildEngine(t, 2)
+	srv := server.New(eng, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, _ := postInfer(t, ts.URL, server.InferRequest{Seed: int64(i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	raw, series, err := server.ScrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(raw, "# TYPE edgeserve_request_seconds summary") {
+		t.Errorf("missing summary TYPE header in exposition:\n%s", raw)
+	}
+	if got := series[`edgeserve_requests_total{code="200"}`]; got != 5 {
+		t.Errorf("requests_total 200 = %v, want 5", got)
+	}
+	if got := series["edgeserve_request_seconds_count"]; got != 5 {
+		t.Errorf("request_seconds_count = %v, want 5", got)
+	}
+	if got := series["edgeserve_batches_total"]; got < 1 {
+		t.Errorf("batches_total = %v, want >= 1", got)
+	}
+	if _, okq := series[`edgeserve_request_seconds{quantile="0.99"}`]; !okq {
+		t.Errorf("missing p99 quantile series:\n%s", raw)
+	}
+}
+
+// TestServerHealthzAndDrain pins the readiness lifecycle: 200 while
+// serving, 503 after Close, and /infer refuses new work after drain.
+func TestServerHealthzAndDrain(t *testing.T) {
+	_, eng := buildEngine(t, 1)
+	srv := server.New(eng, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: %d, want 503", resp.StatusCode)
+	}
+	r2, _ := postInfer(t, ts.URL, server.InferRequest{Seed: 1})
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("infer after drain: %d, want 503", r2.StatusCode)
+	}
+}
+
+// TestAttackAgainstLiveServer runs the built-in load generator against
+// an httptest server at a modest rate and requires zero shed, zero
+// failures, and micro-batching visibly active (max batch > 1).
+func TestAttackAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real load")
+	}
+	_, eng := buildEngine(t, 2)
+	srv := server.New(eng, server.Config{MaxBatch: 8, MaxWait: 5 * time.Millisecond, QueueCap: 128})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	rep, err := server.Attack(ts.URL, server.AttackOptions{
+		Rate:     40,
+		Duration: time.Second,
+		Burst:    4,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 || rep.OK != rep.Sent {
+		t.Fatalf("attack: %s", rep)
+	}
+	if rep.Shed != 0 || rep.Failed != 0 || rep.Deadline != 0 {
+		t.Fatalf("attack saw rejects: %s", rep)
+	}
+	if rep.MaxBatch < 2 {
+		t.Errorf("micro-batching never coalesced: %s", rep)
+	}
+	if got := srv.Metrics().BatchMax.Value(); got < 2 {
+		t.Errorf("batch high-water mark %v, want >= 2", got)
+	}
+}

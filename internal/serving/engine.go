@@ -6,6 +6,7 @@
 package serving
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,15 +16,31 @@ import (
 	"edgebench/internal/verify"
 )
 
+// ErrEmptyBatch reports an InferBatch call with no inputs: the caller's
+// batching layer has a scheduling bug, and spawning zero goroutines to
+// "succeed" would hide it.
+var ErrEmptyBatch = errors.New("serving: empty batch")
+
+// ErrNilInput reports a nil tensor in a batch; the offending index is in
+// the wrapping error.
+var ErrNilInput = errors.New("serving: nil input tensor")
+
+// ErrEngineClosed reports an inference attempted after Close.
+var ErrEngineClosed = errors.New("serving: engine closed")
+
 // Engine executes real inferences over a materialized graph with a pool
 // of executor replicas. Each replica is an independent graph.Executor —
 // pooled (arena-reusing) for static graphs, eager-release for dynamic
 // ones — so concurrent requests never contend on buffers while still
 // reusing memory across requests hitting the same replica. Infer and
-// InferBatch are safe for concurrent use.
+// InferBatch are safe for concurrent use, including concurrently with
+// Close.
 type Engine struct {
 	g        *graph.Graph
 	replicas chan *graph.Executor
+	size     int
+	closed   chan struct{}
+	once     sync.Once
 }
 
 // NewEngine verifies g, requires materialized weights, and builds an
@@ -41,25 +58,61 @@ func NewEngine(g *graph.Graph, replicas int) (*Engine, error) {
 	if replicas <= 0 {
 		replicas = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{g: g, replicas: make(chan *graph.Executor, replicas)}
+	e := &Engine{
+		g:        g,
+		replicas: make(chan *graph.Executor, replicas),
+		size:     replicas,
+		closed:   make(chan struct{}),
+	}
 	for i := 0; i < replicas; i++ {
 		e.replicas <- &graph.Executor{Pooled: g.Mode == graph.Static}
 	}
 	return e, nil
 }
 
+// Replicas returns the configured replica count.
+func (e *Engine) Replicas() int { return e.size }
+
+// InputShape returns the shape one request tensor must have.
+func (e *Engine) InputShape() tensor.Shape { return e.g.Input.OutShape }
+
+// Graph returns the materialized graph the engine executes.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
 // Infer runs one single-batch forward pass, borrowing a replica for the
-// duration of the call.
+// duration of the call. After Close it fails fast with ErrEngineClosed.
 func (e *Engine) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
-	ex := <-e.replicas
-	defer func() { e.replicas <- ex }()
-	return ex.Run(e.g, in)
+	if in == nil {
+		return nil, ErrNilInput
+	}
+	select {
+	case <-e.closed:
+		return nil, ErrEngineClosed
+	default:
+	}
+	select {
+	case ex := <-e.replicas:
+		defer func() { e.replicas <- ex }()
+		return ex.Run(e.g, in)
+	case <-e.closed:
+		return nil, ErrEngineClosed
+	}
 }
 
 // InferBatch runs every input concurrently across the replica pool and
-// returns outputs in input order. The first error (by input index) is
-// returned; outputs past a failed input may be nil.
+// returns outputs in input order. An empty batch fails with
+// ErrEmptyBatch and a nil tensor with ErrNilInput (both before any work
+// is dispatched); otherwise the first error (by input index) is
+// returned, and outputs past a failed input may be nil.
 func (e *Engine) InferBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(ins) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	for i, in := range ins {
+		if in == nil {
+			return nil, fmt.Errorf("serving: request %d: %w", i, ErrNilInput)
+		}
+	}
 	outs := make([]*tensor.Tensor, len(ins))
 	errs := make([]error, len(ins))
 	var wg sync.WaitGroup
@@ -79,8 +132,23 @@ func (e *Engine) InferBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	return outs, nil
 }
 
+// Close marks the engine closed and drains the replica pool, blocking
+// until every in-flight inference has returned its replica. New Infer
+// calls fail fast with ErrEngineClosed; Close is idempotent and safe to
+// call concurrently with inference.
+func (e *Engine) Close() error {
+	e.once.Do(func() {
+		close(e.closed)
+		for i := 0; i < e.size; i++ {
+			<-e.replicas
+		}
+	})
+	return nil
+}
+
 // PoolStats sums the arena counters across all replicas currently parked
 // in the pool (callers should quiesce the engine first for exact totals).
+// After Close the pool is drained and the totals read zero.
 func (e *Engine) PoolStats() tensor.PoolStats {
 	var total tensor.PoolStats
 	n := len(e.replicas)

@@ -1,7 +1,9 @@
 package serving_test
 
 import (
+	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"edgebench/internal/graph"
@@ -82,5 +84,81 @@ func TestEngineRejectsStructuralGraph(t *testing.T) {
 	b.Softmax("sm")
 	if _, err := serving.NewEngine(b.Build(), 2); err == nil {
 		t.Fatal("structural graph must be rejected")
+	}
+}
+
+// TestEngineEmptyAndNilBatch pins the typed fast-fail errors: no
+// goroutines are spawned for zero-work or malformed batches.
+func TestEngineEmptyAndNilBatch(t *testing.T) {
+	eng, err := serving.NewEngine(engineCNN(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.InferBatch(nil); !errors.Is(err, serving.ErrEmptyBatch) {
+		t.Fatalf("empty batch returned %v, want ErrEmptyBatch", err)
+	}
+	if _, err := eng.InferBatch([]*tensor.Tensor{}); !errors.Is(err, serving.ErrEmptyBatch) {
+		t.Fatalf("zero-length batch returned %v, want ErrEmptyBatch", err)
+	}
+	if _, err := eng.InferBatch([]*tensor.Tensor{engineInput(0), nil}); !errors.Is(err, serving.ErrNilInput) {
+		t.Fatalf("nil tensor returned %v, want ErrNilInput", err)
+	}
+	if _, err := eng.Infer(nil); !errors.Is(err, serving.ErrNilInput) {
+		t.Fatalf("nil Infer returned %v, want ErrNilInput", err)
+	}
+}
+
+// TestEngineClose pins the drain semantics: Close waits for in-flight
+// work, later inferences fail fast, and Close is idempotent and safe
+// under concurrency.
+func TestEngineClose(t *testing.T) {
+	eng, err := serving.NewEngine(engineCNN(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-flight inferences racing Close must either finish cleanly or
+	// fail with ErrEngineClosed — never hang, never corrupt.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := eng.Infer(engineInput(i)); err != nil && !errors.Is(err, serving.ErrEngineClosed) {
+				t.Errorf("in-flight infer: %v", err)
+			}
+		}(i)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := eng.Infer(engineInput(0)); !errors.Is(err, serving.ErrEngineClosed) {
+		t.Fatalf("post-close Infer returned %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.InferBatch([]*tensor.Tensor{engineInput(0)}); !errors.Is(err, serving.ErrEngineClosed) {
+		t.Fatalf("post-close InferBatch returned %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestEngineAccessors pins the surface the HTTP server builds on.
+func TestEngineAccessors(t *testing.T) {
+	g := engineCNN(t)
+	eng, err := serving.NewEngine(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Replicas() != 3 {
+		t.Errorf("replicas %d, want 3", eng.Replicas())
+	}
+	if !eng.InputShape().Equal(tensor.Shape{3, 16, 16}) {
+		t.Errorf("input shape %v", eng.InputShape())
+	}
+	if eng.Graph() != g {
+		t.Error("Graph() should return the engine's graph")
 	}
 }

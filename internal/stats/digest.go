@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Digest is a bounded-memory streaming quantile estimator: a classic
+// reservoir sampler (Vitter's algorithm R) over a deterministic seeded
+// source. It exists for long-running observation streams — a serving
+// process recording one latency per request — where storing every sample
+// is unacceptable but tail quantiles must stay queryable at any moment.
+// Below capacity the estimate is exact; above it, each seen value has
+// equal probability of being represented, so quantiles converge to the
+// stream's distribution.
+//
+// Digest is not safe for concurrent use; callers that share one across
+// goroutines (e.g. a metrics registry) must serialize access.
+type Digest struct {
+	capacity int
+	seen     int64
+	samples  []float64
+	rng      *rand.Rand
+	// sorted caches the ascending view between Adds so repeated
+	// Quantile calls (a /metrics scrape asks for several) sort once.
+	sorted []float64
+}
+
+// DefaultDigestCap is the reservoir size used when NewDigest is given a
+// non-positive capacity: large enough for stable P99 estimates, small
+// enough to be negligible per metric.
+const DefaultDigestCap = 1024
+
+// NewDigest returns an empty digest holding at most capacity samples
+// (<= 0 means DefaultDigestCap). The seed fixes the replacement
+// sequence, keeping scraped quantiles reproducible run to run.
+func NewDigest(capacity int, seed int64) *Digest {
+	if capacity <= 0 {
+		capacity = DefaultDigestCap
+	}
+	return &Digest{
+		capacity: capacity,
+		samples:  make([]float64, 0, capacity),
+		rng:      NewRNG(seed),
+	}
+}
+
+// Add folds one observation into the reservoir.
+func (d *Digest) Add(x float64) {
+	d.seen++
+	d.sorted = nil
+	if len(d.samples) < d.capacity {
+		d.samples = append(d.samples, x)
+		return
+	}
+	// Replace a uniformly random slot with probability capacity/seen so
+	// every observation so far is retained with equal probability.
+	if j := d.rng.Int63n(d.seen); j < int64(d.capacity) {
+		d.samples[j] = x
+	}
+}
+
+// Count returns the number of observations seen (not retained).
+func (d *Digest) Count() int64 { return d.seen }
+
+// Quantile returns the q-th quantile (q in [0,1]) of the retained
+// sample, or NaN when nothing has been observed.
+func (d *Digest) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return math.NaN()
+	}
+	if d.sorted == nil {
+		d.sorted = append([]float64(nil), d.samples...)
+		sort.Float64s(d.sorted)
+	}
+	return Percentile(d.sorted, q*100)
+}
+
+// Reset discards all state, keeping capacity and the RNG position.
+func (d *Digest) Reset() {
+	d.seen = 0
+	d.samples = d.samples[:0]
+	d.sorted = nil
+}

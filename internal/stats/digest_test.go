@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDigestExactBelowCapacity(t *testing.T) {
+	d := NewDigest(100, 1)
+	for i := 1; i <= 50; i++ {
+		d.Add(float64(i))
+	}
+	if d.Count() != 50 {
+		t.Fatalf("count %d, want 50", d.Count())
+	}
+	if got := d.Quantile(0.5); math.Abs(got-25.5) > 1e-9 {
+		t.Errorf("median %v, want 25.5", got)
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Errorf("q0 %v, want 1", got)
+	}
+	if got := d.Quantile(1); got != 50 {
+		t.Errorf("q1 %v, want 50", got)
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	d := NewDigest(0, 1)
+	if !math.IsNaN(d.Quantile(0.5)) {
+		t.Error("empty digest should yield NaN quantiles")
+	}
+}
+
+// TestDigestConvergesAboveCapacity streams far more samples than the
+// reservoir holds from a uniform distribution; the quantile estimates
+// must land near the true values.
+func TestDigestConvergesAboveCapacity(t *testing.T) {
+	d := NewDigest(512, 7)
+	rng := NewRNG(3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d.Add(rng.Float64() * 100)
+	}
+	if d.Count() != n {
+		t.Fatalf("count %d, want %d", d.Count(), n)
+	}
+	for _, c := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 8},
+		{0.95, 95, 5},
+		{0.99, 99, 3},
+	} {
+		if got := d.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%.2f = %.2f, want %.0f +/- %.0f", c.q, got, c.want, c.tol)
+		}
+	}
+}
+
+// TestDigestDeterministic pins the seeded replacement sequence: two
+// digests fed the same stream must agree exactly.
+func TestDigestDeterministic(t *testing.T) {
+	a, b := NewDigest(64, 9), NewDigest(64, 9)
+	rng := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		x := rng.NormFloat64()
+		a.Add(x)
+		b.Add(x)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("same-seed digests disagree at q=%v", q)
+		}
+	}
+}
+
+func TestDigestReset(t *testing.T) {
+	d := NewDigest(16, 1)
+	d.Add(5)
+	d.Reset()
+	if d.Count() != 0 || !math.IsNaN(d.Quantile(0.5)) {
+		t.Error("reset digest should be empty")
+	}
+}
