@@ -32,10 +32,14 @@ race:
 # port, auto-picks an attack rate well inside both the live and the
 # simulated envelope, fires a burst load through the built-in generator,
 # scrapes /metrics, and exits nonzero unless the run was clean (zero
-# errors, zero shed, micro-batching demonstrably active).
+# errors, zero shed, micro-batching demonstrably active). Runs twice:
+# the FP32 path and the real-int8 path (-quantize int8), which must also
+# prove int8 kernel dispatches in /metrics.
 serve-smoke:
 	$(GO) run ./cmd/edgeserve -model CifarNet -framework TFLite -device EdgeTPU \
 		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke
+	$(GO) run ./cmd/edgeserve -model CifarNet -framework TFLite -device EdgeTPU \
+		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke -quantize int8
 
 # The CI gate: everything that must be clean before a merge.
 check: build vet lint race serve-smoke

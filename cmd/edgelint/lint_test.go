@@ -308,6 +308,53 @@ func TestSelfLint(t *testing.T) {
 	}
 }
 
+// TestFakeQuant pins the fake-quant rule: a direct
+// QuantizeSymmetric/QuantizePerChannel call chained straight into
+// Dequantize is flagged, while the two-statement form (which keeps the
+// QTensor alive) and unrelated Dequantize methods are not.
+func TestFakeQuant(t *testing.T) {
+	e := newEnv(t)
+	e.add(tensorPkg, fakeTensor+`
+// QTensor is a fake.
+type QTensor struct{}
+
+// Dequantize is a fake.
+func (q *QTensor) Dequantize() *Tensor { return nil }
+
+// QuantizeSymmetric is a fake.
+func QuantizeSymmetric(t *Tensor) *QTensor { return nil }
+
+// QuantizePerChannel is a fake.
+func QuantizePerChannel(t *Tensor) *QTensor { return nil }
+`)
+	p := e.add("example.com/m/quser", `package quser
+
+import "edgebench/internal/tensor"
+
+func chained(t *tensor.Tensor) *tensor.Tensor {
+	return tensor.QuantizeSymmetric(t).Dequantize()
+}
+
+func chainedPerChannel(t *tensor.Tensor) *tensor.Tensor {
+	return tensor.QuantizePerChannel(t).Dequantize()
+}
+
+func twoStatement(t *tensor.Tensor) *tensor.Tensor {
+	q := tensor.QuantizeSymmetric(t)
+	return q.Dequantize()
+}
+
+type other struct{}
+
+func (other) Dequantize() int { return 0 }
+
+func makeOther() other { return other{} }
+
+func unrelated() int { return makeOther().Dequantize() }
+`)
+	wantRules(t, lintPackage(p), "fake-quant", "fake-quant")
+}
+
 // TestHandlerCtx pins the handler-ctx rule: handlers doing per-request
 // work must consult r.Context() or delegate r; static responders and
 // non-handler signatures are exempt.

@@ -21,6 +21,11 @@
 //	             r.Context() (or delegate r onward) — a handler that
 //	             ignores cancellation keeps burning an inference slot
 //	             after the client hung up
+//	fake-quant   no QuantizeSymmetric(x).Dequantize() (or per-channel)
+//	             call chains outside *_test.go — the round-trip discards
+//	             the int8 codes, so the node can never reach the real
+//	             int8 kernels; keep the QTensor and derive the FP32
+//	             shadow from it
 //	exported-doc exported declarations in the IR-critical packages
 //	             (internal/graph, internal/tensor, internal/verify)
 //	             must carry doc comments

@@ -44,6 +44,7 @@ func lintPackage(p *pkg) []finding {
 		}
 		fs = append(fs, checkPanicInErr(p, f)...)
 		fs = append(fs, checkHandlerCtx(p, f)...)
+		fs = append(fs, checkFakeQuant(p, f)...)
 		if docPackages[p.path] {
 			fs = append(fs, checkExportedDoc(p, f)...)
 		}
@@ -199,6 +200,63 @@ func checkPoolAlloc(p *pkg, f *ast.File) []finding {
 		return true
 	})
 	return fs
+}
+
+// quantRoundTripFns are the tensor-package quantizers whose result the
+// fake-quant rule watches for an immediate Dequantize.
+var quantRoundTripFns = map[string]bool{
+	"QuantizeSymmetric":  true,
+	"QuantizePerChannel": true,
+}
+
+// checkFakeQuant flags QuantizeSymmetric(x).Dequantize() (and the
+// per-channel variant) call chains: quantizing and immediately
+// dequantizing simulates int8 error but throws the int8 codes away, so
+// the node can never reach the real int8 kernels. Now that the runtime
+// executes QTensors directly, keep the quantized tensor — bind it to a
+// variable, hand it to the executor as QWeights, and derive the FP32
+// shadow from that binding. Test files are not parsed, so accuracy
+// tests may still round-trip freely.
+func checkFakeQuant(p *pkg, f *ast.File) []finding {
+	var fs []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Dequantize" {
+			return true
+		}
+		inner, ok := sel.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, obj := calleeObject(p, inner.Fun)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != tensorPkg || !quantRoundTripFns[name] {
+			return true
+		}
+		fs = append(fs, finding{
+			pos:  p.fset.Position(call.Pos()),
+			rule: "fake-quant",
+			msg: fmt.Sprintf("%s(...).Dequantize() discards the int8 codes; keep the QTensor so the runtime can execute real int8 kernels",
+				name),
+		})
+		return true
+	})
+	return fs
+}
+
+// calleeObject resolves a call's callee expression to its name and
+// types.Object (nil when the callee is not a plain function reference).
+func calleeObject(p *pkg, fun ast.Expr) (string, types.Object) {
+	switch x := fun.(type) {
+	case *ast.Ident:
+		return x.Name, p.info.Uses[x]
+	case *ast.SelectorExpr:
+		return x.Sel.Name, p.info.Uses[x.Sel]
+	}
+	return "", nil
 }
 
 // checkPanicInErr flags direct panic calls inside functions whose

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"edgebench/internal/core"
+	"edgebench/internal/graph"
 	"edgebench/internal/server"
 	"edgebench/internal/serving"
 	"edgebench/internal/stats"
@@ -60,7 +61,13 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
 	attack := flag.String("attack", "", "fire the built-in load generator: rate,duration[,burst] with rate in req/s or 'auto'")
 	smoke := flag.Bool("smoke", false, "with -attack: exit nonzero unless the run is clean (no errors, no shed, batching active)")
+	quantize := flag.String("quantize", "", "execution quantization for live serving: 'int8' (per-tensor) or 'int8-perchannel'; empty serves FP32")
 	flag.Parse()
+
+	if *quantize != "" && *quantize != "int8" && *quantize != "int8-perchannel" {
+		fmt.Fprintf(os.Stderr, "edgeserve: unknown -quantize mode %q (want int8 or int8-perchannel)\n", *quantize)
+		os.Exit(1)
+	}
 
 	s, err := core.New(*modelName, *fwName, *devName)
 	if err != nil {
@@ -82,6 +89,7 @@ func main() {
 		p99:      *p99,
 		attack:   *attack,
 		smoke:    *smoke,
+		quantize: *quantize,
 		cfg: server.Config{
 			MaxBatch: *maxBatch,
 			MaxWait:  *maxWait,
@@ -129,6 +137,7 @@ type serveOptions struct {
 	p99      time.Duration
 	attack   string
 	smoke    bool
+	quantize string
 	cfg      server.Config
 }
 
@@ -138,7 +147,14 @@ func serve(s *core.Session, o serveOptions) {
 	if err := s.Materialize(o.seed); err != nil {
 		fatal(err)
 	}
-	eng, err := serving.NewEngine(s.Lowered(), o.replicas)
+	g := s.Lowered()
+	switch o.quantize {
+	case "int8":
+		graph.QuantizeINT8(g)
+	case "int8-perchannel":
+		graph.QuantizeINT8PerChannel(g)
+	}
+	eng, err := serving.NewEngine(g, o.replicas)
 	if err != nil {
 		fatal(err)
 	}
@@ -150,8 +166,9 @@ func serve(s *core.Session, o serveOptions) {
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	addr := ln.Addr().String()
-	fmt.Printf("serving %s on http://%s (replicas %d, batch <= %d within %v, queue %d)\n",
-		s.Model.Name, addr, eng.Replicas(), o.cfg.MaxBatch, o.cfg.MaxWait, o.cfg.QueueCap)
+	fmt.Printf("serving %s on http://%s (replicas %d, batch <= %d within %v, queue %d, exec %s, weights %d bytes)\n",
+		s.Model.Name, addr, eng.Replicas(), o.cfg.MaxBatch, o.cfg.MaxWait, o.cfg.QueueCap,
+		eng.ExecDType(), eng.WeightBytes())
 
 	// The simulated envelope for the same deployment, for comparison.
 	simMax, err := serving.MaxSustainableRate(s, o.p99.Seconds(), 30, o.seed)
@@ -242,6 +259,14 @@ func runAttack(srv *server.Server, eng *serving.Engine, baseURL string, o serveO
 	}
 	if opts.Burst > 1 && series["edgeserve_batch_size_max"] < 2 {
 		problems = append(problems, "micro-batching never coalesced (batch_size_max < 2)")
+	}
+	if o.quantize != "" {
+		if series[`edgeserve_exec_dtype{dtype="int8"}`] < 1 {
+			problems = append(problems, "quantized serving did not report exec dtype int8")
+		}
+		if series["edgeserve_int8_kernel_dispatches"] < 1 {
+			problems = append(problems, "quantized serving dispatched no int8 kernels")
+		}
 	}
 	if len(problems) > 0 {
 		fmt.Fprintf(os.Stderr, "\nedgeserve: smoke FAILED: %s\n", strings.Join(problems, "; "))

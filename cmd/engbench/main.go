@@ -149,6 +149,28 @@ func main() {
 	rep.Summary["conv2d_gemm_vs_direct_speedup"] = ratio(direct.NsPerOp, pooled.NsPerOp)
 	rep.Summary["conv2d_pooled_alloc_reduction"] = reduction(alloc.AllocsPerOp, pooled.AllocsPerOp)
 
+	// --- qgemm group: the real-int8 kernel vs the blocked FP32 kernel.
+	// Same pinned dim as the matmul group; the int8 kernel must be
+	// strictly faster here (enforced below) or the quantized execution
+	// path has regressed into marketing.
+	qa, qb := make([]int8, d*d), make([]int8, d*d)
+	for i := range qa {
+		qa[i] = int8(i%255 - 127)
+		qb[i] = int8((i*7)%255 - 127)
+	}
+	qdst := make([]int32, d*d)
+	qserial := bench("qgemm/int8-serial", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.QGEMMSerial(qdst, qa, qb, d, d, d)
+		}
+	})
+	bench("qgemm/int8-parallel", rep, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			tensor.QGEMM(qdst, qa, qb, d, d, d)
+		}
+	})
+	rep.Summary["qgemm_int8_vs_fp32_blocked_speedup"] = ratio(blocked.NsPerOp, qserial.NsPerOp)
+
 	// --- forward group ------------------------------------------------
 	spec2, ok := model.Get(*modelName)
 	if !ok {
@@ -157,25 +179,33 @@ func main() {
 	g := spec2.Build(nn.Options{Materialize: true, Seed: 11})
 	input := tensor.New(g.Input.OutShape...)
 	fill(input, 5)
-	forward := func(ex *graph.Executor) func(b *testing.B) {
+	forward := func(ex *graph.Executor, fg *graph.Graph) func(b *testing.B) {
 		return func(bb *testing.B) {
-			if _, err := ex.Run(g, input); err != nil { // warmup: plan + arena
+			if _, err := ex.Run(fg, input); err != nil { // warmup: plan + arena
 				bb.Fatal(err)
 			}
 			bb.ResetTimer()
 			for i := 0; i < bb.N; i++ {
-				if _, err := ex.Run(g, input); err != nil {
+				if _, err := ex.Run(fg, input); err != nil {
 					bb.Fatal(err)
 				}
 			}
 		}
 	}
-	serial := bench("forward/serial", rep, forward(&graph.Executor{}))
-	bench("forward/parallel", rep, forward(&graph.Executor{Parallel: true}))
-	fpool := bench("forward/pooled", rep, forward(&graph.Executor{Pooled: true}))
-	both := bench("forward/pooled-parallel", rep, forward(&graph.Executor{Pooled: true, Parallel: true}))
+	serial := bench("forward/serial", rep, forward(&graph.Executor{}, g))
+	bench("forward/parallel", rep, forward(&graph.Executor{Parallel: true}, g))
+	fpool := bench("forward/pooled", rep, forward(&graph.Executor{Pooled: true}, g))
+	both := bench("forward/pooled-parallel", rep, forward(&graph.Executor{Pooled: true, Parallel: true}, g))
 	rep.Summary["forward_pooled_alloc_reduction"] = reduction(serial.AllocsPerOp, fpool.AllocsPerOp)
 	rep.Summary["forward_pooled_parallel_speedup"] = ratio(serial.NsPerOp, both.NsPerOp)
+
+	// Whole-model quantized forward: the same graph through QuantizeINT8,
+	// so dense convs and dense layers run the int8 kernels and the rest
+	// falls back to FP32.
+	qg := g.Clone()
+	graph.QuantizeINT8(qg)
+	qfwd := bench("forward/int8-pooled", rep, forward(&graph.Executor{Pooled: true}, qg))
+	rep.Summary["forward_int8_vs_fp32_speedup"] = ratio(fpool.NsPerOp, qfwd.NsPerOp)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -184,11 +214,27 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nGOMAXPROCS=%d  blocked GEMM %.2fx vs naive, pooled forward cuts allocs/op by %.1f%%\nwrote %s\n",
+	fmt.Printf("\nGOMAXPROCS=%d  blocked GEMM %.2fx vs naive, int8 GEMM %.2fx vs blocked FP32, int8 forward %.2fx vs FP32, pooled forward cuts allocs/op by %.1f%%\nwrote %s\n",
 		rep.GoMaxProcs,
 		rep.Summary["matmul_blocked_vs_naive_speedup"],
+		rep.Summary["qgemm_int8_vs_fp32_blocked_speedup"],
+		rep.Summary["forward_int8_vs_fp32_speedup"],
 		100*rep.Summary["forward_pooled_alloc_reduction"],
 		*out)
+
+	// Regression guard (make bench's gate): at the pinned benchmark dim
+	// the int8 GEMM must be strictly faster than the blocked FP32 GEMM,
+	// and the quantized whole-model forward must beat its FP32 twin.
+	if *dim == 512 && qserial.NsPerOp >= blocked.NsPerOp {
+		fmt.Fprintf(os.Stderr, "engbench: REGRESSION: int8 GEMM %d ns/op is not below blocked FP32 %d ns/op at dim %d\n",
+			qserial.NsPerOp, blocked.NsPerOp, *dim)
+		os.Exit(1)
+	}
+	if qfwd.NsPerOp >= fpool.NsPerOp {
+		fmt.Fprintf(os.Stderr, "engbench: REGRESSION: int8 forward %d ns/op is not below FP32 forward %d ns/op for %s\n",
+			qfwd.NsPerOp, fpool.NsPerOp, *modelName)
+		os.Exit(1)
+	}
 }
 
 // ratio returns before/after as a speedup factor (guarding div-by-zero).

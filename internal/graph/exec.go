@@ -50,6 +50,12 @@ type Executor struct {
 	planned *Graph
 	pool    *tensor.Pool
 
+	// nInt8/nFP32 count compute-kernel dispatches (conv/dense families)
+	// by execution datatype — the probe tests and the serving metrics
+	// use to assert a quantized graph really runs int8 kernels. Atomic:
+	// the wavefront scheduler evaluates nodes concurrently.
+	nInt8, nFP32 atomic.Int64
+
 	// lastValues retains the most recent forward pass's node values for
 	// RunValues (training) callers.
 	lastValues map[*Node]*tensor.Tensor
@@ -75,6 +81,13 @@ func (e *Executor) RunValues(g *Graph, input *tensor.Tensor) (map[*Node]*tensor.
 // into the arena in Pooled static mode.
 func (e *Executor) Run(g *Graph, input *tensor.Tensor) (*tensor.Tensor, error) {
 	return e.run(g, input, false)
+}
+
+// DispatchCounts reports how many compute-kernel dispatches (the
+// conv/dense op families) ran on the int8 path vs the FP32 path since
+// the executor was created. Safe to call concurrently with Run.
+func (e *Executor) DispatchCounts() (int8Kernels, fp32Kernels int64) {
+	return e.nInt8.Load(), e.nFP32.Load()
 }
 
 // PoolStats reports the arena's traffic counters; zero-valued until a
@@ -339,11 +352,84 @@ func (e *Executor) evalNode(n *Node, rt *runState) (out *tensor.Tensor, err erro
 			out, err = nil, fmt.Errorf("kernel panic: %v", r)
 		}
 	}()
+	if out, ok, qerr := e.evalQuantized(n, rt); ok {
+		// The int8 kernels fuse the activation into their requantize
+		// epilogue, so no separate applyActivation pass runs here.
+		e.nInt8.Add(1)
+		return out, qerr
+	}
 	out, err = e.eval(n, rt)
 	if err == nil && n.Activation != 0 {
 		out, err = applyActivation(n.Activation, n.Attrs.LeakySlope(), out)
 	}
+	if err == nil && isComputeKernelKind(n.Kind) {
+		e.nFP32.Add(1)
+	}
 	return out, err
+}
+
+// isComputeKernelKind reports whether the op is in the conv/dense kernel
+// family the dispatch counters track.
+func isComputeKernelKind(k OpKind) bool {
+	switch k {
+	case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense:
+		return true
+	}
+	return false
+}
+
+// actFor maps a node's fused activation to the tensor epilogue enum.
+func actFor(k OpKind) tensor.Act {
+	switch k {
+	case OpReLU:
+		return tensor.ActReLU
+	case OpReLU6:
+		return tensor.ActReLU6
+	case OpLeakyReLU:
+		return tensor.ActLeakyReLU
+	case OpSigmoid:
+		return tensor.ActSigmoid
+	case OpTanh:
+		return tensor.ActTanh
+	}
+	return tensor.ActNone
+}
+
+// evalQuantized dispatches nodes carrying real int8 weights to the int8
+// kernel path: dynamic per-tensor activation quantization, int8 GEMM,
+// fused requantize+bias+activation epilogue. ok is false when the node
+// has no int8 kernel (no QWeights, grouped conv, unknown fused
+// activation) — the caller then takes the FP32 path, which works because
+// Weights keeps the dequantized shadow.
+func (e *Executor) evalQuantized(n *Node, rt *runState) (out *tensor.Tensor, ok bool, err error) {
+	if n.QWeights == nil {
+		return nil, false, nil
+	}
+	if n.Activation != 0 && actFor(n.Activation) == tensor.ActNone {
+		return nil, false, nil
+	}
+	switch n.Kind {
+	case OpConv2D:
+		if n.Attrs.GroupCount() > 1 {
+			return nil, false, nil
+		}
+	case OpDense:
+	default:
+		return nil, false, nil
+	}
+	in, found := rt.values[n.Inputs[0]]
+	if !found {
+		return nil, true, fmt.Errorf("input %s not computed", n.Inputs[0])
+	}
+	dst := rt.alloc(n)
+	if n.Kind == OpConv2D {
+		tensor.Conv2DQInt8Into(dst, in, n.QWeights, n.Bias, n.Attrs.ConvSpec(),
+			actFor(n.Activation), n.Attrs.LeakySlope())
+	} else {
+		tensor.DenseQInt8Into(dst.Data, n.QWeights, n.Bias, in.Data,
+			actFor(n.Activation), n.Attrs.LeakySlope())
+	}
+	return dst, true, nil
 }
 
 func (e *Executor) eval(n *Node, rt *runState) (*tensor.Tensor, error) {

@@ -1,0 +1,110 @@
+package graph_test
+
+import (
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+// mixedCNN builds a graph with both int8-executable ops (dense conv,
+// dense) and fallback-only ops (depthwise conv), so one run exercises
+// the int8 dispatch and the FP32 fallback together.
+func mixedCNN(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("mixed", nn.Options{Materialize: true, Seed: seed}, 3, 8, 8)
+	b.Conv2D("conv1", 8, 3, 1, 1, true)
+	b.ReLU("relu1")
+	b.DepthwiseConv2D("dw", 3, 1, 1, true)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+// TestQuantizedDispatchProbe asserts a QuantizeINT8 graph actually
+// executes the int8 kernels: the executor's dispatch counters must show
+// int8 dispatches for the conv and dense nodes and an FP32 fallback for
+// the depthwise conv — in sequential, parallel, and pooled modes.
+func TestQuantizedDispatchProbe(t *testing.T) {
+	in := tensor.New(3, 8, 8).Fill(0.25)
+	modes := []struct {
+		name string
+		mk   func() *graph.Executor
+	}{
+		{"sequential", func() *graph.Executor { return &graph.Executor{} }},
+		{"parallel", func() *graph.Executor { return &graph.Executor{Parallel: true, Workers: 4} }},
+		{"pooled", func() *graph.Executor { return &graph.Executor{Pooled: true} }},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			g := mixedCNN(t, 21)
+			graph.FuseActivations(g)
+			ref := run(t, g, in)
+			graph.QuantizeINT8(g)
+
+			e := mode.mk()
+			if i8, f32 := e.DispatchCounts(); i8 != 0 || f32 != 0 {
+				t.Fatalf("fresh executor counts %d/%d, want 0/0", i8, f32)
+			}
+			out, err := e.Run(g, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i8, f32 := e.DispatchCounts()
+			if i8 != 2 {
+				t.Fatalf("int8 dispatches = %d, want 2 (conv1+fc)", i8)
+			}
+			if f32 != 1 {
+				t.Fatalf("fp32 fallback dispatches = %d, want 1 (depthwise)", f32)
+			}
+			if d := maxAbsDiff(ref, out); d > 0.2 {
+				t.Fatalf("int8 output error too large: %v", d)
+			}
+		})
+	}
+}
+
+// TestQuantizedFusedActivationMatchesUnfused pins the epilogue fusion:
+// a quantized graph with a fused ReLU must equal the same graph with
+// the activation as a standalone node (both on the int8 path for the
+// conv, identical dynamic quantization inputs).
+func TestQuantizedFusedActivationMatchesUnfused(t *testing.T) {
+	in := tensor.New(3, 8, 8).Fill(0.3)
+	unfused := mixedCNN(t, 33)
+	fused := unfused.Clone()
+	graph.FuseActivations(fused)
+	graph.QuantizeINT8(unfused)
+	graph.QuantizeINT8(fused)
+	a := run(t, unfused, in)
+	b := run(t, fused, in)
+	if d := maxAbsDiff(a, b); d != 0 {
+		t.Fatalf("fused epilogue diverges from standalone activation by %v", d)
+	}
+}
+
+// TestQuantizePerChannelExecutesInt8 covers the per-channel pass on the
+// same probe: real int8 dispatch with per-output-channel weight scales.
+func TestQuantizePerChannelExecutesInt8(t *testing.T) {
+	in := tensor.New(3, 8, 8).Fill(0.2)
+	g := mixedCNN(t, 8)
+	ref := run(t, g, in)
+	graph.QuantizeINT8PerChannel(g)
+	e := &graph.Executor{}
+	out, err := e.Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i8, _ := e.DispatchCounts(); i8 != 2 {
+		t.Fatalf("int8 dispatches = %d, want 2", i8)
+	}
+	if d := maxAbsDiff(ref, out); d > 0.2 {
+		t.Fatalf("per-channel int8 output error too large: %v", d)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpConv2D && n.QWeights != nil && n.QWeights.Scales == nil {
+			t.Fatalf("node %s missing per-channel scales", n)
+		}
+	}
+}

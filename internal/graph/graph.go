@@ -209,6 +209,9 @@ func (g *Graph) Clone() *Graph {
 		if n.Weights != nil {
 			cp.Weights = n.Weights.Clone()
 		}
+		if n.QWeights != nil {
+			cp.QWeights = n.QWeights.Clone()
+		}
 		if n.Bias != nil {
 			cp.Bias = append([]float32(nil), n.Bias...)
 		}

@@ -105,6 +105,12 @@ type Node struct {
 	Bias    []float32
 	BN      *BNParams
 
+	// QWeights holds real int8 weights after a quantization pass. When
+	// set, the executor dispatches the node to the int8 kernels (with
+	// dynamic activation quantization); Weights keeps the dequantized
+	// shadow so verification, cloning, and the FP32 fallback still work.
+	QWeights *tensor.QTensor
+
 	// OutShape is the inferred output shape.
 	OutShape tensor.Shape
 

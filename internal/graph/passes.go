@@ -136,16 +136,61 @@ func EliminateDead(g *Graph) {
 	removeNodes(g, dead)
 }
 
+// int8Executable reports whether the executor has a real int8 kernel
+// for n: dense convolutions (groups == 1) and dense layers. Other ops
+// (depthwise, grouped, 3-D convs, LSTM) keep dequantized FP32 weights
+// and take the executor's FP32 fallback.
+func int8Executable(n *Node) bool {
+	switch n.Kind {
+	case OpConv2D:
+		return n.Attrs.GroupCount() == 1
+	case OpDense:
+		return true
+	}
+	return false
+}
+
+// quantizeNode stores real int8 weights on an int8-executable node (per
+// channel when perChannel is set) and replaces the FP32 weights with the
+// dequantized shadow, so the int8 kernels and the FP32 fallback compute
+// from identical calibrated values. Non-executable weight-bearing nodes
+// get only the round-trip (quantization error without an int8 kernel).
+func quantizeNode(n *Node, perChannel bool) {
+	if n.Weights == nil {
+		return
+	}
+	var q *tensor.QTensor
+	if perChannel && isPerChannelKind(n.Kind) {
+		q = tensor.QuantizePerChannel(n.Weights)
+	} else {
+		q = tensor.QuantizeSymmetric(n.Weights)
+	}
+	n.Weights = q.Dequantize()
+	if int8Executable(n) {
+		n.QWeights = q
+	}
+}
+
+// isPerChannelKind reports whether the per-channel weight scheme applies
+// to the op (one scale per output channel along the first weight axis).
+func isPerChannelKind(k OpKind) bool {
+	switch k {
+	case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense:
+		return true
+	}
+	return false
+}
+
 // QuantizeINT8 applies post-training symmetric INT8 quantization to every
-// weight-bearing node: weights are round-tripped through int8 (so the
-// functional path sees quantization error) and the node's execution
-// datatype drops to INT8 (so the cost model sees 4x smaller weights and
-// the device's INT8 throughput).
+// weight-bearing node: int8-executable ops (dense conv, dense) get real
+// int8 weights the executor dispatches to the int8 kernel path, other
+// weights are round-tripped through int8 (so the functional path sees
+// quantization error), and the node's execution datatype drops to INT8
+// (so the cost model sees 4x smaller weights and the device's INT8
+// throughput).
 func QuantizeINT8(g *Graph) {
 	for _, n := range g.Nodes {
-		if n.Weights != nil {
-			n.Weights = tensor.QuantizeSymmetric(n.Weights).Dequantize()
-		}
+		quantizeNode(n, false)
 		n.DType = tensor.INT8
 	}
 }
@@ -153,17 +198,11 @@ func QuantizeINT8(g *Graph) {
 // QuantizeINT8PerChannel applies post-training quantization with one
 // scale per output channel on weight-bearing compute ops (the TFLite
 // convolution scheme) and per-tensor scales elsewhere. Numerically
-// tighter than QuantizeINT8; identical cost-model consequences.
+// tighter than QuantizeINT8; identical cost-model consequences, and the
+// same real-int8 execution path for supported ops.
 func QuantizeINT8PerChannel(g *Graph) {
 	for _, n := range g.Nodes {
-		if n.Weights != nil {
-			switch n.Kind {
-			case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense:
-				n.Weights, _ = tensor.QuantizePerChannelRoundTrip(n.Weights)
-			default:
-				n.Weights = tensor.QuantizeSymmetric(n.Weights).Dequantize()
-			}
-		}
+		quantizeNode(n, true)
 		n.DType = tensor.INT8
 	}
 }

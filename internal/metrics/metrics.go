@@ -200,6 +200,62 @@ func (g *Gauge) expose(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, formatFloat(g.Value()))
 }
 
+// GaugeVec is a family of gauges split by one label (e.g. execution
+// datatype). Children are created on first use and exposed sorted by
+// label value.
+type GaugeVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*atomic.Uint64
+}
+
+// NewGaugeVec registers and returns a one-label gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	gv := &GaugeVec{name: name, help: help, label: label, children: map[string]*atomic.Uint64{}}
+	r.register(name, gv)
+	return gv
+}
+
+func (gv *GaugeVec) child(value string) *atomic.Uint64 {
+	gv.mu.Lock()
+	g := gv.children[value]
+	if g == nil {
+		g = &atomic.Uint64{}
+		gv.children[value] = g
+	}
+	gv.mu.Unlock()
+	return g
+}
+
+// Set stores v for the child with the given label value.
+func (gv *GaugeVec) Set(value string, v float64) {
+	gv.child(value).Store(math.Float64bits(v))
+}
+
+// Value returns the child's value (zero for a label never set).
+func (gv *GaugeVec) Value(value string) float64 {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	if g := gv.children[value]; g != nil {
+		return math.Float64frombits(g.Load())
+	}
+	return 0
+}
+
+func (gv *GaugeVec) expose(w io.Writer) {
+	gv.mu.Lock()
+	vals := make([]string, 0, len(gv.children))
+	for v := range gv.children {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", gv.name, gv.help, gv.name)
+	for _, v := range vals {
+		fmt.Fprintf(w, "%s{%s=%q} %s\n", gv.name, gv.label, v, formatFloat(math.Float64frombits(gv.children[v].Load())))
+	}
+	gv.mu.Unlock()
+}
+
 // Summary tracks a value distribution with streaming quantiles (via the
 // stats reservoir digest), a running sum, and a count — the Prometheus
 // "summary" type. Observe is safe for concurrent use.

@@ -49,6 +49,17 @@ type Metrics struct {
 	Latency *metrics.Summary
 	// QueueWait summarizes time spent queued before dispatch, seconds.
 	QueueWait *metrics.Summary
+	// ExecDType marks the engine's execution datatype: the active dtype's
+	// series is 1 ({dtype="int8"} after a -quantize int8 deployment).
+	ExecDType *metrics.GaugeVec
+	// WeightBytes gauges the model's parameter footprint in the execution
+	// datatype — the series the 4x int8 footprint drop shows up in.
+	WeightBytes *metrics.Gauge
+	// Int8Dispatches / FP32Dispatches gauge cumulative compute-kernel
+	// dispatches by datatype across the engine's replicas, refreshed on
+	// each /metrics scrape.
+	Int8Dispatches *metrics.Gauge
+	FP32Dispatches *metrics.Gauge
 }
 
 // NewMetrics builds the standard serving metric set on a fresh registry.
@@ -67,6 +78,12 @@ func NewMetrics() *Metrics {
 		BatchMax:      r.NewGauge("edgeserve_batch_size_max", "Largest batch dispatched since start."),
 		Latency:       r.NewSummary("edgeserve_request_seconds", "Total request latency in seconds (successful requests)."),
 		QueueWait:     r.NewSummary("edgeserve_queue_wait_seconds", "Time requests spent queued before dispatch."),
+		ExecDType:     r.NewGaugeVec("edgeserve_exec_dtype", "Execution datatype of the served model (active dtype is 1).", "dtype"),
+		WeightBytes:   r.NewGauge("edgeserve_model_weight_bytes", "Model parameter footprint in the execution datatype, bytes."),
+		Int8Dispatches: r.NewGauge("edgeserve_int8_kernel_dispatches",
+			"Cumulative conv/dense kernels dispatched on the int8 path across replicas."),
+		FP32Dispatches: r.NewGauge("edgeserve_fp32_kernel_dispatches",
+			"Cumulative conv/dense kernels dispatched on the FP32 path across replicas."),
 	}
 }
 
@@ -96,9 +113,19 @@ func New(eng *serving.Engine, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		shape: eng.InputShape(),
 	}
+	m.ExecDType.Set(eng.ExecDType(), 1)
+	m.WeightBytes.Set(float64(eng.WeightBytes()))
 	s.mux.HandleFunc("/infer", s.handleInfer)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.Handle("/metrics", m.Registry.Handler())
+	metricsHandler := m.Registry.Handler()
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Refresh the dispatch gauges from the engine at scrape time so
+		// the exported counts reflect kernels run since start.
+		i8, f32 := eng.DispatchCounts()
+		m.Int8Dispatches.SetMax(float64(i8))
+		m.FP32Dispatches.SetMax(float64(f32))
+		metricsHandler.ServeHTTP(w, r)
+	})
 	s.ready.Store(true)
 	return s
 }

@@ -213,6 +213,58 @@ func TestServerMetricsEndpoint(t *testing.T) {
 	if _, okq := series[`edgeserve_request_seconds{quantile="0.99"}`]; !okq {
 		t.Errorf("missing p99 quantile series:\n%s", raw)
 	}
+	if got := series[`edgeserve_exec_dtype{dtype="fp32"}`]; got != 1 {
+		t.Errorf(`exec_dtype{dtype="fp32"} = %v, want 1`, got)
+	}
+	if got := series["edgeserve_model_weight_bytes"]; got <= 0 {
+		t.Errorf("model_weight_bytes = %v, want > 0", got)
+	}
+	if got := series["edgeserve_fp32_kernel_dispatches"]; got < 1 {
+		t.Errorf("fp32_kernel_dispatches = %v, want >= 1", got)
+	}
+}
+
+// TestServerQuantizedMetrics boots the server on a QuantizeINT8 graph
+// and asserts /metrics shows the int8 deployment: the dtype series flips
+// to int8, the weight footprint drops 4x vs the FP32 twin, and the int8
+// kernel dispatch gauge moves with traffic.
+func TestServerQuantizedMetrics(t *testing.T) {
+	_, fp32Eng := buildEngine(t, 1)
+	fp32Bytes := fp32Eng.WeightBytes()
+	fp32Eng.Close()
+
+	g, _ := buildEngine(t, 1)
+	graph.QuantizeINT8(g)
+	eng, err := serving.NewEngine(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, _ := postInfer(t, ts.URL, server.InferRequest{Seed: int64(i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	raw, series, err := server.ScrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := series[`edgeserve_exec_dtype{dtype="int8"}`]; got != 1 {
+		t.Errorf(`exec_dtype{dtype="int8"} = %v, want 1; exposition:
+%s`, got, raw)
+	}
+	got := series["edgeserve_model_weight_bytes"]
+	if want := float64(fp32Bytes) / 4; got != want {
+		t.Errorf("model_weight_bytes = %v, want %v (4x drop from fp32 %d)", got, want, fp32Bytes)
+	}
+	if got := series["edgeserve_int8_kernel_dispatches"]; got < 1 {
+		t.Errorf("int8_kernel_dispatches = %v, want >= 1 after traffic", got)
+	}
 }
 
 // TestServerHealthzAndDrain pins the readiness lifecycle: 200 while

@@ -146,6 +146,56 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// ExecDType reports the execution datatype label of the engine's graph:
+// the dominant DType among weight-bearing nodes ("int8" after a
+// quantization pass, "fp32" by default). The serving metrics export it
+// so /metrics shows which path a deployment runs.
+func (e *Engine) ExecDType() string {
+	counts := map[tensor.DType]int{}
+	for _, n := range e.g.Nodes {
+		if n.WShape != nil {
+			counts[n.DType]++
+		}
+	}
+	best, bestCount := tensor.FP32, 0
+	for d, c := range counts {
+		if c > bestCount {
+			best, bestCount = d, c
+		}
+	}
+	return best.String()
+}
+
+// WeightBytes returns the graph's total parameter footprint in each
+// node's execution datatype — the number the 4x int8 footprint drop is
+// visible in.
+func (e *Engine) WeightBytes() int64 {
+	var total int64
+	for _, n := range e.g.Nodes {
+		total += n.WeightBytes()
+	}
+	return total
+}
+
+// DispatchCounts sums the executor dispatch counters (int8-path vs
+// FP32-path compute kernels) across all replicas currently parked in
+// the pool; quiesce the engine first for exact totals.
+func (e *Engine) DispatchCounts() (int8Kernels, fp32Kernels int64) {
+	n := len(e.replicas)
+	held := make([]*graph.Executor, 0, n)
+	for i := 0; i < n; i++ {
+		ex := <-e.replicas
+		i8, f32 := ex.DispatchCounts()
+		int8Kernels += i8
+		fp32Kernels += f32
+		held = append(held, ex)
+	}
+	for _, ex := range held {
+		e.replicas <- ex
+	}
+	return int8Kernels, fp32Kernels
+}
+
 // PoolStats sums the arena counters across all replicas currently parked
 // in the pool (callers should quiesce the engine first for exact totals).
 // After Close the pool is drained and the totals read zero.

@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func qnaive(dst []int32, a, b []int8, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for l := 0; l < k; l++ {
+				s += int32(a[i*k+l]) * int32(b[l*n+j])
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+func randQ(r *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(r.Intn(255) - 127)
+	}
+	return out
+}
+
+func TestQGEMMMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {4, 256, 9}, {17, 300, 33}, {64, 64, 64}, {2, 515, 2}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randQ(r, m*k), randQ(r, k*n)
+		want := make([]int32, m*n)
+		qnaive(want, a, b, m, k, n)
+		got := make([]int32, m*n)
+		QGEMMSerial(got, a, b, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dims %v: serial dst[%d] = %d, want %d", dims, i, got[i], want[i])
+			}
+		}
+		clear(got)
+		QGEMM(got, a, b, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dims %v: parallel dst[%d] = %d, want %d", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkQGEMM512(b *testing.B) {
+	const d = 512
+	r := rand.New(rand.NewSource(1))
+	a, bb := randQ(r, d*d), randQ(r, d*d)
+	dst := make([]int32, d*d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QGEMMSerial(dst, a, bb, d, d, d)
+	}
+}
+
+func BenchmarkGEMMFP32Blocked512(b *testing.B) {
+	const d = 512
+	a, bb := New(d, d), New(d, d)
+	for i := range a.Data {
+		a.Data[i] = float32(i%255) - 127
+		bb.Data[i] = float32((i*7)%255) - 127
+	}
+	dst := make([]float32, d*d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matmulBlockedRange(dst, a.Data, bb.Data, d, d, d, 0, d, nil)
+	}
+}

@@ -2,39 +2,170 @@ package tensor
 
 import "math"
 
-// QTensor is a symmetric INT8-quantized tensor: value ≈ Scale * int8.
+// QTensor is a symmetric INT8-quantized tensor: value ≈ scale * int8.
 // This is the representation TFLite/EdgeTPU and TensorRT INT8 modes use
-// for weights (per-tensor symmetric scheme).
+// for weights, and the format the executor's int8 kernels consume
+// directly. Scale is the per-tensor scale; Scales, when non-nil, holds
+// one scale per output channel (the tensor's first axis — TFLite's
+// per-axis convolution-weight scheme) and takes precedence.
 type QTensor struct {
-	Shape Shape
-	Data  []int8
-	Scale float32
+	Shape  Shape
+	Data   []int8
+	Scale  float32
+	Scales []float32
+}
+
+// ScaleFor returns the dequantization scale for output channel oc:
+// the per-channel scale when present, the per-tensor scale otherwise.
+func (q *QTensor) ScaleFor(oc int) float32 {
+	if q.Scales != nil {
+		return q.Scales[oc]
+	}
+	return q.Scale
+}
+
+// Clone returns a deep copy of q.
+func (q *QTensor) Clone() *QTensor {
+	if q == nil {
+		return nil
+	}
+	return &QTensor{
+		Shape:  q.Shape.Clone(),
+		Data:   append([]int8(nil), q.Data...),
+		Scale:  q.Scale,
+		Scales: append([]float32(nil), q.Scales...),
+	}
+}
+
+// quantClamp rounds v (already divided by the scale) to the nearest
+// int8 code in [-127, 127]. The symmetric scheme never emits -128: the
+// code range must mirror around zero so int8 GEMM accumulators and the
+// SWAR lane bias stay symmetric-safe, and so |code| * scale never
+// exceeds the calibrated maxabs. Every quantizer in this package funnels
+// through here; TestQuantClampSymmetricRange pins the edge.
+func quantClamp(v float64) int8 {
+	r := math.RoundToEven(v)
+	if r > 127 {
+		return 127
+	}
+	if r < -127 {
+		return -127
+	}
+	return int8(r)
+}
+
+// symmetricScale returns maxAbs/127, substituting 1 for the degenerate
+// all-zero case so dequantization never divides by zero.
+func symmetricScale(maxAbs float32) float32 {
+	scale := maxAbs / 127
+	if scale == 0 {
+		scale = 1
+	}
+	return scale
 }
 
 // QuantizeSymmetric quantizes t to INT8 with a per-tensor scale of
 // maxabs/127. An all-zero tensor quantizes with scale 1 to avoid a
 // degenerate zero scale.
 func QuantizeSymmetric(t *Tensor) *QTensor {
-	scale := t.MaxAbs() / 127
-	if scale == 0 {
-		scale = 1
-	}
+	scale := symmetricScale(t.MaxAbs())
 	q := &QTensor{Shape: t.Shape.Clone(), Data: make([]int8, len(t.Data)), Scale: scale}
+	inv := 1 / float64(scale)
 	for i, v := range t.Data {
-		r := math.RoundToEven(float64(v / scale))
-		if r > 127 {
-			r = 127
-		} else if r < -127 {
-			r = -127
-		}
-		q.Data[i] = int8(r)
+		q.Data[i] = quantClamp(float64(v) * inv)
 	}
 	return q
 }
 
-// Dequantize reconstructs a float32 tensor from q.
+// QuantizePerChannel quantizes a weight tensor to INT8 with one
+// symmetric scale per output channel (the tensor's first axis),
+// populating Scales. This is the weight format the per-channel int8
+// execution path consumes.
+func QuantizePerChannel(t *Tensor) *QTensor {
+	cout := t.Shape[0]
+	per := len(t.Data) / cout
+	q := &QTensor{
+		Shape:  t.Shape.Clone(),
+		Data:   make([]int8, len(t.Data)),
+		Scale:  1,
+		Scales: make([]float32, cout),
+	}
+	for oc := 0; oc < cout; oc++ {
+		seg := t.Data[oc*per : (oc+1)*per]
+		var maxAbs float32
+		for _, v := range seg {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		scale := symmetricScale(maxAbs)
+		q.Scales[oc] = scale
+		inv := 1 / float64(scale)
+		dst := q.Data[oc*per : (oc+1)*per]
+		for i, v := range seg {
+			dst[i] = quantClamp(float64(v) * inv)
+		}
+	}
+	return q
+}
+
+// QuantizeDynamicInto quantizes src per-tensor symmetric into dst
+// (same length, overwritten) and returns the scale — the runtime
+// activation quantization step of the int8 execution path. It is the
+// hot-path variant of QuantizeSymmetric: no allocation, float32 rounding.
+func QuantizeDynamicInto(dst []int8, src []float32) float32 {
+	var maxAbs float32
+	for _, v := range src {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	scale := symmetricScale(maxAbs)
+	inv := 1 / scale
+	for i, v := range src {
+		r := v * inv
+		// Round half away from zero: cheaper than RoundToEven and at most
+		// half an ulp of code difference on exact .5 ties, which dynamic
+		// activation scales essentially never produce.
+		if r >= 0 {
+			r += 0.5
+		} else {
+			r -= 0.5
+		}
+		n := int32(r)
+		if n > 127 {
+			n = 127
+		} else if n < -127 {
+			n = -127
+		}
+		dst[i] = int8(n)
+	}
+	return scale
+}
+
+// Dequantize reconstructs a float32 tensor from q, honouring per-channel
+// scales when present.
 func (q *QTensor) Dequantize() *Tensor {
 	t := &Tensor{Shape: q.Shape.Clone(), Data: make([]float32, len(q.Data))}
+	if q.Scales != nil {
+		cout := q.Shape[0]
+		per := len(q.Data) / cout
+		for oc := 0; oc < cout; oc++ {
+			s := q.Scales[oc]
+			src := q.Data[oc*per : (oc+1)*per]
+			dst := t.Data[oc*per : (oc+1)*per]
+			for i, v := range src {
+				dst[i] = float32(v) * s
+			}
+		}
+		return t
+	}
 	for i, v := range q.Data {
 		t.Data[i] = float32(v) * q.Scale
 	}
@@ -48,37 +179,8 @@ func (q *QTensor) Dequantize() *Tensor {
 // channels have very different magnitudes. It returns the reconstructed
 // tensor and the per-channel scales.
 func QuantizePerChannelRoundTrip(t *Tensor) (*Tensor, []float32) {
-	cout := t.Shape[0]
-	per := len(t.Data) / cout
-	out := t.Clone()
-	scales := make([]float32, cout)
-	for oc := 0; oc < cout; oc++ {
-		seg := out.Data[oc*per : (oc+1)*per]
-		var maxAbs float32
-		for _, v := range seg {
-			if v < 0 {
-				v = -v
-			}
-			if v > maxAbs {
-				maxAbs = v
-			}
-		}
-		scale := maxAbs / 127
-		if scale == 0 {
-			scale = 1
-		}
-		scales[oc] = scale
-		for i, v := range seg {
-			r := math.RoundToEven(float64(v / scale))
-			if r > 127 {
-				r = 127
-			} else if r < -127 {
-				r = -127
-			}
-			seg[i] = float32(r) * scale
-		}
-	}
-	return out, scales
+	q := QuantizePerChannel(t)
+	return q.Dequantize(), q.Scales
 }
 
 // RoundTripFP16 converts every element to IEEE-754 binary16 and back,

@@ -42,6 +42,39 @@ func TestQuantizeSaturation(t *testing.T) {
 	}
 }
 
+// TestQuantClampSymmetricRange pins the negative clip edge: the
+// symmetric scheme's code range is [-127, 127] and no quantizer may
+// emit -128 — the int8 kernels' SWAR lane bias and the documented
+// |code|*scale <= maxabs contract both depend on it. The adversarial
+// inputs steer float rounding toward the -128 boundary.
+func TestQuantClampSymmetricRange(t *testing.T) {
+	if got := quantClamp(-127.5); got != -127 {
+		t.Fatalf("quantClamp(-127.5) = %d, want -127", got)
+	}
+	if got := quantClamp(-1e9); got != -127 {
+		t.Fatalf("quantClamp(-1e9) = %d, want -127", got)
+	}
+	if got := quantClamp(1e9); got != 127 {
+		t.Fatalf("quantClamp(1e9) = %d, want 127", got)
+	}
+	adversarial := []float32{-1, -0.9999999, -127, -127.0001, -1e30, 1e-30, 0}
+	in := FromData(adversarial, len(adversarial))
+	for _, q := range []*QTensor{QuantizeSymmetric(in), QuantizePerChannel(FromData(adversarial, len(adversarial), 1))} {
+		for i, v := range q.Data {
+			if v == -128 {
+				t.Fatalf("code -128 emitted at %d for input %g", i, adversarial[i])
+			}
+		}
+	}
+	dyn := make([]int8, len(adversarial))
+	QuantizeDynamicInto(dyn, adversarial)
+	for i, v := range dyn {
+		if v == -128 {
+			t.Fatalf("dynamic code -128 emitted at %d for input %g", i, adversarial[i])
+		}
+	}
+}
+
 // Property: quantization error is bounded by half the scale for all inputs.
 func TestQuantizePropertyBound(t *testing.T) {
 	f := func(raw []float32) bool {

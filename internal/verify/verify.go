@@ -400,6 +400,22 @@ func (c *checker) checkParams() {
 		if n.Sparsity < 0 || n.Sparsity > 1 {
 			c.add("params", Error, n, "sparsity %v outside [0, 1]", n.Sparsity)
 		}
+		if q := n.QWeights; q != nil {
+			if n.WShape == nil {
+				c.add("params", Error, n, "int8 weights present but WShape is nil")
+			} else if !q.Shape.Equal(n.WShape) {
+				c.add("params", Error, n, "int8 weights shape %v, declared %v", q.Shape, n.WShape)
+			}
+			if len(q.Data) != q.Shape.NumElems() {
+				c.add("params", Error, n, "int8 weights hold %d values for shape %v", len(q.Data), q.Shape)
+			}
+			if q.Scales != nil && len(q.Shape) > 0 && len(q.Scales) != q.Shape[0] {
+				c.add("params", Error, n, "int8 per-channel scales length %d, want %d", len(q.Scales), q.Shape[0])
+			}
+			if n.Weights == nil {
+				c.add("params", Error, n, "int8 weights present without the dequantized FP32 shadow (FP32 fallback would fail)")
+			}
+		}
 	}
 }
 
