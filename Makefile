@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint race check cover bench reproduce sweep examples serve-smoke clean
+.PHONY: all build vet test lint analyze race check cover bench reproduce sweep examples serve-smoke clean
 
 all: build vet test
 
@@ -15,11 +15,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# Repo-specific static analysis (cmd/edgelint): float equality, Graph.Nodes
-# mutation outside internal/graph, panic in error-returning functions,
-# missing doc comments on IR-critical exports.
+# Repo-specific static analysis (cmd/edgelint): the registered analyzer
+# suite — float equality, Graph.Nodes mutation, panic in error-returning
+# functions, missing doc comments, plus the concurrency family
+# (atomic-mixed, mutex-infer, go-lifetime, wg-add, unchecked-error,
+# into-alias). `go run ./cmd/edgelint -rules` lists everything.
 lint:
 	$(GO) run ./cmd/edgelint ./...
+
+# The full static-analysis gate: go vet, every edgelint rule, and the
+# graph-IR dataflow verifiers over the whole model zoo (buffer-plan
+# aliasing proof + quant-domain discipline). Nonzero on any finding.
+analyze: vet lint
+	$(GO) run ./cmd/modelzoo -analyze
 
 # Full test suite under the race detector. This is the scheduler's
 # correctness gate: the engine-equivalence tests (internal/graph,
@@ -42,7 +50,7 @@ serve-smoke:
 		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke -quantize int8
 
 # The CI gate: everything that must be clean before a merge.
-check: build vet lint race serve-smoke
+check: build analyze race serve-smoke
 
 cover:
 	$(GO) test -cover ./...

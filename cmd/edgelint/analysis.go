@@ -1,0 +1,266 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one registered rule: a named check that runs over a
+// type-checked package through a shared Inspector. Analyzers register
+// themselves from package-level variables (rules.go, concurrency.go), so
+// adding a rule is one declaration — the driver, the CLI's -enable /
+// -disable flags, and the rule listing all pick it up from the registry.
+type Analyzer struct {
+	// Name is the stable rule ID findings and ignore directives use.
+	Name string
+	// Doc is the one-line description `-rules` prints.
+	Doc string
+	// Applies filters packages by import path; nil means every package.
+	Applies func(importPath string) bool
+	// Run performs the check, reporting through ctx.reportf.
+	Run func(ctx *Context)
+}
+
+// analyzers is the rule registry, in registration order.
+var analyzers []*Analyzer
+
+// register adds an analyzer to the registry; called from package-level
+// variable initializers only, so the registry is complete before main.
+func register(a *Analyzer) *Analyzer {
+	for _, b := range analyzers {
+		if b.Name == a.Name {
+			panic("edgelint: duplicate analyzer " + a.Name)
+		}
+	}
+	analyzers = append(analyzers, a)
+	return a
+}
+
+// analyzerNames returns every registered rule ID, sorted.
+func analyzerNames() []string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Inspector is the shared traversal over a package's files: the AST is
+// flattened once in preorder and indexed by concrete node type, so N
+// analyzers subscribing to node kinds cost one walk plus N index scans
+// instead of N full walks.
+type Inspector struct {
+	nodes  []ast.Node
+	byType map[reflect.Type][]int
+}
+
+func newInspector(files []*ast.File) *Inspector {
+	in := &Inspector{byType: map[reflect.Type][]int{}}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			t := reflect.TypeOf(n)
+			in.byType[t] = append(in.byType[t], len(in.nodes))
+			in.nodes = append(in.nodes, n)
+			return true
+		})
+	}
+	return in
+}
+
+// Preorder calls f for every node whose concrete type matches one of the
+// prototypes (e.g. (*ast.CallExpr)(nil)), in source order across the
+// package's files. With no prototypes it visits every node.
+func (in *Inspector) Preorder(prototypes []ast.Node, f func(ast.Node)) {
+	if len(prototypes) == 0 {
+		for _, n := range in.nodes {
+			f(n)
+		}
+		return
+	}
+	var idx []int
+	for _, p := range prototypes {
+		idx = append(idx, in.byType[reflect.TypeOf(p)]...)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		f(in.nodes[i])
+	}
+}
+
+// Context is one analyzer's view of one package: the type-checked
+// package, the shared inspector, and the reporting sink. Helper
+// accessors keep rule bodies free of p.info plumbing.
+type Context struct {
+	pkg      *pkg
+	insp     *Inspector
+	analyzer *Analyzer
+	findings []finding
+}
+
+// reportf records one finding at pos under the running analyzer's rule
+// ID.
+func (c *Context) reportf(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, finding{
+		pos:  c.pkg.fset.Position(pos),
+		rule: c.analyzer.Name,
+		msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// files returns the package's parsed files, for analyzers that need
+// declaration or comment structure rather than node streams.
+func (c *Context) files() []*ast.File { return c.pkg.files }
+
+// typeOf resolves an expression's type (nil when unknown).
+func (c *Context) typeOf(e ast.Expr) types.Type { return c.pkg.info.TypeOf(e) }
+
+// objectOf resolves an identifier's object via Uses then Defs.
+func (c *Context) objectOf(id *ast.Ident) types.Object {
+	if obj := c.pkg.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pkg.info.Defs[id]
+}
+
+// Preorder forwards to the shared inspector.
+func (c *Context) Preorder(prototypes []ast.Node, f func(ast.Node)) {
+	c.insp.Preorder(prototypes, f)
+}
+
+// lintPackage runs every registered analyzer over one type-checked
+// package — the all-rules entry point the self-lint test uses.
+func lintPackage(p *pkg) []finding { return lintPackageRules(p, nil) }
+
+// lintPackageRules runs the enabled analyzers (all when enabled is nil)
+// over one package, filters findings through edgelint:ignore directives,
+// and returns them sorted by position then rule.
+func lintPackageRules(p *pkg, enabled map[string]bool) []finding {
+	insp := newInspector(p.files)
+	var fs []finding
+	for _, a := range analyzers {
+		if enabled != nil && !enabled[a.Name] {
+			continue
+		}
+		if a.Applies != nil && !a.Applies(p.path) {
+			continue
+		}
+		ctx := &Context{pkg: p, insp: insp, analyzer: a}
+		a.Run(ctx)
+		fs = append(fs, ctx.findings...)
+	}
+	fs = filterIgnored(p, fs)
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.rule < b.rule
+	})
+	return fs
+}
+
+// ruleSet parses the -enable/-disable flag values into the enabled-rule
+// set (nil means all rules). Unknown rule names are an error so a typo
+// cannot silently disable a gate.
+func ruleSet(enable, disable string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	parse := func(list string) ([]string, error) {
+		if strings.TrimSpace(list) == "" {
+			return nil, nil
+		}
+		var out []string
+		for _, r := range strings.Split(list, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			if !known[r] {
+				return nil, fmt.Errorf("unknown rule %q (known: %s)", r, strings.Join(analyzerNames(), ", "))
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	if on == nil && off == nil {
+		return nil, nil
+	}
+	enabled := map[string]bool{}
+	if on == nil {
+		for name := range known {
+			enabled[name] = true
+		}
+	} else {
+		for _, r := range on {
+			enabled[r] = true
+		}
+	}
+	for _, r := range off {
+		delete(enabled, r)
+	}
+	return enabled, nil
+}
+
+// filterIgnored drops findings suppressed by an "edgelint:ignore <rule>"
+// comment on the finding's line or the line directly above it.
+func filterIgnored(p *pkg, fs []finding) []finding {
+	ignored := map[string]map[int]map[string]bool{} // file -> line -> rules
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimLeft(c.Text, "/* ")
+				rest, ok := strings.CutPrefix(text, "edgelint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.fset.Position(c.Pos())
+				m := ignored[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					ignored[pos.Filename] = m
+				}
+				for _, rule := range strings.Fields(rest) {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if m[line] == nil {
+							m[line] = map[string]bool{}
+						}
+						m[line][rule] = true
+					}
+				}
+			}
+		}
+	}
+	var out []finding
+	for _, f := range fs {
+		if ignored[f.pos.Filename][f.pos.Line][f.rule] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -380,7 +380,7 @@ func delegates(w http.ResponseWriter, r *http.Request) {
 }
 
 func static(w http.ResponseWriter, r *http.Request) {
-	w.Write([]byte("ok"))
+	_, _ = w.Write([]byte("ok"))
 }
 
 var litBad = func(w http.ResponseWriter, r *http.Request) {
@@ -390,4 +390,343 @@ var litBad = func(w http.ResponseWriter, r *http.Request) {
 func notHandler(a string, b int) { _ = a }
 `)
 	wantRules(t, lintPackage(p), "handler-ctx", "handler-ctx")
+}
+
+// TestAtomicMixed seeds the acceptance bug: a struct field bumped via
+// atomic.AddInt64 in one method and read plainly in another — the
+// DispatchCounts-style race the typed atomics exist to prevent.
+func TestAtomicMixed(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/counters", `package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) inc() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *stats) read() int64 { return s.hits }
+
+func (s *stats) atomicRead() int64 { return atomic.LoadInt64(&s.hits) }
+
+func (s *stats) plainOnly() int64 { s.misses++; return s.misses }
+
+var total int64
+
+func bump() { atomic.AddInt64(&total, 1) }
+
+func reset() { total = 0 }
+`)
+	wantRules(t, lintPackage(p), "atomic-mixed", "atomic-mixed")
+}
+
+// fakeServing is a stand-in engine for the mutex-infer rule (the real
+// docPackages set covers internal/serving, so the fakes carry docs).
+const fakeServing = `package serving
+
+// Engine is a fake.
+type Engine struct{}
+
+// Infer is a fake.
+func (e *Engine) Infer(x []float32) ([]float32, error) { return x, nil }
+`
+
+func TestMutexInfer(t *testing.T) {
+	e := newEnv(t)
+	e.add("edgebench/internal/serving", fakeServing)
+	p := e.add("example.com/m/muser", `package muser
+
+import (
+	"sync"
+
+	"edgebench/internal/serving"
+)
+
+type srv struct {
+	mu  sync.Mutex
+	eng *serving.Engine
+}
+
+func (s *srv) bad(x []float32) ([]float32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Infer(x)
+}
+
+func (s *srv) good(x []float32) ([]float32, error) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.eng.Infer(x)
+}
+`)
+	fs := lintPackage(p)
+	wantRules(t, fs, "mutex-infer")
+	if !strings.Contains(fs[0].msg, "s.mu") {
+		t.Fatalf("finding should name the held mutex: %s", fs[0].msg)
+	}
+}
+
+// TestGoLifetime pins the serving-stack goroutine rule: unplumbed
+// goroutines (literal or resolved same-package callee) are flagged,
+// while WaitGroup/done-channel/context plumbing passes.
+func TestGoLifetime(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("edgebench/internal/server", `package server
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (w *worker) start() {
+	w.wg.Add(1)
+	go w.loop()
+	go leak()
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+	go func() {
+		defer w.wg.Done()
+	}()
+	go handle(context.Background())
+}
+
+func (w *worker) loop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func leak() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func handle(ctx context.Context) { <-ctx.Done() }
+`)
+	wantRules(t, lintPackage(p), "go-lifetime", "go-lifetime")
+}
+
+// TestGoLifetimeScope proves the rule stays out of kernel packages:
+// the same unplumbed goroutine is legal outside the serving stack.
+func TestGoLifetimeScope(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/elsewhere", `package elsewhere
+
+func spawn() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+`)
+	for _, f := range lintPackage(p) {
+		if f.rule == "go-lifetime" {
+			t.Fatalf("go-lifetime fired outside the serving stack: %s", f.msg)
+		}
+	}
+}
+
+func TestWgAdd(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/wga", `package wga
+
+import "sync"
+
+func bad() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func good() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+`)
+	wantRules(t, lintPackage(p), "wg-add")
+}
+
+func TestUncheckedError(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/euser", `package euser
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+)
+
+func work() error { return errors.New("x") }
+
+func multi() (int, error) { return 0, nil }
+
+func drop() {
+	work()
+	multi()
+	_ = work()
+	if err := work(); err != nil {
+		_ = err
+	}
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "x")
+	var b bytes.Buffer
+	b.WriteString("x")
+	defer work()
+	go work()
+}
+`)
+	wantRules(t, lintPackage(p), "unchecked-error", "unchecked-error")
+}
+
+// fakeTensorInto is a stand-in kernel surface for the into-alias rule.
+const fakeTensorInto = `package tensor
+
+// Tensor is a fake.
+type Tensor struct{ Data []float32 }
+
+// AddInto is a fake.
+func AddInto(dst, a, b *Tensor) {}
+
+// DenseInto is a fake.
+func DenseInto(dst []float32, w *Tensor, bias, x []float32) {}
+`
+
+func TestIntoAlias(t *testing.T) {
+	e := newEnv(t)
+	e.add(tensorPkg, fakeTensorInto)
+	p := e.add("example.com/m/iuser", `package iuser
+
+import "edgebench/internal/tensor"
+
+func bad(t, u *tensor.Tensor) { tensor.AddInto(t, t, u) }
+
+func badField(t *tensor.Tensor, w *tensor.Tensor) {
+	tensor.DenseInto(t.Data, w, nil, t.Data)
+}
+
+func ok(d, a, b *tensor.Tensor) { tensor.AddInto(d, a, b) }
+
+func unprovable(ts []*tensor.Tensor) { tensor.AddInto(ts[0], ts[0], ts[1]) }
+`)
+	wantRules(t, lintPackage(p), "into-alias", "into-alias")
+}
+
+// TestRuleSelection pins the -enable/-disable plumbing: the enabled set
+// filters analyzers, and unknown names are rejected loudly.
+func TestRuleSelection(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/sel", `package sel
+
+import "errors"
+
+func work() error { return errors.New("x") }
+
+func f(a, b float64) bool {
+	work()
+	return a == b
+}
+`)
+	wantRules(t, lintPackage(p), "unchecked-error", "float-eq")
+
+	only, err := ruleSet("float-eq", "")
+	if err != nil {
+		t.Fatalf("ruleSet(enable): %v", err)
+	}
+	wantRules(t, lintPackageRules(p, only), "float-eq")
+
+	without, err := ruleSet("", "float-eq")
+	if err != nil {
+		t.Fatalf("ruleSet(disable): %v", err)
+	}
+	wantRules(t, lintPackageRules(p, without), "unchecked-error")
+
+	if _, err := ruleSet("no-such-rule", ""); err == nil {
+		t.Fatal("unknown rule name must be rejected")
+	}
+	if _, err := ruleSet("", "float-eq, no-such-rule"); err == nil {
+		t.Fatal("unknown rule name in -disable must be rejected")
+	}
+}
+
+// TestRenderJSON is the golden test for -json output: stable field
+// names, root-relative paths, findings already filtered through ignore
+// directives, and an empty array (not null) when clean.
+func TestRenderJSON(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("example.com/m/jsonpkg", `package jsonpkg
+
+func cmp(a, b float64) bool { return a == b }
+
+func ignored(a, b float64) bool { return a == b } // edgelint:ignore float-eq
+`)
+	got, err := renderJSON(lintPackage(p), ".")
+	if err != nil {
+		t.Fatalf("renderJSON: %v", err)
+	}
+	want := `[
+  {
+    "file": "example.com_m_jsonpkg.go",
+    "line": 3,
+    "col": 40,
+    "rule": "float-eq",
+    "msg": "== on floating-point operands; compare with a tolerance"
+  }
+]`
+	if string(got) != want {
+		t.Fatalf("JSON output drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	empty, err := renderJSON(nil, ".")
+	if err != nil {
+		t.Fatalf("renderJSON(empty): %v", err)
+	}
+	if string(empty) != "[]" {
+		t.Fatalf("empty findings must render as [], got %s", empty)
+	}
+}
+
+// TestRegistry pins that every documented rule is registered exactly
+// once (register panics on duplicates at init, so reaching here means
+// names are unique).
+func TestRegistry(t *testing.T) {
+	want := []string{
+		"atomic-mixed", "exported-doc", "fake-quant", "float-eq",
+		"go-lifetime", "handler-ctx", "into-alias", "mutex-infer",
+		"nodes-mut", "panic-in-err", "pool-alloc", "unchecked-error",
+		"wg-add",
+	}
+	got := analyzerNames()
+	if len(got) != len(want) {
+		t.Fatalf("registered rules %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rule %d = %s, want %s", i, got[i], want[i])
+		}
+	}
 }

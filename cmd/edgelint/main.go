@@ -1,34 +1,46 @@
 // Command edgelint is the repo's custom static analyzer: a stdlib-only
-// (go/ast + go/types, no external dependencies) source checker enforcing
+// (go/ast + go/types, no external dependencies) suite of registered
+// analyzers running over a shared type-checked inspector, enforcing
 // invariants gofmt and go vet cannot see because they are specific to
-// this codebase. Findings print as "file:line: rule: message" and any
-// finding exits nonzero, so `make lint` gates CI.
+// this codebase. Findings print as "file:line: rule: message" (or JSON
+// with -json) and any finding exits nonzero, so `make lint` gates CI.
 //
-// Rules (see rules.go for the implementations):
+// The rule registry (analysis.go holds the framework, rules.go the
+// structural rules, concurrency.go the concurrency family):
 //
-//	float-eq     no ==/!= on float32/float64 expressions outside
-//	             *_test.go — latency and FLOP accounting are floats, and
-//	             exact comparison is how calibration drift sneaks in
-//	             (comparison against constant zero is exempt: it is
-//	             exactly representable and guards division)
-//	nodes-mut    no direct graph.Graph.Nodes mutation outside
-//	             internal/graph — everyone else goes through
-//	             Graph.Add/Append so IDs, ordering, and freeze
-//	             discipline stay intact
-//	panic-in-err a function that returns error must not call panic —
-//	             it promised its caller a recoverable failure path
-//	handler-ctx  an HTTP handler that reads the request must consult
-//	             r.Context() (or delegate r onward) — a handler that
-//	             ignores cancellation keeps burning an inference slot
-//	             after the client hung up
-//	fake-quant   no QuantizeSymmetric(x).Dequantize() (or per-channel)
-//	             call chains outside *_test.go — the round-trip discards
-//	             the int8 codes, so the node can never reach the real
-//	             int8 kernels; keep the QTensor and derive the FP32
-//	             shadow from it
-//	exported-doc exported declarations in the IR-critical packages
-//	             (internal/graph, internal/tensor, internal/verify)
-//	             must carry doc comments
+//	float-eq        no ==/!= on float32/float64 expressions outside
+//	                *_test.go — latency and FLOP accounting are floats,
+//	                and exact comparison is how calibration drift sneaks
+//	                in (constant-zero comparison is exempt)
+//	nodes-mut       no direct graph.Graph.Nodes mutation outside
+//	                internal/graph — everyone else goes through
+//	                Graph.Add/Append so IDs, ordering, and freeze
+//	                discipline stay intact
+//	pool-alloc      no direct tensor.New inside internal/graph; eval
+//	                paths allocate through the pool-aware allocator
+//	panic-in-err    a function that returns error must not call panic —
+//	                it promised its caller a recoverable failure path
+//	handler-ctx     an HTTP handler that reads the request must consult
+//	                r.Context() (or delegate r onward)
+//	fake-quant      no Quantize*(x).Dequantize() call chains outside
+//	                *_test.go — the round-trip discards the int8 codes
+//	exported-doc    exported declarations in the IR-critical and serving
+//	                packages must carry doc comments
+//	atomic-mixed    no plain access to a variable elsewhere accessed via
+//	                sync/atomic free functions — that mix is a data race
+//	mutex-infer     no Infer/Run or tensor kernel calls while holding a
+//	                mutex; a forward pass under a lock serializes every
+//	                request goroutine
+//	go-lifetime     goroutines in internal/server and internal/serving
+//	                need lifecycle plumbing (ctx, done channel, or
+//	                WaitGroup) so shutdown can cancel or await them
+//	wg-add          WaitGroup.Add goes before the go statement, never
+//	                inside the spawned goroutine
+//	unchecked-error no statement-position call may silently drop an
+//	                error result (fmt print family and never-failing
+//	                writers exempt; assign to _ to show intent)
+//	into-alias      tensor *Into kernels must not receive a dst that
+//	                provably aliases a source argument
 //
 // A finding can be suppressed with a trailing or preceding
 // "// edgelint:ignore <rule>" comment; use sparingly and say why.
@@ -36,7 +48,10 @@
 // Usage:
 //
 //	go run ./cmd/edgelint ./...
-//	go run ./cmd/edgelint ./internal/graph ./internal/tensor
+//	go run ./cmd/edgelint -json ./internal/graph
+//	go run ./cmd/edgelint -disable exported-doc ./...
+//	go run ./cmd/edgelint -enable atomic-mixed,mutex-infer ./...
+//	go run ./cmd/edgelint -rules
 //
 // The analyzer always loads the whole module (a package cannot be
 // type-checked without its dependencies) and reports findings only for
@@ -44,6 +59,8 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -58,7 +75,29 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array instead of text")
+		enable  = flag.String("enable", "", "comma-separated rules to run (default: all)")
+		disable = flag.String("disable", "", "comma-separated rules to skip")
+		list    = flag.Bool("rules", false, "list registered rules and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range analyzerNames() {
+			for _, a := range analyzers {
+				if a.Name == name {
+					fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+				}
+			}
+		}
+		return
+	}
+	enabled, err := ruleSet(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgelint:", err)
+		os.Exit(2)
+	}
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -77,7 +116,7 @@ func main() {
 		if !selected(p.dir, root, args) {
 			continue
 		}
-		findings = append(findings, lintPackage(p)...)
+		findings = append(findings, lintPackageRules(p, enabled)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].pos, findings[j].pos
@@ -86,16 +125,56 @@ func main() {
 		}
 		return a.Line < b.Line
 	})
-	for _, f := range findings {
-		name, err := filepath.Rel(root, f.pos.Filename)
+	if *jsonOut {
+		data, err := renderJSON(findings, root)
 		if err != nil {
-			name = f.pos.Filename
+			fmt.Fprintln(os.Stderr, "edgelint:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d: %s: %s\n", name, f.pos.Line, f.rule, f.msg)
+		fmt.Println(string(data))
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d: %s: %s\n", relPath(root, f.pos.Filename), f.pos.Line, f.rule, f.msg)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// relPath shortens an absolute finding path to be module-root relative
+// when possible.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// jsonFinding is the machine-readable finding shape the -json flag
+// emits; the field set is the stable contract CI tooling parses.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// renderJSON marshals findings (root-relative paths, indented, and an
+// empty array rather than null for zero findings) for -json output.
+func renderJSON(findings []finding, root string) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: relPath(root, f.pos.Filename),
+			Line: f.pos.Line,
+			Col:  f.pos.Column,
+			Rule: f.rule,
+			Msg:  f.msg,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns

@@ -1,12 +1,10 @@
 package main
 
 import (
-	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // graphPkg is the only package allowed to mutate Graph.Nodes directly.
@@ -16,12 +14,15 @@ const graphPkg = "edgebench/internal/graph"
 // guards against inside the executor.
 const tensorPkg = "edgebench/internal/tensor"
 
-// docPackages are the IR-critical packages whose exported declarations
-// must carry doc comments (the exported-doc rule).
+// docPackages are the packages whose exported declarations must carry
+// doc comments (the exported-doc rule): the IR-critical substrate plus
+// the serving stack, whose API is what operators script against.
 var docPackages = map[string]bool{
-	"edgebench/internal/graph":  true,
-	"edgebench/internal/tensor": true,
-	"edgebench/internal/verify": true,
+	"edgebench/internal/graph":   true,
+	"edgebench/internal/tensor":  true,
+	"edgebench/internal/verify":  true,
+	"edgebench/internal/serving": true,
+	"edgebench/internal/server":  true,
 }
 
 // finding is one rule violation at a source position.
@@ -31,55 +32,31 @@ type finding struct {
 	msg  string
 }
 
-// lintPackage runs every rule over one type-checked package and filters
-// the findings through edgelint:ignore directives.
-func lintPackage(p *pkg) []finding {
-	var fs []finding
-	for _, f := range p.files {
-		fs = append(fs, checkFloatEq(p, f)...)
-		if p.path != graphPkg {
-			fs = append(fs, checkNodesMut(p, f)...)
-		} else {
-			fs = append(fs, checkPoolAlloc(p, f)...)
-		}
-		fs = append(fs, checkPanicInErr(p, f)...)
-		fs = append(fs, checkHandlerCtx(p, f)...)
-		fs = append(fs, checkFakeQuant(p, f)...)
-		if docPackages[p.path] {
-			fs = append(fs, checkExportedDoc(p, f)...)
-		}
-	}
-	return filterIgnored(p, fs)
-}
-
-// checkFloatEq flags == and != between floating-point operands. Exact
+// floatEqAnalyzer flags == and != between floating-point operands. Exact
 // float comparison is how calibration drift and quantization error sneak
 // past review; compare against a tolerance instead. Two carve-outs:
 // comparison against constant zero is exempt (zero is exactly
 // representable, and `x == 0` division guards / sparse skips are
 // idiomatic), and test files are not parsed at all, so golden-value
 // assertions stay legal.
-func checkFloatEq(p *pkg, f *ast.File) []finding {
-	var fs []finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		be, ok := n.(*ast.BinaryExpr)
-		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-			return true
-		}
-		if isConstZero(p, be.X) || isConstZero(p, be.Y) {
-			return true
-		}
-		if isFloat(p.info.TypeOf(be.X)) || isFloat(p.info.TypeOf(be.Y)) {
-			fs = append(fs, finding{
-				pos:  p.fset.Position(be.OpPos),
-				rule: "float-eq",
-				msg:  fmt.Sprintf("%s on floating-point operands; compare with a tolerance", be.Op),
-			})
-		}
-		return true
-	})
-	return fs
-}
+var floatEqAnalyzer = register(&Analyzer{
+	Name: "float-eq",
+	Doc:  "no ==/!= on floating-point operands; compare with a tolerance",
+	Run: func(ctx *Context) {
+		ctx.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+			be := n.(*ast.BinaryExpr)
+			if be.Op != token.EQL && be.Op != token.NEQ {
+				return
+			}
+			if isConstZero(ctx.pkg, be.X) || isConstZero(ctx.pkg, be.Y) {
+				return
+			}
+			if isFloat(ctx.typeOf(be.X)) || isFloat(ctx.typeOf(be.Y)) {
+				ctx.reportf(be.OpPos, "%s on floating-point operands; compare with a tolerance", be.Op)
+			}
+		})
+	},
+})
 
 // isConstZero reports whether e is a compile-time constant equal to
 // zero.
@@ -103,35 +80,30 @@ func isFloat(t types.Type) bool {
 	return ok && b.Info()&types.IsFloat != 0
 }
 
-// checkNodesMut flags assignments through graph.Graph.Nodes outside
+// nodesMutAnalyzer flags assignments through graph.Graph.Nodes outside
 // internal/graph: appending, replacing, or writing elements of the node
 // list bypasses Add/Append and breaks ID uniqueness, topological
 // ordering, and freeze discipline.
-func checkNodesMut(p *pkg, f *ast.File) []finding {
-	var fs []finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for _, lhs := range as.Lhs {
-			sel, ok := baseExpr(lhs).(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Nodes" {
-				continue
+var nodesMutAnalyzer = register(&Analyzer{
+	Name:    "nodes-mut",
+	Doc:     "no direct graph.Graph.Nodes mutation outside internal/graph",
+	Applies: func(path string) bool { return path != graphPkg },
+	Run: func(ctx *Context) {
+		ctx.Preorder([]ast.Node{(*ast.AssignStmt)(nil)}, func(n ast.Node) {
+			as := n.(*ast.AssignStmt)
+			for _, lhs := range as.Lhs {
+				sel, ok := baseExpr(lhs).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Nodes" {
+					continue
+				}
+				if !isGraphType(ctx.typeOf(sel.X)) {
+					continue
+				}
+				ctx.reportf(sel.Pos(), "direct graph.Graph.Nodes mutation outside internal/graph; use Graph.Add or Graph.Append")
 			}
-			if !isGraphType(p.info.TypeOf(sel.X)) {
-				continue
-			}
-			fs = append(fs, finding{
-				pos:  p.fset.Position(sel.Pos()),
-				rule: "nodes-mut",
-				msg:  "direct graph.Graph.Nodes mutation outside internal/graph; use Graph.Add or Graph.Append",
-			})
-		}
-		return true
-	})
-	return fs
-}
+		})
+	},
+})
 
 // baseExpr unwraps parens, indexing, slicing, and derefs down to the
 // expression being assigned through.
@@ -167,40 +139,35 @@ func isGraphType(t types.Type) bool {
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == graphPkg && obj.Name() == "Graph"
 }
 
-// checkPoolAlloc flags direct tensor.New calls inside internal/graph:
+// poolAllocAnalyzer flags direct tensor.New calls inside internal/graph:
 // executor eval paths must obtain output buffers through the run state's
 // pool-aware allocator so the static-graph planner's arena keeps being
 // reused. A new op wired up with tensor.New would silently regress
 // steady-state allocation behaviour; the single legitimate non-planned
 // fallback carries an edgelint:ignore directive.
-func checkPoolAlloc(p *pkg, f *ast.File) []finding {
-	var fs []finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "New" {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		pn, ok := p.info.Uses[id].(*types.PkgName)
-		if !ok || pn.Imported().Path() != tensorPkg {
-			return true
-		}
-		fs = append(fs, finding{
-			pos:  p.fset.Position(call.Pos()),
-			rule: "pool-alloc",
-			msg:  "tensor.New inside internal/graph; allocate through the executor's pool-aware alloc so planned buffers are reused",
+var poolAllocAnalyzer = register(&Analyzer{
+	Name:    "pool-alloc",
+	Doc:     "no direct tensor.New inside internal/graph; use the pool-aware allocator",
+	Applies: func(path string) bool { return path == graphPkg },
+	Run: func(ctx *Context) {
+		ctx.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+			call := n.(*ast.CallExpr)
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "New" {
+				return
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return
+			}
+			pn, ok := ctx.pkg.info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != tensorPkg {
+				return
+			}
+			ctx.reportf(call.Pos(), "tensor.New inside internal/graph; allocate through the executor's pool-aware alloc so planned buffers are reused")
 		})
-		return true
-	})
-	return fs
-}
+	},
+})
 
 // quantRoundTripFns are the tensor-package quantizers whose result the
 // fake-quant rule watches for an immediate Dequantize.
@@ -209,7 +176,7 @@ var quantRoundTripFns = map[string]bool{
 	"QuantizePerChannel": true,
 }
 
-// checkFakeQuant flags QuantizeSymmetric(x).Dequantize() (and the
+// fakeQuantAnalyzer flags QuantizeSymmetric(x).Dequantize() (and the
 // per-channel variant) call chains: quantizing and immediately
 // dequantizing simulates int8 error but throws the int8 codes away, so
 // the node can never reach the real int8 kernels. Now that the runtime
@@ -217,35 +184,28 @@ var quantRoundTripFns = map[string]bool{
 // variable, hand it to the executor as QWeights, and derive the FP32
 // shadow from that binding. Test files are not parsed, so accuracy
 // tests may still round-trip freely.
-func checkFakeQuant(p *pkg, f *ast.File) []finding {
-	var fs []finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Dequantize" {
-			return true
-		}
-		inner, ok := sel.X.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		name, obj := calleeObject(p, inner.Fun)
-		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != tensorPkg || !quantRoundTripFns[name] {
-			return true
-		}
-		fs = append(fs, finding{
-			pos:  p.fset.Position(call.Pos()),
-			rule: "fake-quant",
-			msg: fmt.Sprintf("%s(...).Dequantize() discards the int8 codes; keep the QTensor so the runtime can execute real int8 kernels",
-				name),
+var fakeQuantAnalyzer = register(&Analyzer{
+	Name: "fake-quant",
+	Doc:  "no Quantize*(x).Dequantize() round-trips; keep the QTensor",
+	Run: func(ctx *Context) {
+		ctx.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+			call := n.(*ast.CallExpr)
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Dequantize" {
+				return
+			}
+			inner, ok := sel.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			name, obj := calleeObject(ctx.pkg, inner.Fun)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != tensorPkg || !quantRoundTripFns[name] {
+				return
+			}
+			ctx.reportf(call.Pos(), "%s(...).Dequantize() discards the int8 codes; keep the QTensor so the runtime can execute real int8 kernels", name)
 		})
-		return true
-	})
-	return fs
-}
+	},
+})
 
 // calleeObject resolves a call's callee expression to its name and
 // types.Object (nil when the callee is not a plain function reference).
@@ -259,45 +219,43 @@ func calleeObject(p *pkg, fun ast.Expr) (string, types.Object) {
 	return "", nil
 }
 
-// checkPanicInErr flags direct panic calls inside functions whose
+// panicInErrAnalyzer flags direct panic calls inside functions whose
 // signature returns error: the signature promised callers a recoverable
 // failure path, so deliver the failure through it. Function literals are
 // skipped — deferred recover helpers and intentionally-fatal callbacks
 // are their own scope.
-func checkPanicInErr(p *pkg, f *ast.File) []finding {
-	var fs []finding
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil || !returnsError(p, fd) {
-			continue
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if _, ok := n.(*ast.FuncLit); ok {
-				return false
+var panicInErrAnalyzer = register(&Analyzer{
+	Name: "panic-in-err",
+	Doc:  "a function that returns error must not call panic",
+	Run: func(ctx *Context) {
+		ctx.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+			fd := n.(*ast.FuncDecl)
+			if fd.Body == nil || !returnsError(ctx.pkg, fd) {
+				return
 			}
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			id, ok := call.Fun.(*ast.Ident)
-			if !ok || id.Name != "panic" {
-				return true
-			}
-			if obj, ok := p.info.Uses[id]; ok {
-				if _, builtin := obj.(*types.Builtin); !builtin {
-					return true // a local function shadowing the builtin
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
 				}
-			}
-			fs = append(fs, finding{
-				pos:  p.fset.Position(call.Pos()),
-				rule: "panic-in-err",
-				msg:  fmt.Sprintf("%s returns error but panics; return the error instead", fd.Name.Name),
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if obj, ok := ctx.pkg.info.Uses[id]; ok {
+					if _, builtin := obj.(*types.Builtin); !builtin {
+						return true // a local function shadowing the builtin
+					}
+				}
+				ctx.reportf(call.Pos(), "%s returns error but panics; return the error instead", fd.Name.Name)
+				return true
 			})
-			return true
 		})
-	}
-	return fs
-}
+	},
+})
 
 func returnsError(p *pkg, fd *ast.FuncDecl) bool {
 	if fd.Type.Results == nil {
@@ -315,8 +273,8 @@ func returnsError(p *pkg, fd *ast.FuncDecl) bool {
 // httpPkg anchors the handler-ctx rule's type checks.
 const httpPkg = "net/http"
 
-// checkHandlerCtx flags HTTP handlers — functions or literals with the
-// func(http.ResponseWriter, *http.Request) signature — that do
+// handlerCtxAnalyzer flags HTTP handlers — functions or literals with
+// the func(http.ResponseWriter, *http.Request) signature — that do
 // per-request work (they read the request) but never consult
 // r.Context() and never delegate r to another handler. Such a handler
 // keeps serving after the client hung up or its deadline passed, which
@@ -324,66 +282,64 @@ const httpPkg = "net/http"
 // nobody will read. Handlers that never touch the request at all
 // (static responders like /healthz) are exempt: they have no work to
 // cancel.
-func checkHandlerCtx(p *pkg, f *ast.File) []finding {
-	var fs []finding
-	check := func(ft *ast.FuncType, body *ast.BlockStmt, what string, pos token.Pos) {
-		if body == nil || ft.Params == nil || len(ft.Params.List) != 2 {
-			return
-		}
-		wField, rField := ft.Params.List[0], ft.Params.List[1]
-		if len(wField.Names) != 1 || len(rField.Names) != 1 {
-			return // combined or anonymous params: not the handler idiom
-		}
-		if !isResponseWriter(p.info.TypeOf(wField.Type)) || !isRequestPtr(p.info.TypeOf(rField.Type)) {
-			return
-		}
-		reqObj := p.info.Defs[rField.Names[0]]
-		if reqObj == nil {
-			return // blank request param: nothing to misuse
-		}
-		isReq := func(e ast.Expr) bool {
-			id, ok := e.(*ast.Ident)
-			return ok && p.info.Uses[id] == reqObj
-		}
-		var usesReq, hasCtx, delegates bool
-		ast.Inspect(body, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.Ident:
-				if p.info.Uses[x] == reqObj {
-					usesReq = true
-				}
-			case *ast.SelectorExpr:
-				if x.Sel.Name == "Context" && isReq(x.X) {
-					hasCtx = true
-				}
-			case *ast.CallExpr:
-				for _, arg := range x.Args {
-					if isReq(arg) {
-						delegates = true
+var handlerCtxAnalyzer = register(&Analyzer{
+	Name: "handler-ctx",
+	Doc:  "HTTP handlers that read the request must consult r.Context()",
+	Run: func(ctx *Context) {
+		p := ctx.pkg
+		check := func(ft *ast.FuncType, body *ast.BlockStmt, what string, pos token.Pos) {
+			if body == nil || ft.Params == nil || len(ft.Params.List) != 2 {
+				return
+			}
+			wField, rField := ft.Params.List[0], ft.Params.List[1]
+			if len(wField.Names) != 1 || len(rField.Names) != 1 {
+				return // combined or anonymous params: not the handler idiom
+			}
+			if !isResponseWriter(p.info.TypeOf(wField.Type)) || !isRequestPtr(p.info.TypeOf(rField.Type)) {
+				return
+			}
+			reqObj := p.info.Defs[rField.Names[0]]
+			if reqObj == nil {
+				return // blank request param: nothing to misuse
+			}
+			isReq := func(e ast.Expr) bool {
+				id, ok := e.(*ast.Ident)
+				return ok && p.info.Uses[id] == reqObj
+			}
+			var usesReq, hasCtx, delegates bool
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.Ident:
+					if p.info.Uses[x] == reqObj {
+						usesReq = true
+					}
+				case *ast.SelectorExpr:
+					if x.Sel.Name == "Context" && isReq(x.X) {
+						hasCtx = true
+					}
+				case *ast.CallExpr:
+					for _, arg := range x.Args {
+						if isReq(arg) {
+							delegates = true
+						}
 					}
 				}
-			}
-			return true
-		})
-		if usesReq && !hasCtx && !delegates {
-			fs = append(fs, finding{
-				pos:  p.fset.Position(pos),
-				rule: "handler-ctx",
-				msg:  fmt.Sprintf("%s reads the request but ignores r.Context(); propagate cancellation (or delegate r)", what),
+				return true
 			})
+			if usesReq && !hasCtx && !delegates {
+				ctx.reportf(pos, "%s reads the request but ignores r.Context(); propagate cancellation (or delegate r)", what)
+			}
 		}
-	}
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch d := n.(type) {
-		case *ast.FuncDecl:
-			check(d.Type, d.Body, "handler "+d.Name.Name, d.Name.Pos())
-		case *ast.FuncLit:
-			check(d.Type, d.Body, "handler literal", d.Pos())
-		}
-		return true
-	})
-	return fs
-}
+		ctx.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				check(d.Type, d.Body, "handler "+d.Name.Name, d.Name.Pos())
+			case *ast.FuncLit:
+				check(d.Type, d.Body, "handler literal", d.Pos())
+			}
+		})
+	},
+})
 
 // isResponseWriter reports whether t is net/http.ResponseWriter.
 func isResponseWriter(t types.Type) bool {
@@ -409,53 +365,55 @@ func isRequestPtr(t types.Type) bool {
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == httpPkg && obj.Name() == "Request"
 }
 
-// checkExportedDoc flags exported top-level declarations without doc
-// comments in the IR-critical packages: the graph IR and tensor kernels
-// are the substrate every experiment trusts, so their contracts must be
+// exportedDocAnalyzer flags exported top-level declarations without doc
+// comments in the doc-mandatory packages: the graph IR and tensor
+// kernels are the substrate every experiment trusts, and the serving
+// stack is the API operators script against, so their contracts must be
 // written down. A doc comment on a const/var/type block covers the whole
 // block.
-func checkExportedDoc(p *pkg, f *ast.File) []finding {
-	var fs []finding
-	undocumented := func(name *ast.Ident, doc *ast.CommentGroup, kind string) {
-		if !name.IsExported() || doc != nil {
-			return
-		}
-		fs = append(fs, finding{
-			pos:  p.fset.Position(name.Pos()),
-			rule: "exported-doc",
-			msg:  fmt.Sprintf("exported %s %s has no doc comment", kind, name.Name),
-		})
-	}
-	for _, decl := range f.Decls {
-		switch d := decl.(type) {
-		case *ast.FuncDecl:
-			if d.Recv != nil && !exportedReceiver(d.Recv) {
-				continue // method on an unexported type: not API surface
+var exportedDocAnalyzer = register(&Analyzer{
+	Name:    "exported-doc",
+	Doc:     "exported declarations in IR-critical and serving packages need doc comments",
+	Applies: func(path string) bool { return docPackages[path] },
+	Run: func(ctx *Context) {
+		undocumented := func(name *ast.Ident, doc *ast.CommentGroup, kind string) {
+			if !name.IsExported() || doc != nil {
+				return
 			}
-			undocumented(d.Name, d.Doc, "function")
-		case *ast.GenDecl:
-			for _, spec := range d.Specs {
-				switch s := spec.(type) {
-				case *ast.TypeSpec:
-					doc := s.Doc
-					if doc == nil {
-						doc = d.Doc
+			ctx.reportf(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+		}
+		for _, f := range ctx.files() {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv != nil && !exportedReceiver(d.Recv) {
+						continue // method on an unexported type: not API surface
 					}
-					undocumented(s.Name, doc, "type")
-				case *ast.ValueSpec:
-					doc := s.Doc
-					if doc == nil {
-						doc = d.Doc
-					}
-					for _, name := range s.Names {
-						undocumented(name, doc, "value")
+					undocumented(d.Name, d.Doc, "function")
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							doc := s.Doc
+							if doc == nil {
+								doc = d.Doc
+							}
+							undocumented(s.Name, doc, "type")
+						case *ast.ValueSpec:
+							doc := s.Doc
+							if doc == nil {
+								doc = d.Doc
+							}
+							for _, name := range s.Names {
+								undocumented(name, doc, "value")
+							}
+						}
 					}
 				}
 			}
 		}
-	}
-	return fs
-}
+	},
+})
 
 // exportedReceiver reports whether a method's receiver names an exported
 // type.
@@ -476,43 +434,4 @@ func exportedReceiver(recv *ast.FieldList) bool {
 			return false
 		}
 	}
-}
-
-// filterIgnored drops findings suppressed by an "edgelint:ignore <rule>"
-// comment on the finding's line or the line directly above it.
-func filterIgnored(p *pkg, fs []finding) []finding {
-	ignored := map[string]map[int]map[string]bool{} // file -> line -> rules
-	for _, f := range p.files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimLeft(c.Text, "/* ")
-				rest, ok := strings.CutPrefix(text, "edgelint:ignore")
-				if !ok {
-					continue
-				}
-				pos := p.fset.Position(c.Pos())
-				m := ignored[pos.Filename]
-				if m == nil {
-					m = map[int]map[string]bool{}
-					ignored[pos.Filename] = m
-				}
-				for _, rule := range strings.Fields(rest) {
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if m[line] == nil {
-							m[line] = map[string]bool{}
-						}
-						m[line][rule] = true
-					}
-				}
-			}
-		}
-	}
-	var out []finding
-	for _, f := range fs {
-		if ignored[f.pos.Filename][f.pos.Line][f.rule] {
-			continue
-		}
-		out = append(out, f)
-	}
-	return out
 }

@@ -1,5 +1,12 @@
 // Command modelzoo prints the Table I model inventory with measured
 // FLOP/parameter totals and the Figure 1 compute-intensity ordering.
+//
+// With -analyze it instead runs the static dataflow verifiers over
+// every zoo model (Table I plus extensions): the structural rule
+// catalog, the quant-domain walk, and — for static graphs — the
+// buffer-plan aliasing proof over a freshly computed plan. Any
+// Error-severity finding exits nonzero, which is how `make analyze`
+// gates the model zoo.
 package main
 
 import (
@@ -7,12 +14,21 @@ import (
 	"fmt"
 	"os"
 
+	"edgebench/internal/graph"
 	"edgebench/internal/harness"
+	"edgebench/internal/model"
+	"edgebench/internal/nn"
+	"edgebench/internal/verify"
 )
 
 func main() {
 	sorted := flag.Bool("by-intensity", false, "sort by FLOP/parameter (paper Fig. 1)")
+	analyze := flag.Bool("analyze", false, "run the dataflow verifiers over every zoo model; nonzero exit on findings")
 	flag.Parse()
+
+	if *analyze {
+		os.Exit(runAnalyze(os.Stdout))
+	}
 
 	run := harness.TableI
 	if *sorted {
@@ -24,4 +40,41 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(rep)
+}
+
+// runAnalyze checks every registered model (structural build — the
+// verifiers reason over shapes, dtypes, and liveness, none of which
+// need weight data) and returns the process exit code: 0 only when the
+// whole zoo is clean of Error-severity diagnostics.
+func runAnalyze(w *os.File) int {
+	failed := 0
+	for _, s := range model.AllWithExtensions() {
+		g := s.Build(nn.Options{})
+		diags := verify.CheckAll(g)
+		planNote := "dynamic graph, no plan"
+		if len(verify.Errors(diags)) == 0 && g.Mode == graph.Static {
+			plan, err := graph.PlanBuffers(g)
+			if err != nil {
+				planNote = "unplannable: " + err.Error()
+			} else {
+				diags = append(diags, verify.CheckPlan(g, plan)...)
+				planNote = fmt.Sprintf("plan proved overlap-free (%d arena slots)", len(plan.Slots))
+			}
+		}
+		errs := verify.Errors(diags)
+		if len(errs) > 0 {
+			failed++
+			fmt.Fprintf(w, "FAIL %-18s %d finding(s)\n", s.Name, len(errs))
+			for _, d := range errs {
+				fmt.Fprintf(w, "     %s\n", d)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "ok   %-18s %3d nodes, %s\n", s.Name, len(g.Nodes), planNote)
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "analyze: %d model(s) failed dataflow verification\n", failed)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,30 @@
+package graph
+
+// DebugChecker is the static revalidation hook a Debug-mode executor
+// consults before first executing a graph: g is the graph about to run
+// and plan its buffer plan (nil for unplanned or dynamic runs). The
+// checker returns an error to veto execution.
+//
+// The hook exists because this package cannot import internal/verify
+// without a cycle: verify registers its dataflow passes (plan-aliasing
+// proof, quant-domain walk) here from an init function, so any binary
+// that links the verifier arms every Debug executor automatically.
+type DebugChecker func(g *Graph, plan *Plan) error
+
+// debugChecker is written once during package initialization (verify's
+// init) and read by executors afterwards; init runs before main, so no
+// synchronization is needed.
+var debugChecker DebugChecker
+
+// RegisterDebugChecker installs the checker Debug-mode executors call.
+// Call it from an init function only — registration after executors have
+// started racing Run is not synchronized.
+func RegisterDebugChecker(c DebugChecker) { debugChecker = c }
+
+// debugCheck runs the registered checker, if any.
+func debugCheck(g *Graph, plan *Plan) error {
+	if debugChecker == nil {
+		return nil
+	}
+	return debugChecker(g, plan)
+}

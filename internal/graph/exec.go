@@ -44,11 +44,22 @@ type Executor struct {
 	// graphs and for RunValues (which must retain every node value).
 	Pooled bool
 
+	// Debug re-proves static safety at runtime: before the first Run on
+	// each graph the registered DebugChecker (internal/verify's dataflow
+	// passes) revalidates the graph and its buffer plan, and every
+	// pooled allocation asserts the recycled dst buffer does not alias a
+	// live input of the node about to write it. Costs one map sweep per
+	// alloc; off in production, on in tests and `edgeserve -debug`.
+	Debug bool
+
 	// plan/pool cache the buffer plan and arena for the last planned
-	// graph; replanned when Run sees a different graph.
-	plan    *Plan
-	planned *Graph
-	pool    *tensor.Pool
+	// graph; replanned when Run sees a different graph. debugged is the
+	// last graph the Debug checker accepted, so revalidation runs once
+	// per graph, not per inference.
+	plan     *Plan
+	planned  *Graph
+	pool     *tensor.Pool
+	debugged *Graph
 
 	// nInt8/nFP32 count compute-kernel dispatches (conv/dense families)
 	// by execution datatype — the probe tests and the serving metrics
@@ -139,6 +150,16 @@ func (e *Executor) run(g *Graph, input *tensor.Tensor, retain bool) (*tensor.Ten
 			}
 		}
 	}
+	if e.Debug && e.debugged != g {
+		var plan *Plan
+		if rt.pooled {
+			plan = rt.plan
+		}
+		if err := debugCheck(g, plan); err != nil {
+			return nil, fmt.Errorf("graph %s: debug check: %w", g.Name, err)
+		}
+		e.debugged = g
+	}
 	rt.keep = make(map[*Node]bool, 1+len(g.Extra))
 	for _, root := range g.Roots() {
 		rt.keep[root] = true
@@ -189,9 +210,26 @@ type runState struct {
 // planner; edgelint's pool-alloc rule flags that.
 func (rt *runState) alloc(n *Node) *tensor.Tensor {
 	if rt.pooled && rt.plan.Pooled(n) {
-		return rt.pool.Get(n.OutShape...)
+		t := rt.pool.Get(n.OutShape...)
+		if rt.exec.Debug {
+			rt.assertNoAlias(n, t)
+		}
+		return t
 	}
 	return tensor.New(n.OutShape...) // edgelint:ignore pool-alloc — the single non-planned fallback
+}
+
+// assertNoAlias is the Debug-mode dynamic complement of the static plan
+// checker: a recycled dst buffer must not still back one of n's live
+// inputs, or the kernel would corrupt its own operand mid-write (the
+// *Into contract says dst contents are arbitrary on entry). The panic is
+// converted to an error by evalNode's recover guard.
+func (rt *runState) assertNoAlias(n *Node, dst *tensor.Tensor) {
+	for _, in := range n.Inputs {
+		if v := rt.values[in]; v != nil && tensor.SameStorage(v, dst) {
+			panic(fmt.Sprintf("debug: planned dst buffer for %s aliases live input %s", n, in))
+		}
+	}
 }
 
 // scratch returns the arena for kernel-internal scratch (im2col) when

@@ -156,6 +156,25 @@ func (p *Plan) Pooled(n *Node) bool {
 	return ok
 }
 
+// SlotOf returns the arena slot the plan assigned to n; ok is false when
+// n owns no slot (unpooled op, alias, kept output). The verify package's
+// plan dataflow pass reads assignments through this accessor so it can
+// re-derive liveness independently and prove no slot ever holds two
+// simultaneously-live tensors.
+func (p *Plan) SlotOf(n *Node) (slot int, ok bool) {
+	slot, ok = p.slot[n]
+	return slot, ok
+}
+
+// Reassign overrides n's slot assignment. It exists only as a mutation
+// seam for the verify package's tests and fuzzing: seeding a deliberate
+// overlap (two live nodes sharing a slot) must be caught by
+// verify.CheckPlan, proving the checker would catch a real planner bug.
+// Production code never calls this — PlanBuffers is the sole authority.
+func (p *Plan) Reassign(n *Node, slot int) {
+	p.slot[n] = slot
+}
+
 // Kept reports whether n's storage owner must survive the run (graph
 // input, output, or extra root) and so never returns to the arena.
 func (p *Plan) Kept(n *Node) bool { return p.keep[p.Root(n)] }

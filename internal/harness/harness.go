@@ -154,13 +154,13 @@ func orderKey(id string) string {
 	switch {
 	case strings.HasPrefix(id, "table"):
 		kind = 'a'
-		fmt.Sscanf(id, "table%d", &n)
+		_, _ = fmt.Sscanf(id, "table%d", &n) // unnumbered ids sort as 0
 	case strings.HasPrefix(id, "fig"):
 		kind = 'b'
-		fmt.Sscanf(id, "fig%d", &n)
+		_, _ = fmt.Sscanf(id, "fig%d", &n)
 	case strings.HasPrefix(id, "ext"):
 		kind = 'c'
-		fmt.Sscanf(id, "ext%d", &n)
+		_, _ = fmt.Sscanf(id, "ext%d", &n)
 	}
 	return fmt.Sprintf("%c%02d", kind, n)
 }

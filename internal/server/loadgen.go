@@ -163,7 +163,7 @@ func fire(client *http.Client, baseURL string, opts AttackOptions, id int) (int,
 			return resp.StatusCode, out, err
 		}
 	} else {
-		io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reusable
 	}
 	return resp.StatusCode, out, nil
 }

@@ -221,7 +221,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	s.m.Latency.Observe(elapsed.Seconds())
 	s.m.Requests.Inc("200")
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(InferResponse{
+	// A failed write means the client went away; nothing to recover.
+	_ = json.NewEncoder(w).Encode(InferResponse{
 		Argmax:    argmax(out.Data),
 		Output:    out.Data,
 		BatchSize: batch,
@@ -236,7 +237,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	w.Write([]byte("ok\n"))
+	_, _ = w.Write([]byte("ok\n"))
 }
 
 // buildInput materializes the request's input tensor.
@@ -261,7 +262,7 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.m.Requests.Inc(strconv.Itoa(code))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
 }
 
 // statusFor maps pipeline errors onto HTTP semantics.

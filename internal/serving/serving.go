@@ -48,6 +48,7 @@ type Result struct {
 	P50, P95, P99 float64
 }
 
+// String renders the one-line summary the simulation CLI prints.
 func (r Result) String() string {
 	return fmt.Sprintf("served %d/%d (dropped %d), util %.0f%%, p50 %.1fms p99 %.1fms, misses %d",
 		r.Served, r.Arrived, r.Dropped, r.Utilization*100,

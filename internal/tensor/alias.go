@@ -1,0 +1,17 @@
+package tensor
+
+// SameStorage reports whether two tensors share a backing buffer: their
+// data slices start at the same element. Pooled arena buffers and fresh
+// allocations are always whole allocations (views created by Reshape
+// share their source's start), so start-pointer identity is exactly the
+// aliasing the executor must never create between a kernel's dst and a
+// still-live src — the *Into kernel contract says dst contents are
+// arbitrary on entry, so writing through an alias corrupts the live
+// input mid-kernel. The executor's debug mode asserts this at every
+// allocation; edgelint's into-alias rule proves the static cases.
+func SameStorage(a, b *Tensor) bool {
+	if a == nil || b == nil || len(a.Data) == 0 || len(b.Data) == 0 {
+		return false
+	}
+	return &a.Data[0] == &b.Data[0]
+}

@@ -7,14 +7,24 @@ import (
 )
 
 // Checked wraps an optimization pass so the graph is re-verified after
-// it runs. Passes are internal transformations, so an invariant
-// violation is a programming error, not a runtime condition: Checked
-// panics with the full diagnostic list. It replaces the old
-// graph.CheckAfterPass hook with the complete rule catalog.
+// it runs: the structural rule catalog, the quant-domain dataflow walk,
+// and — for static graphs — a fresh buffer plan proven overlap-free by
+// CheckPlan, so a pass that breaks the planner's liveness assumptions is
+// caught here rather than by a corrupted inference later. Passes are
+// internal transformations, so an invariant violation is a programming
+// error, not a runtime condition: Checked panics with the full
+// diagnostic list. It replaces the old graph.CheckAfterPass hook with
+// the complete rule catalog.
 func Checked(name string, p graph.Pass) graph.Pass {
 	return func(g *graph.Graph) {
 		p(g)
-		if err := Err(Check(g)); err != nil {
+		diags := CheckAll(g)
+		if len(Errors(diags)) == 0 && g.Mode == graph.Static {
+			if plan, err := graph.PlanBuffers(g); err == nil {
+				diags = append(diags, CheckPlan(g, plan)...)
+			}
+		}
+		if err := Err(diags); err != nil {
 			panic(fmt.Sprintf("verify: pass %s broke invariants: %v", name, err))
 		}
 	}
