@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint analyze race check cover bench reproduce sweep examples serve-smoke clean
+.PHONY: all build vet test lint analyze race check cover bench bench-smoke reproduce sweep examples serve-smoke clean
 
 all: build vet test
 
@@ -61,6 +61,14 @@ bench:
 	$(GO) run ./cmd/engbench
 	$(GO) test -bench=. -benchmem ./...
 
+# One-iteration engbench run: exercises every benchmark path and every
+# regression gate (int8 vs FP32, and — on hosts with >= 4 CPUs — the
+# intra-op scaling gate: parallel GEMM/forward must beat serial at the
+# swept GOMAXPROCS points). Writes a throwaway JSON so the committed
+# BENCH_engine.json is never clobbered by a smoke run.
+bench-smoke:
+	$(GO) run ./cmd/engbench -benchtime 1x -o BENCH_smoke.json
+
 # Regenerate every paper table/figure plus the extensions.
 reproduce:
 	$(GO) run ./cmd/edgebench -all
@@ -81,4 +89,4 @@ audit:
 	$(GO) run ./cmd/calibrate
 
 clean:
-	rm -f sweep.csv test_output.txt bench_output.txt
+	rm -f sweep.csv test_output.txt bench_output.txt BENCH_smoke.json

@@ -387,14 +387,22 @@ func hasLifecyclePlumbing(ctx *Context, body ast.Node) bool {
 // channel whose close ends them. Such a goroutine cannot be cancelled or
 // awaited, so server shutdown either leaks it or races it; every
 // goroutine the batcher, load generator, and engine spawn must be
-// joinable. Scoped to internal/server and internal/serving — worker
-// fan-out inside kernels joins microseconds later and is the tensor
-// package's own business.
+// joinable. Scoped to internal/server, internal/serving, and — since
+// the kernels moved from per-call goroutine fan-out to a persistent
+// worker pool — internal/tensor, whose long-lived pool workers must be
+// retirable: they pass the done-channel exemption because each worker
+// receives the generation's stop channel (chan struct{}) as an
+// argument, and closing it is exactly how ensurePool retires a
+// generation on GOMAXPROCS resize.
 var goLifetimeAnalyzer = register(&Analyzer{
 	Name: "go-lifetime",
-	Doc:  "serving-stack goroutines need ctx, a done channel, or a WaitGroup",
+	Doc:  "long-lived goroutines need ctx, a done channel, or a WaitGroup",
 	Applies: func(path string) bool {
-		return path == "edgebench/internal/server" || path == "edgebench/internal/serving"
+		switch path {
+		case "edgebench/internal/server", "edgebench/internal/serving", "edgebench/internal/tensor":
+			return true
+		}
+		return false
 	},
 	Run: func(ctx *Context) {
 		decls := funcDeclMap(ctx)

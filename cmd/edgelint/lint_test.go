@@ -522,6 +522,44 @@ func handle(ctx context.Context) { <-ctx.Done() }
 	wantRules(t, lintPackage(p), "go-lifetime", "go-lifetime")
 }
 
+// TestGoLifetimeTensorPool pins the rule's tensor-package contract: the
+// persistent worker-pool idiom (worker receives the generation's stop
+// channel as an argument) passes via the done-channel exemption, while
+// an unplumbed long-lived goroutine in the same package still fires.
+func TestGoLifetimeTensorPool(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("edgebench/internal/tensor", `package tensor
+
+type task struct{}
+
+func ensure() {
+	queue := make(chan *task)
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go poolWorker(queue, stop) // exempt: stop channel handed in
+	}
+	go runaway()
+}
+
+func poolWorker(queue chan *task, stop chan struct{}) {
+	for {
+		select {
+		case <-queue:
+		case <-stop:
+			return
+		}
+	}
+}
+
+func runaway() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+`)
+	wantRules(t, lintPackage(p), "go-lifetime")
+}
+
 // TestGoLifetimeScope proves the rule stays out of kernel packages:
 // the same unplumbed goroutine is legal outside the serving stack.
 func TestGoLifetimeScope(t *testing.T) {

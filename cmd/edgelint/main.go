@@ -31,7 +31,8 @@
 //	mutex-infer     no Infer/Run or tensor kernel calls while holding a
 //	                mutex; a forward pass under a lock serializes every
 //	                request goroutine
-//	go-lifetime     goroutines in internal/server and internal/serving
+//	go-lifetime     goroutines in internal/server, internal/serving, and
+//	                internal/tensor (the persistent kernel worker pool)
 //	                need lifecycle plumbing (ctx, done channel, or
 //	                WaitGroup) so shutdown can cancel or await them
 //	wg-add          WaitGroup.Add goes before the go statement, never

@@ -3,17 +3,26 @@
 // and the branch-parallel scheduler — and writes the measurements to
 // BENCH_engine.json so perf regressions are diffable across commits.
 //
-// Three groups:
+// Four groups:
 //
 //   - matmul: naive ijk baseline vs the cache-blocked serial kernel vs
-//     the row-sharded parallel kernel, at a large square size.
+//     the pool-sharded parallel kernel, at a large square size.
 //   - conv2d: im2col+GEMM convolution, allocating vs pooled-scratch.
 //   - forward: a full MobileNet-class model forward pass under the
 //     executor's four modes (serial, parallel, pooled, pooled+parallel),
 //     with allocs/op capturing the static memory planner's effect.
+//   - scaling: the -procs sweep re-times the blocked vs parallel GEMM
+//     and the pooled vs pooled-parallel forward pass at each GOMAXPROCS
+//     setting (resizing the persistent kernel worker pool in-process),
+//     recording the intra-op scaling curve the ISSUE's tentpole is
+//     about.
 //
-// Speedups are computed from the host's actual timings; on a
-// single-core host the parallel numbers legitimately match serial.
+// Speedups are computed from the host's actual timings. The scaling
+// regression gate (parallel beats serial) only enforces at swept points
+// with 4 <= p <= NumCPU: below that the pool legitimately cannot win,
+// and points above the physical core count oversubscribe. On hosts with
+// fewer than 4 CPUs the gate is waived with a loud message; the curve
+// is still recorded.
 package main
 
 import (
@@ -23,6 +32,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"edgebench/internal/graph"
@@ -38,15 +49,25 @@ type result struct {
 	BytesPerOp  int64  `json:"bytes_per_op"`
 }
 
-type report struct {
+// scalePoint is one GOMAXPROCS setting's measurements in the scaling
+// sweep.
+type scalePoint struct {
 	GoMaxProcs int                `json:"gomaxprocs"`
-	GemmDim    int                `json:"gemm_dim"`
-	Model      string             `json:"model"`
 	Results    []result           `json:"results"`
 	Summary    map[string]float64 `json:"summary"`
 }
 
-func bench(name string, rep *report, fn func(b *testing.B)) result {
+type report struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	GemmDim    int                `json:"gemm_dim"`
+	Model      string             `json:"model"`
+	Results    []result           `json:"results"`
+	Summary    map[string]float64 `json:"summary"`
+	Scaling    []scalePoint       `json:"scaling"`
+}
+
+func bench(name string, results *[]result, fn func(b *testing.B)) result {
 	r := testing.Benchmark(fn)
 	out := result{
 		Name:        name,
@@ -56,8 +77,25 @@ func bench(name string, rep *report, fn func(b *testing.B)) result {
 	}
 	fmt.Printf("%-24s %12d ns/op %10d allocs/op %12d B/op\n",
 		name, out.NsPerOp, out.AllocsPerOp, out.BytesPerOp)
-	rep.Results = append(rep.Results, out)
+	*results = append(*results, out)
 	return out
+}
+
+// parseProcs parses the -procs flag ("1,2,4,8") into a sorted-as-given
+// list of positive ints; empty string means no sweep.
+func parseProcs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var ps []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", f)
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
 }
 
 func naiveMatMul(dst, a, b []float32, m, k, n int) {
@@ -82,15 +120,21 @@ func main() {
 	dim := flag.Int("dim", 512, "square GEMM dimension for the matmul group")
 	modelName := flag.String("model", "MobileNet-v2", "zoo model for the forward group")
 	benchtime := flag.String("benchtime", "300ms", "per-benchmark measurement budget")
+	procsFlag := flag.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS sweep for the scaling group (empty disables)")
 	out := flag.String("o", "BENCH_engine.json", "output JSON path")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		log.Fatal(err)
 	}
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	rep := &report{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		GemmDim:    *dim,
 		Model:      *modelName,
 		Summary:    map[string]float64{},
@@ -102,17 +146,17 @@ func main() {
 	fill(a, 1)
 	fill(b, 2)
 	dst := make([]float32, d*d)
-	naive := bench("matmul/naive", rep, func(bb *testing.B) {
+	naive := bench("matmul/naive", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			naiveMatMul(dst, a.Data, b.Data, d, d, d)
 		}
 	})
-	blocked := bench("matmul/blocked", rep, func(bb *testing.B) {
+	blocked := bench("matmul/blocked", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.MatMulSerial(a, b)
 		}
 	})
-	par := bench("matmul/parallel", rep, func(bb *testing.B) {
+	par := bench("matmul/parallel", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.MatMulParallel(a, b)
 		}
@@ -128,12 +172,12 @@ func main() {
 	fill(w, 4)
 	bias := make([]float32, 64)
 	spec := tensor.Conv2DSpec{Stride: 1, Pad: 1}
-	direct := bench("conv2d/direct", rep, func(bb *testing.B) {
+	direct := bench("conv2d/direct", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.Conv2D(in, w, bias, spec)
 		}
 	})
-	alloc := bench("conv2d/gemm", rep, func(bb *testing.B) {
+	alloc := bench("conv2d/gemm", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.Conv2DGEMM(in, w, bias, spec)
 		}
@@ -141,7 +185,7 @@ func main() {
 	scratch := tensor.NewPool()
 	cdst := tensor.New(64, 56, 56)
 	tensor.Conv2DGEMMInto(cdst, in, w, bias, spec, scratch) // warm the scratch arena
-	pooled := bench("conv2d/gemm-pooled", rep, func(bb *testing.B) {
+	pooled := bench("conv2d/gemm-pooled", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.Conv2DGEMMInto(cdst, in, w, bias, spec, scratch)
 		}
@@ -159,12 +203,12 @@ func main() {
 		qb[i] = int8((i*7)%255 - 127)
 	}
 	qdst := make([]int32, d*d)
-	qserial := bench("qgemm/int8-serial", rep, func(bb *testing.B) {
+	qserial := bench("qgemm/int8-serial", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.QGEMMSerial(qdst, qa, qb, d, d, d)
 		}
 	})
-	bench("qgemm/int8-parallel", rep, func(bb *testing.B) {
+	bench("qgemm/int8-parallel", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.QGEMM(qdst, qa, qb, d, d, d)
 		}
@@ -192,10 +236,10 @@ func main() {
 			}
 		}
 	}
-	serial := bench("forward/serial", rep, forward(&graph.Executor{}, g))
-	bench("forward/parallel", rep, forward(&graph.Executor{Parallel: true}, g))
-	fpool := bench("forward/pooled", rep, forward(&graph.Executor{Pooled: true}, g))
-	both := bench("forward/pooled-parallel", rep, forward(&graph.Executor{Pooled: true, Parallel: true}, g))
+	serial := bench("forward/serial", &rep.Results, forward(&graph.Executor{}, g))
+	bench("forward/parallel", &rep.Results, forward(&graph.Executor{Parallel: true}, g))
+	fpool := bench("forward/pooled", &rep.Results, forward(&graph.Executor{Pooled: true}, g))
+	both := bench("forward/pooled-parallel", &rep.Results, forward(&graph.Executor{Pooled: true, Parallel: true}, g))
 	rep.Summary["forward_pooled_alloc_reduction"] = reduction(serial.AllocsPerOp, fpool.AllocsPerOp)
 	rep.Summary["forward_pooled_parallel_speedup"] = ratio(serial.NsPerOp, both.NsPerOp)
 
@@ -204,8 +248,39 @@ func main() {
 	// falls back to FP32.
 	qg := g.Clone()
 	graph.QuantizeINT8(qg)
-	qfwd := bench("forward/int8-pooled", rep, forward(&graph.Executor{Pooled: true}, qg))
+	qfwd := bench("forward/int8-pooled", &rep.Results, forward(&graph.Executor{Pooled: true}, qg))
 	rep.Summary["forward_int8_vs_fp32_speedup"] = ratio(fpool.NsPerOp, qfwd.NsPerOp)
+
+	// --- scaling sweep ------------------------------------------------
+	// Re-time the parallel-vs-serial pairs at each GOMAXPROCS setting.
+	// runtime.GOMAXPROCS(p) takes effect immediately and the tensor
+	// worker pool resizes itself to match on its next dispatch, so the
+	// whole curve comes from one process. Executors are rebuilt per
+	// point so cached plans or level partitions never leak timing
+	// between settings.
+	ambient := runtime.GOMAXPROCS(0)
+	for _, p := range procs {
+		fmt.Printf("\n--- scaling GOMAXPROCS=%d ---\n", p)
+		runtime.GOMAXPROCS(p)
+		sp := scalePoint{GoMaxProcs: p, Summary: map[string]float64{}}
+		tensor.MatMulParallel(a, b) // warm the resized pool
+		sblk := bench("matmul/blocked", &sp.Results, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				tensor.MatMulSerial(a, b)
+			}
+		})
+		spar := bench("matmul/parallel", &sp.Results, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				tensor.MatMulParallel(a, b)
+			}
+		})
+		spool := bench("forward/pooled", &sp.Results, forward(&graph.Executor{Pooled: true}, g))
+		sboth := bench("forward/pooled-parallel", &sp.Results, forward(&graph.Executor{Pooled: true, Parallel: true}, g))
+		sp.Summary["matmul_parallel_vs_blocked_speedup"] = ratio(sblk.NsPerOp, spar.NsPerOp)
+		sp.Summary["forward_pooled_parallel_vs_pooled_speedup"] = ratio(spool.NsPerOp, sboth.NsPerOp)
+		rep.Scaling = append(rep.Scaling, sp)
+	}
+	runtime.GOMAXPROCS(ambient)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -235,6 +310,58 @@ func main() {
 			qfwd.NsPerOp, fpool.NsPerOp, *modelName)
 		os.Exit(1)
 	}
+
+	// Scaling gate: intra-op parallelism must actually win where it can.
+	// At every swept point with 4 <= p <= NumCPU, the pool-sharded GEMM
+	// must beat the serial blocked kernel at the same p, and the
+	// pooled-parallel forward must beat the p=1 pooled forward (the p=1
+	// point executes every kernel serial, so it is the true serial
+	// baseline; same-p pooled vs pooled-parallel differ only by
+	// wavefront scheduling and sit inside noise on mostly-sequential
+	// graphs). Points the host cannot satisfy (p < 4, or p beyond the
+	// physical core count) are recorded but not enforced.
+	var base1 *scalePoint
+	for i := range rep.Scaling {
+		if rep.Scaling[i].GoMaxProcs == 1 {
+			base1 = &rep.Scaling[i]
+		}
+	}
+	enforced := 0
+	for _, sp := range rep.Scaling {
+		if sp.GoMaxProcs < 4 || sp.GoMaxProcs > rep.NumCPU {
+			continue
+		}
+		enforced++
+		blk, par := findResult(sp.Results, "matmul/blocked"), findResult(sp.Results, "matmul/parallel")
+		if blk != nil && par != nil && par.NsPerOp >= blk.NsPerOp {
+			fmt.Fprintf(os.Stderr, "engbench: REGRESSION: parallel GEMM %d ns/op is not below blocked %d ns/op at GOMAXPROCS=%d\n",
+				par.NsPerOp, blk.NsPerOp, sp.GoMaxProcs)
+			os.Exit(1)
+		}
+		if base1 != nil {
+			sser := findResult(base1.Results, "forward/pooled")
+			spar := findResult(sp.Results, "forward/pooled-parallel")
+			if sser != nil && spar != nil && spar.NsPerOp >= sser.NsPerOp {
+				fmt.Fprintf(os.Stderr, "engbench: REGRESSION: parallel forward %d ns/op at GOMAXPROCS=%d is not below serial forward %d ns/op at GOMAXPROCS=1\n",
+					spar.NsPerOp, sp.GoMaxProcs, sser.NsPerOp)
+				os.Exit(1)
+			}
+		}
+	}
+	if len(procs) > 0 && enforced == 0 {
+		fmt.Fprintf(os.Stderr, "engbench: scaling gate WAIVED: host has %d CPUs; no swept point satisfies 4 <= p <= NumCPU (curve recorded, not enforced)\n",
+			rep.NumCPU)
+	}
+}
+
+// findResult returns the named result from a sweep point, nil if absent.
+func findResult(rs []result, name string) *result {
+	for i := range rs {
+		if rs[i].Name == name {
+			return &rs[i]
+		}
+	}
+	return nil
 }
 
 // ratio returns before/after as a speedup factor (guarding div-by-zero).

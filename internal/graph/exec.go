@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"edgebench/internal/tensor"
@@ -60,6 +59,16 @@ type Executor struct {
 	planned  *Graph
 	pool     *tensor.Pool
 	debugged *Graph
+
+	// levels/leveled cache the wavefront partition for the last graph the
+	// Parallel scheduler saw; louts/lerrs are the per-level result slices,
+	// sized to the widest level and reused across Run calls so steady-state
+	// parallel execution allocates nothing per level. (Safe to keep on the
+	// Executor: Run is documented single-goroutine per Executor.)
+	levels  [][]*Node
+	leveled *Graph
+	louts   []*tensor.Tensor
+	lerrs   []error
 
 	// nInt8/nFP32 count compute-kernel dispatches (conv/dense families)
 	// by execution datatype — the probe tests and the serving metrics
@@ -292,57 +301,60 @@ func (rt *runState) runSequential() error {
 
 // runLevels executes the graph as a wavefront: level(n) = 1 +
 // max(level(inputs)), every node in a level depends only on strictly
-// earlier levels. Within a level, workers claim nodes from an atomic
-// cursor and write results to a per-level slice; the coordinator
+// earlier levels. Multi-node levels are sharded over the persistent
+// kernel worker pool (tensor.ParallelForMax, bounded by Workers);
+// results land in executor-cached per-level slices and the coordinator
 // publishes them into the values map at the level barrier. The
-// happens-before chain (WaitGroup completion before map writes, map
-// writes before the next level's goroutines start) makes node evaluation
-// race-free without locking, and output values equal sequential execution
-// because per-node inputs are identical. Errors surface deterministically
-// as the first failing node in graph order.
+// happens-before chain (ParallelForMax completion before map writes,
+// map writes before the next level's shards run) makes node evaluation
+// race-free without locking, and output values equal sequential
+// execution because per-node inputs are identical. Errors surface
+// deterministically as the first failing node in graph order. The
+// level partition and result slices are cached on the Executor, so a
+// steady-state pass allocates nothing for scheduling.
 func (rt *runState) runLevels() error {
-	levels := levelize(rt.g)
-	workers := rt.exec.Workers
+	e := rt.exec
+	if e.leveled != rt.g {
+		e.levels, e.leveled = levelize(rt.g), rt.g
+		widest := 0
+		for _, level := range e.levels {
+			if len(level) > widest {
+				widest = len(level)
+			}
+		}
+		e.louts = make([]*tensor.Tensor, widest)
+		e.lerrs = make([]error, widest)
+	}
+	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	for _, level := range levels {
+	for _, level := range e.levels {
 		if len(level) == 1 || workers <= 1 {
 			for _, n := range level {
-				out, err := rt.exec.evalNode(n, rt)
+				out, err := e.evalNode(n, rt)
 				if err != nil {
 					return fmt.Errorf("graph %s: node %s: %w", rt.g.Name, n, err)
 				}
 				rt.values[n] = out
 			}
 		} else {
-			outs := make([]*tensor.Tensor, len(level))
-			errs := make([]error, len(level))
-			var cursor atomic.Int64
-			var wg sync.WaitGroup
-			nw := workers
-			if nw > len(level) {
-				nw = len(level)
-			}
-			for w := 0; w < nw; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						i := int(cursor.Add(1)) - 1
-						if i >= len(level) {
-							return
-						}
-						outs[i], errs[i] = rt.exec.evalNode(level[i], rt)
-					}
-				}()
-			}
-			wg.Wait()
+			outs, errs := e.louts[:len(level)], e.lerrs[:len(level)]
+			tensor.ParallelForMax(len(level), 1, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					outs[i], errs[i] = e.evalNode(level[i], rt)
+				}
+			})
+			var ferr error
 			for i, n := range level {
-				if errs[i] != nil {
-					return fmt.Errorf("graph %s: node %s: %w", rt.g.Name, n, errs[i])
+				if errs[i] != nil && ferr == nil {
+					ferr = fmt.Errorf("graph %s: node %s: %w", rt.g.Name, n, errs[i])
 				}
 				rt.values[n] = outs[i]
+				outs[i], errs[i] = nil, nil
+			}
+			if ferr != nil {
+				return ferr
 			}
 		}
 		// Release at the barrier: recycled buffers are only handed to

@@ -1,0 +1,43 @@
+//go:build !race
+
+package graph_test
+
+import (
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/tensor"
+)
+
+// TestParallelSteadyStateAllocs pins the scheduling-allocation fix: the
+// wavefront executor caches its level partition and result slices, so a
+// steady-state pooled-parallel pass must cost at most a small constant
+// number of allocations more than the pooled-sequential pass (one fn
+// closure per multi-node level, plus kernel-internal scratch misses),
+// not the hundreds/op the per-level make() calls used to add.
+// Excluded under -race: the race runtime adds allocations of its own.
+func TestParallelSteadyStateAllocs(t *testing.T) {
+	g := branchyCNN(t, 31)
+	in := tensor.New(3, 16, 16)
+	fillDeterministic(in)
+
+	measure := func(e *graph.Executor) float64 {
+		for i := 0; i < 3; i++ { // warm plan, arena, level cache, pools
+			if _, err := e.Run(g, in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := e.Run(g, in); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	seq := measure(&graph.Executor{Pooled: true})
+	par := measure(&graph.Executor{Pooled: true, Parallel: true})
+	if par > seq+16 {
+		t.Errorf("pooled-parallel steady state = %.0f allocs/op vs pooled %.0f; scheduler is allocating per level again",
+			par, seq)
+	}
+}

@@ -1,0 +1,69 @@
+package graph_test
+
+import (
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+// bigBranchyCNN is branchyCNN scaled so every conv clears the kernel
+// parallel threshold: the wavefront scheduler runs branch nodes
+// concurrently while each node's conv kernel tries to shard itself,
+// exercising the pool's nested-parallelism (saturation → serial) rule
+// under real load.
+func bigBranchyCNN(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("bigbranchy", nn.Options{Materialize: true, Seed: seed}, 16, 32, 32)
+	stem := b.ConvBNReLU("stem", 32, 3, 1, 1)
+	br1 := b.From(stem).Conv2D("br1", 32, 3, 1, 1, true)
+	br2 := b.From(stem).Conv2D("br2", 32, 3, 1, 1, true)
+	br3 := b.From(stem).Conv2D("br3", 32, 3, 1, 1, true)
+	cat := b.Concat("cat", br1, br2, br3)
+	arm := b.From(cat).Conv2D("arm", 96, 3, 1, 1, true)
+	sum := b.Add("residual", cat, arm)
+	b.From(sum).GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	g := b.Build()
+	// The point of this graph is nesting: branch convs must individually
+	// exceed the intra-op dispatch threshold.
+	macs := 32 * 32 * 3 * 3 * 32 * 32 // cin*cout*kh*kw*hout*wout for br1
+	if macs < tensor.ParallelThresholdMACs() {
+		t.Fatalf("branch conv %d MACs below parallel threshold %d; graph too small to stress nesting",
+			macs, tensor.ParallelThresholdMACs())
+	}
+	return g
+}
+
+// TestParallelNestedKernelsBitwiseEqual runs the wavefront executor
+// (inter-op) over a graph whose kernels also self-shard (intra-op) and
+// checks outputs stay bitwise equal to plain sequential execution
+// across repeated passes. Run with -race this doubles as the pool's
+// nested-parallelism stress test.
+func TestParallelNestedKernelsBitwiseEqual(t *testing.T) {
+	g := bigBranchyCNN(t, 21)
+	in := tensor.New(16, 32, 32)
+	fillDeterministic(in)
+	want, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, e := range map[string]*graph.Executor{
+		"parallel":        {Parallel: true},
+		"pooled+parallel": {Pooled: true, Parallel: true},
+	} {
+		for pass := 0; pass < 3; pass++ {
+			got, err := e.Run(g, in)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", name, pass, err)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s pass %d: out[%d] = %v, want %v", name, pass, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}

@@ -35,6 +35,15 @@ var ErrEngineClosed = errors.New("serving: engine closed")
 // reusing memory across requests hitting the same replica. Infer and
 // InferBatch are safe for concurrent use, including concurrently with
 // Close.
+//
+// Intra-op parallelism composes with the replica pool: every replica's
+// kernels dispatch large layers onto tensor's single package-global
+// worker pool, which is sized to GOMAXPROCS regardless of replica
+// count. When replicas saturate the machine the kernel pool refuses
+// enlistment and each kernel runs serial on its replica's goroutine, so
+// total concurrency never exceeds GOMAXPROCS; when the engine is
+// lightly loaded a lone request fans its big layers out across the idle
+// cores. KernelParallelism reports the shared pool's current size.
 type Engine struct {
 	g        *graph.Graph
 	replicas chan *graph.Executor
@@ -72,6 +81,12 @@ func NewEngine(g *graph.Graph, replicas int) (*Engine, error) {
 
 // Replicas returns the configured replica count.
 func (e *Engine) Replicas() int { return e.size }
+
+// KernelParallelism returns the size of the package-global kernel
+// worker pool all replicas share (GOMAXPROCS at last use) — the
+// intra-op concurrency bound, as opposed to Replicas, the inter-request
+// bound.
+func (e *Engine) KernelParallelism() int { return tensor.KernelParallelism() }
 
 // InputShape returns the shape one request tensor must have.
 func (e *Engine) InputShape() tensor.Shape { return e.g.Input.OutShape }

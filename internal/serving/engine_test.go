@@ -76,6 +76,76 @@ func TestEngineBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// bigEngineCNN builds a graph whose convs exceed the kernel parallel
+// threshold, so concurrent replicas and intra-op sharding contend for
+// the same fixed worker pool.
+func bigEngineCNN(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("engine-big", nn.Options{Materialize: true, Seed: 6}, 16, 32, 32)
+	stem := b.ConvBNReLU("stem", 32, 3, 1, 1)
+	br1 := b.From(stem).Conv2D("br1", 32, 3, 1, 1, true)
+	br2 := b.From(stem).Conv2D("br2", 32, 3, 1, 1, true)
+	b.Concat("cat", br1, br2)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+// TestEngineReplicasShareKernelPool floods the replica pool with
+// concurrent requests whose kernels all try to shard onto the shared
+// worker pool. Every output must stay bitwise equal to a sequential
+// executor — the kernel pool's saturation fallback must never change
+// results — and the intra-op bound the engine reports must match the
+// package-global pool. Run with -race this is the replica × intra-op
+// contention stress.
+func TestEngineReplicasShareKernelPool(t *testing.T) {
+	g := bigEngineCNN(t)
+	eng, err := serving.NewEngine(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if kp := eng.KernelParallelism(); kp < 1 {
+		t.Fatalf("KernelParallelism() = %d, want >= 1", kp)
+	}
+	const n = 9
+	ins := make([]*tensor.Tensor, n)
+	want := make([]*tensor.Tensor, n)
+	ref := &graph.Executor{}
+	for i := range ins {
+		in := tensor.New(16, 32, 32)
+		for j := range in.Data {
+			in.Data[j] = float32(math.Sin(float64(i*977 + j)))
+		}
+		ins[i] = in
+		w, err := ref.Run(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := eng.Infer(ins[i])
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			for j := range want[i].Data {
+				if got.Data[j] != want[i].Data[j] {
+					t.Errorf("request %d: out[%d] = %v, want %v", i, j, got.Data[j], want[i].Data[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
 // TestEngineRejectsStructuralGraph pins the materialization gate.
 func TestEngineRejectsStructuralGraph(t *testing.T) {
 	b := nn.NewBuilder("structural", nn.Options{}, 3, 8, 8)

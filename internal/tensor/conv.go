@@ -116,38 +116,57 @@ func Im2Col(in *Tensor, kh, kw int, spec Conv2DSpec) *Tensor {
 	return out
 }
 
+// im2colElemsThreshold is the lowered-matrix element count above which
+// the im2col copy is sharded across the worker pool. Copies are far
+// cheaper per element than MACs, so the bar sits at the MAC threshold's
+// element count — below it the copy is a microseconds-scale memmove.
+const im2colElemsThreshold = parallelThresholdMACs
+
 // im2colInto writes the im2col lowering into cols[0 : cin*kh*kw*hout*wout],
 // storing every element — padding positions are written as explicit zeros
-// so a dirty pooled scratch buffer cannot leak stale values.
+// so a dirty pooled scratch buffer cannot leak stale values. Large
+// lowerings shard output rows of the cols matrix across the worker pool;
+// each row is written by exactly one chunk, so the parallel copy is
+// bit-identical to the serial one.
 func im2colInto(cols []float32, in *Tensor, kh, kw int, spec Conv2DSpec, hout, wout int) {
-	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	rows := in.Shape[0] * kh * kw
+	ncols := hout * wout
+	if rows*ncols < im2colElemsThreshold {
+		im2colRows(cols, in, kh, kw, spec, hout, wout, 0, rows)
+		return
+	}
+	grain := (1 << 16) / ncols
+	parallelFor(rows, grain, func(lo, hi int) {
+		im2colRows(cols, in, kh, kw, spec, hout, wout, lo, hi)
+	})
+}
+
+// im2colRows writes rows [rlo, rhi) of the lowered matrix, where row
+// index r maps to (ic = r/(kh*kw), ky = r/kw%kh, kx = r%kw).
+func im2colRows(cols []float32, in *Tensor, kh, kw int, spec Conv2DSpec, hout, wout, rlo, rhi int) {
+	_, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
 	padH, padW := spec.padHW()
 	ncols := hout * wout
-	row := 0
-	for ic := 0; ic < cin; ic++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				dst := cols[row*ncols : (row+1)*ncols]
-				col := 0
-				for oy := 0; oy < hout; oy++ {
-					iy := oy*spec.Stride + ky - padH
-					if iy < 0 || iy >= h {
-						clear(dst[col : col+wout])
-						col += wout
-						continue
-					}
-					src := in.Data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
-					for ox := 0; ox < wout; ox++ {
-						ix := ox*spec.Stride + kx - padW
-						if ix >= 0 && ix < wd {
-							dst[col] = src[ix]
-						} else {
-							dst[col] = 0
-						}
-						col++
-					}
+	for row := rlo; row < rhi; row++ {
+		ic, ky, kx := row/(kh*kw), row/kw%kh, row%kw
+		dst := cols[row*ncols : (row+1)*ncols]
+		col := 0
+		for oy := 0; oy < hout; oy++ {
+			iy := oy*spec.Stride + ky - padH
+			if iy < 0 || iy >= h {
+				clear(dst[col : col+wout])
+				col += wout
+				continue
+			}
+			src := in.Data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
+			for ox := 0; ox < wout; ox++ {
+				ix := ox*spec.Stride + kx - padW
+				if ix >= 0 && ix < wd {
+					dst[col] = src[ix]
+				} else {
+					dst[col] = 0
 				}
-				row++
+				col++
 			}
 		}
 	}
@@ -218,6 +237,9 @@ func DepthwiseConv2D(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 
 // DepthwiseConv2DInto computes the depthwise convolution into a
 // preallocated dst of shape [C, Hout, Wout], overwriting every element.
+// Above the MAC work threshold the channel×row tile space is sharded
+// across the worker pool (per-tile writes are disjoint, so results are
+// bitwise identical to serial); small layers stay on the caller.
 func DepthwiseConv2DInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
 	spec = spec.check()
 	c, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
@@ -228,32 +250,47 @@ func DepthwiseConv2DInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
 	if bias != nil && len(bias) != c {
 		panic("tensor: DepthwiseConv2D bias length mismatch")
 	}
-	padH, padW := spec.padHW()
 	hout, wout := spec.OutDims(h, wd, kh, kw)
 	checkConvDst(dst, c, hout, wout)
-	for ic := 0; ic < c; ic++ {
+	macsPerRow := kh * kw * wout
+	if c*hout*macsPerRow < parallelThresholdMACs {
+		depthwiseRows(dst, in, w, bias, spec, 0, c*hout)
+		return
+	}
+	parallelFor(c*hout, grainForMACs(macsPerRow), func(lo, hi int) {
+		depthwiseRows(dst, in, w, bias, spec, lo, hi)
+	})
+}
+
+// depthwiseRows computes the flattened output-row tiles [lo, hi), where
+// tile u covers output row (ic = u/hout, oy = u%hout).
+func depthwiseRows(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, lo, hi int) {
+	h, wd := in.Shape[1], in.Shape[2]
+	kh, kw := w.Shape[1], w.Shape[2]
+	padH, padW := spec.padHW()
+	hout, wout := dst.Shape[1], dst.Shape[2]
+	for u := lo; u < hi; u++ {
+		ic, oy := u/hout, u%hout
 		var b float32
 		if bias != nil {
 			b = bias[ic]
 		}
-		for oy := 0; oy < hout; oy++ {
-			for ox := 0; ox < wout; ox++ {
-				sum := b
-				for ky := 0; ky < kh; ky++ {
-					iy := oy*spec.Stride + ky - padH
-					if iy < 0 || iy >= h {
+		for ox := 0; ox < wout; ox++ {
+			sum := b
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*spec.Stride + ky - padH
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*spec.Stride + kx - padW
+					if ix < 0 || ix >= wd {
 						continue
 					}
-					for kx := 0; kx < kw; kx++ {
-						ix := ox*spec.Stride + kx - padW
-						if ix < 0 || ix >= wd {
-							continue
-						}
-						sum += in.Data[(ic*h+iy)*wd+ix] * w.Data[(ic*kh+ky)*kw+kx]
-					}
+					sum += in.Data[(ic*h+iy)*wd+ix] * w.Data[(ic*kh+ky)*kw+kx]
 				}
-				dst.Data[(ic*hout+oy)*wout+ox] = sum
 			}
+			dst.Data[(ic*hout+oy)*wout+ox] = sum
 		}
 	}
 }

@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "sync"
 
 // GEMM blocking parameters. The kernel tiles over N (gemmNC columns) and
 // K (gemmKC rows of B) so the packed B panel (gemmKC x gemmNC floats,
@@ -38,14 +35,8 @@ func matmulInto(dst, a, b []float32, m, k, n int) {
 			matmulSparseInto(dst, a, b, m, k, n)
 			return
 		}
-		workers := runtime.GOMAXPROCS(0)
-		if workers > m {
-			workers = m
-		}
-		if workers > 1 {
-			matmulParallelInto(dst, a, b, m, k, n, workers)
-			return
-		}
+		matmulParallelInto(dst, a, b, m, k, n)
+		return
 	}
 	matmulBlockedRange(dst, a, b, m, k, n, 0, m, nil)
 }
@@ -64,25 +55,27 @@ func zeroFraction(a []float32) float64 {
 	return float64(zeros) / float64(len(a))
 }
 
-// matmulParallelInto shards output rows [0, m) across workers; each shard
-// runs the blocked kernel with its own packed panel. Per-row results do
-// not depend on the shard split, so the output is bitwise identical to a
-// single-shard run.
-func matmulParallelInto(dst, a, b []float32, m, k, n, workers int) {
-	per := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += per {
-		hi := lo + per
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulBlockedRange(dst, a, b, m, k, n, lo, hi, nil)
-		}(lo, hi)
-	}
-	wg.Wait()
+// gemmPanelPool recycles packed-panel scratch across parallel GEMM
+// shards; each chunk packs its own panels, so the pool keeps steady-state
+// scratch allocation at zero without sharing panels between chunks.
+var gemmPanelPool = sync.Pool{New: func() any {
+	p := make([]float32, gemmPanelElems())
+	return &p
+}}
+
+// matmulParallelInto shards output M-rows across the persistent worker
+// pool in grain-bounded chunks; each chunk runs the blocked kernel over
+// its row span with a pooled packed panel, so a chunk is a full
+// M-panel pass over the already-packed B panels. Per-row results do not
+// depend on the shard split, so the output is bitwise identical to a
+// single-shard run; with the pool saturated or GOMAXPROCS=1 the whole
+// range runs on the caller, which equals MatMulSerial.
+func matmulParallelInto(dst, a, b []float32, m, k, n int) {
+	parallelFor(m, grainForMACs(k*n), func(lo, hi int) {
+		panel := gemmPanelPool.Get().(*[]float32)
+		matmulBlockedRange(dst, a, b, m, k, n, lo, hi, *panel)
+		gemmPanelPool.Put(panel)
+	})
 }
 
 // matmulBlockedRange computes output rows [rlo, rhi) of dst = a x b with
@@ -195,20 +188,12 @@ func MatMulSerial(a, b *Tensor) *Tensor {
 }
 
 // MatMulParallel multiplies a [M, K] by b [K, N] with output rows sharded
-// across GOMAXPROCS goroutines, each running the cache-blocked kernel.
-// Results are bitwise identical to MatMulSerial.
+// across the persistent kernel worker pool, each chunk running the
+// cache-blocked kernel. Results are bitwise identical to MatMulSerial.
 func MatMulParallel(a, b *Tensor) *Tensor {
 	m, k, nn := checkMatMul(a, b)
 	out := New(m, nn)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 {
-		matmulBlockedRange(out.Data, a.Data, b.Data, m, k, nn, 0, m, nil)
-		return out
-	}
-	matmulParallelInto(out.Data, a.Data, b.Data, m, k, nn, workers)
+	matmulParallelInto(out.Data, a.Data, b.Data, m, k, nn)
 	return out
 }
 

@@ -1,10 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
 // MatMul multiplies a [M, K] tensor by a [K, N] tensor producing [M, N].
 // The dense path is the cache-blocked kernel in gemm.go (parallel above
@@ -35,30 +31,16 @@ func MatVec(a *Tensor, x []float32) []float32 {
 
 // matVecInto computes out = a x vec for row-major a [m, k], overwriting
 // all of out[0:m]. Rows are independent, so the parallel split is
-// bitwise-equal to the serial order.
+// bitwise-equal to the serial order; large products shard rows across
+// the persistent worker pool.
 func matVecInto(out, a, x []float32, m, k int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if m*k < parallelThresholdMACs || workers <= 1 {
+	if m*k < parallelThresholdMACs {
 		matVecRange(out, a, x, k, 0, m)
 		return
 	}
-	per := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += per {
-		hi := lo + per
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matVecRange(out, a, x, k, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallelFor(m, grainForMACs(k), func(lo, hi int) {
+		matVecRange(out, a, x, k, lo, hi)
+	})
 }
 
 func matVecRange(out, a, x []float32, k, lo, hi int) {

@@ -1,14 +1,9 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
-
 // Conv2DParallel computes the same convolution as Conv2D, sharding
-// output channels across GOMAXPROCS goroutines. Output channels are
+// channel×row output tiles across the persistent worker pool. Tiles are
 // independent, so the shards share only read-only inputs — no locking.
-// For small layers the goroutine overhead dominates, so callers (the
+// For small layers the scheduling overhead dominates, so callers (the
 // executor) fall back to the serial kernel below a work threshold.
 func Conv2DParallel(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 	spec = spec.check()
@@ -18,7 +13,7 @@ func Conv2DParallel(in, w *Tensor, bias []float32, spec Conv2DSpec) *Tensor {
 	return out
 }
 
-// Conv2DParallelInto computes the channel-sharded direct convolution into
+// Conv2DParallelInto computes the tile-sharded direct convolution into
 // a preallocated dst of shape [Cout, Hout, Wout], overwriting every
 // element.
 func Conv2DParallelInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
@@ -28,64 +23,62 @@ func Conv2DParallelInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
 	conv2DParallelInto(dst, in, w, bias, spec)
 }
 
+// conv2DParallelInto shards the flattened channel×row tile space
+// (cout*hout output rows) across the worker pool. Row tiles are finer
+// than whole channels, so chunk stealing balances tall-skinny layers
+// (few channels, many rows) and the grain keeps each chunk above a
+// minimum MAC budget so tiny layers never over-split.
 func conv2DParallelInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec) {
-	cout := w.Shape[0]
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cout {
-		workers = cout
-	}
-	if workers <= 1 {
-		convChannels(in, w, bias, spec, dst, 0, cout)
-		return
-	}
-	var wg sync.WaitGroup
-	per := (cout + workers - 1) / workers
-	for start := 0; start < cout; start += per {
-		end := start + per
-		if end > cout {
-			end = cout
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			convChannels(in, w, bias, spec, dst, lo, hi)
-		}(start, end)
-	}
-	wg.Wait()
+	cout, hout, wout := dst.Shape[0], dst.Shape[1], dst.Shape[2]
+	macsPerRow := in.Shape[0] * w.Shape[2] * w.Shape[3] * wout
+	parallelFor(cout*hout, grainForMACs(macsPerRow), func(lo, hi int) {
+		convRows(in, w, bias, spec, dst, lo, hi)
+	})
 }
 
-// convChannels computes output channels [lo, hi) into out.
+// convChannels computes output channels [lo, hi) into out on the
+// calling goroutine — the serial reference the sharded kernel is
+// checked against.
 func convChannels(in, w *Tensor, bias []float32, spec Conv2DSpec, out *Tensor, lo, hi int) {
+	hout := out.Shape[1]
+	convRows(in, w, bias, spec, out, lo*hout, hi*hout)
+}
+
+// convRows computes the flattened output-row tiles [lo, hi) into out,
+// where tile index u covers output row (oc = u/hout, oy = u%hout).
+// Every tile writes a disjoint wout-length span of out, so any
+// partition of the tile space is race-free and bitwise identical to the
+// serial order.
+func convRows(in, w *Tensor, bias []float32, spec Conv2DSpec, out *Tensor, lo, hi int) {
 	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
 	kh, kw := w.Shape[2], w.Shape[3]
 	padH, padW := spec.padHW()
 	hout, wout := out.Shape[1], out.Shape[2]
-	for oc := lo; oc < hi; oc++ {
+	for u := lo; u < hi; u++ {
+		oc, oy := u/hout, u%hout
 		var b float32
 		if bias != nil {
 			b = bias[oc]
 		}
-		for oy := 0; oy < hout; oy++ {
-			for ox := 0; ox < wout; ox++ {
-				sum := b
-				for ic := 0; ic < cin; ic++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*spec.Stride + ky - padH
-						if iy < 0 || iy >= h {
+		for ox := 0; ox < wout; ox++ {
+			sum := b
+			for ic := 0; ic < cin; ic++ {
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*spec.Stride + ky - padH
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*spec.Stride + kx - padW
+						if ix < 0 || ix >= wd {
 							continue
 						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*spec.Stride + kx - padW
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							sum += in.Data[(ic*h+iy)*wd+ix] *
-								w.Data[((oc*cin+ic)*kh+ky)*kw+kx]
-						}
+						sum += in.Data[(ic*h+iy)*wd+ix] *
+							w.Data[((oc*cin+ic)*kh+ky)*kw+kx]
 					}
 				}
-				out.Data[(oc*hout+oy)*wout+ox] = sum
 			}
+			out.Data[(oc*hout+oy)*wout+ox] = sum
 		}
 	}
 }

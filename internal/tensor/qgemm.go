@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "sync"
 
 // Int8 GEMM blocking parameters. The kernel mirrors the FP32 blocked
 // kernel in gemm.go — tile over N and K, pack the B block into a panel
@@ -30,36 +27,44 @@ const (
 // qgemmPanelElems is the scratch size one packed B panel needs, in bytes.
 func qgemmPanelElems() int { return qgemmKC * qgemmNC }
 
+// qgemmPanelPool recycles packed int8 panels across parallel QGEMM
+// chunks (one panel per in-flight chunk, zero steady-state allocation).
+var qgemmPanelPool = sync.Pool{New: func() any {
+	p := make([]byte, qgemmPanelElems())
+	return &p
+}}
+
 // QGEMM computes dst = a x b for row-major int8 matrices a [m, k] and
 // b [k, n] into int32 accumulators, overwriting all of dst[0:m*n]. Work
-// above the parallel threshold is sharded by output rows across
-// GOMAXPROCS goroutines; results are identical to QGEMMSerial because
-// integer accumulation is exact regardless of the shard split.
+// above the parallel threshold is sharded across the persistent worker
+// pool by row *pairs* — qgemmPairRange maps each chunk to an even row
+// start, keeping the SWAR two-rows-per-int64 pairing intact so only the
+// final row of an odd-M matrix pays the single-row remainder kernel.
+// Results are identical to QGEMMSerial because integer accumulation is
+// exact regardless of the shard split.
 func QGEMM(dst []int32, a, b []int8, m, k, n int) {
-	if m*k*n >= parallelThresholdMACs {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > m {
-			workers = m
-		}
-		if workers > 1 {
-			per := (m + workers - 1) / workers
-			var wg sync.WaitGroup
-			for lo := 0; lo < m; lo += per {
-				hi := lo + per
-				if hi > m {
-					hi = m
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					qgemmBlockedRange(dst, a, b, m, k, n, lo, hi, nil)
-				}(lo, hi)
-			}
-			wg.Wait()
-			return
-		}
+	if m*k*n < parallelThresholdMACs {
+		qgemmBlockedRange(dst, a, b, m, k, n, 0, m, nil)
+		return
 	}
-	qgemmBlockedRange(dst, a, b, m, k, n, 0, m, nil)
+	pairs := (m + 1) / 2
+	parallelFor(pairs, grainForMACs(2*k*n), func(lo, hi int) {
+		rlo, rhi := qgemmPairRange(lo, hi, m)
+		panel := qgemmPanelPool.Get().(*[]byte)
+		qgemmBlockedRange(dst, a, b, m, k, n, rlo, rhi, *panel)
+		qgemmPanelPool.Put(panel)
+	})
+}
+
+// qgemmPairRange converts a chunk of row-pair indices [lo, hi) into the
+// row range it owns: shard boundaries always land on even rows, and the
+// last pair of an odd-M matrix owns the lone remainder row.
+func qgemmPairRange(lo, hi, m int) (rlo, rhi int) {
+	rlo, rhi = lo*2, hi*2
+	if rhi > m {
+		rhi = m
+	}
+	return rlo, rhi
 }
 
 // QGEMMSerial computes dst = a x b on the calling goroutine with the

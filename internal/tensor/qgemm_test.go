@@ -49,6 +49,57 @@ func TestQGEMMMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestQGEMMParallelOddM drives the sharded path above the parallel
+// threshold with odd M: shard boundaries must land on even rows so the
+// SWAR two-rows-per-int64 pairing stays intact, and only the final row
+// pays the single-row remainder kernel. Integer accumulation is exact,
+// so parallel must equal serial bit for bit.
+func TestQGEMMParallelOddM(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, dims := range [][3]int{{129, 160, 160}, {255, 128, 64}, {65, 127, 255}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		if m*k*n < ParallelThresholdMACs() {
+			t.Fatalf("dims %v below parallel threshold; test would not exercise sharding", dims)
+		}
+		a, b := randQ(r, m*k), randQ(r, k*n)
+		want := make([]int32, m*n)
+		QGEMMSerial(want, a, b, m, k, n)
+		got := make([]int32, m*n)
+		QGEMM(got, a, b, m, k, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dims %v: parallel dst[%d] = %d, want %d", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQGEMMPairRange pins the pair-to-row mapping: even boundaries
+// everywhere, the odd remainder row owned by the last pair, and full
+// coverage of [0, m).
+func TestQGEMMPairRange(t *testing.T) {
+	cases := []struct {
+		lo, hi, m, rlo, rhi int
+	}{
+		{0, 2, 8, 0, 4},
+		{2, 4, 8, 4, 8},
+		{0, 3, 5, 0, 5}, // last pair absorbs the remainder row
+		{2, 3, 5, 4, 5}, // remainder pair alone
+		{0, 1, 1, 0, 1}, // m=1: a single lone row
+		{0, 65, 129, 0, 129},
+	}
+	for _, c := range cases {
+		rlo, rhi := qgemmPairRange(c.lo, c.hi, c.m)
+		if rlo != c.rlo || rhi != c.rhi {
+			t.Errorf("qgemmPairRange(%d, %d, m=%d) = [%d, %d), want [%d, %d)",
+				c.lo, c.hi, c.m, rlo, rhi, c.rlo, c.rhi)
+		}
+		if rlo%2 != 0 {
+			t.Errorf("qgemmPairRange(%d, %d, m=%d): shard start %d is odd", c.lo, c.hi, c.m, rlo)
+		}
+	}
+}
+
 func BenchmarkQGEMM512(b *testing.B) {
 	const d = 512
 	r := rand.New(rand.NewSource(1))

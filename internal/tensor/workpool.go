@@ -1,0 +1,260 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the package's intra-op parallelism substrate: a
+// persistent, GOMAXPROCS-sized worker pool that every parallel kernel
+// (GEMM, int8 GEMM, conv, depthwise, im2col, matvec) and the graph
+// executor's wavefront scheduler share. The previous design spawned
+// goroutines per kernel call; at single-inference granularity the spawn
+// and exit cost ate the sharding win (BENCH_engine.json recorded the
+// parallel kernels *losing* to serial). Here workers are spawned once,
+// park on a channel, and are enlisted per call with a single
+// non-blocking channel send.
+//
+// Scheduling model: parallelFor cuts the index range [0, n) into chunks
+// of at least `grain` units and publishes an atomic cursor; the caller
+// and any enlisted workers claim chunks from the cursor until the range
+// is drained (chunked index-range stealing — a slow chunk does not
+// stall the others, and chunk order never affects results because every
+// chunk writes a disjoint output slice).
+//
+// Nested-parallelism rule: enlisting is non-blocking, and the caller
+// always works the range itself. When the pool is saturated — a
+// parallel kernel invoked from inside another parallel region, e.g. the
+// wavefront executor evaluating two conv nodes whose kernels both try
+// to shard — the inner call finds no parked worker and simply runs its
+// whole range on the calling goroutine. Inner parallelism degrades to
+// serial instead of deadlocking (nobody ever blocks waiting for a
+// worker) or oversubscribing (the worker set is fixed).
+const (
+	// chunksPerWorker is how many chunks parallelFor aims to cut per
+	// available worker. >1 lets fast workers steal from slow ones;
+	// too many and panel repacking (GEMM) and handoff overhead grow.
+	chunksPerWorker = 4
+
+	// parallelGrainMACs is the minimum multiply-accumulate count one
+	// chunk should carry. Chunks this small still amortize the chunk
+	// claim (one atomic add) thousands of times over.
+	parallelGrainMACs = parallelThresholdMACs / 16
+)
+
+// workTask is one parallelFor invocation's shared state. Workers claim
+// chunk indices from cursor; wg counts enlisted helpers so the caller
+// can await them before returning.
+type workTask struct {
+	cursor atomic.Int64
+	chunks int
+	chunk  int
+	n      int
+	fn     func(lo, hi int)
+	wg     sync.WaitGroup
+}
+
+// run claims chunks until the cursor passes the end of the range.
+func (t *workTask) run() {
+	for {
+		c := int(t.cursor.Add(1)) - 1
+		if c >= t.chunks {
+			return
+		}
+		lo := c * t.chunk
+		hi := lo + t.chunk
+		if hi > t.n {
+			hi = t.n
+		}
+		t.fn(lo, hi)
+	}
+}
+
+// poolState is one generation of the worker pool: a parking channel and
+// the stop channel that retires the generation when GOMAXPROCS changes.
+// Generations are immutable once published, so readers need no lock.
+type poolState struct {
+	queue chan *workTask
+	stop  chan struct{}
+	size  int
+}
+
+var (
+	poolMu  sync.Mutex
+	poolGen atomic.Pointer[poolState]
+
+	// taskPool recycles workTask headers so a parallelFor call costs no
+	// steady-state allocation beyond its fn closure.
+	taskPool = sync.Pool{New: func() any { return new(workTask) }}
+
+	// Pool traffic counters (tests assert saturation fallback and
+	// enlistment actually happen; engbench reads nothing from these).
+	poolParallelRuns atomic.Int64 // parallelFor calls that enlisted >= 1 helper
+	poolSerialRuns   atomic.Int64 // parallelFor calls that ran entirely on the caller
+	poolEnlistments  atomic.Int64 // total helper enlistments
+)
+
+// ensurePool returns the pool generation sized to the current
+// GOMAXPROCS, retiring the old workers and parking a fresh set when the
+// value changed since the last call (engbench sweeps GOMAXPROCS
+// in-process; servers set it once at boot).
+func ensurePool() *poolState {
+	want := runtime.GOMAXPROCS(0)
+	if s := poolGen.Load(); s != nil && s.size == want {
+		return s
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if s := poolGen.Load(); s != nil && s.size == want {
+		return s
+	}
+	if old := poolGen.Load(); old != nil {
+		close(old.stop) // old workers exit; one mid-task finishes it first
+	}
+	s := &poolState{
+		queue: make(chan *workTask),
+		stop:  make(chan struct{}),
+		size:  want,
+	}
+	for i := 0; i < want; i++ {
+		go poolWorker(s.queue, s.stop)
+	}
+	poolGen.Store(s)
+	return s
+}
+
+// poolWorker parks on queue until enlisted, works the task's chunk
+// range, and reports completion through the task's WaitGroup. Closing
+// stop (pool resize or test shutdown) retires it; a worker mid-task
+// finishes that task before checking.
+func poolWorker(queue chan *workTask, stop chan struct{}) {
+	for {
+		select {
+		case t := <-queue:
+			t.run()
+			t.wg.Done()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// shutdownPool retires the current worker generation without starting a
+// new one; the next parallelFor call rebuilds the pool. Exists for the
+// idle/shutdown tests — production code never needs it (idle workers
+// are parked on a channel receive and cost nothing).
+func shutdownPool() {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if old := poolGen.Load(); old != nil {
+		close(old.stop)
+	}
+	poolGen.Store(nil)
+}
+
+// parallelFor runs fn over [0, n) in chunks of at least grain indices,
+// on the calling goroutine plus any idle pool workers. fn must treat
+// [lo, hi) ranges as disjoint work with no cross-chunk ordering
+// dependency; every parallel kernel in this package satisfies that by
+// writing disjoint output rows. Returns only after every chunk ran.
+func parallelFor(n, grain int, fn func(lo, hi int)) {
+	parallelForMax(n, grain, 0, fn)
+}
+
+// parallelForMax is parallelFor with an explicit cap on total
+// goroutines working the range, caller included; bound <= 0 means the
+// pool size. The graph executor passes its Workers knob through this.
+func parallelForMax(n, grain, bound int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	s := ensurePool()
+	limit := s.size
+	if bound > 0 && bound < limit {
+		limit = bound
+	}
+	if limit <= 1 || n <= grain {
+		poolSerialRuns.Add(1)
+		fn(0, n)
+		return
+	}
+	chunk := (n + limit*chunksPerWorker - 1) / (limit * chunksPerWorker)
+	if chunk < grain {
+		chunk = grain
+	}
+	chunks := (n + chunk - 1) / chunk
+	if chunks <= 1 {
+		poolSerialRuns.Add(1)
+		fn(0, n)
+		return
+	}
+	t := taskPool.Get().(*workTask)
+	t.cursor.Store(0)
+	t.chunks, t.chunk, t.n, t.fn = chunks, chunk, n, fn
+
+	// Enlist parked workers with non-blocking sends: at most limit-1
+	// helpers (the caller is the limit-th runner) and never more than
+	// the chunks they could claim. The first refused send means every
+	// worker is busy — stop asking and run with what we have.
+	maxHelpers := limit - 1
+	if maxHelpers > chunks-1 {
+		maxHelpers = chunks - 1
+	}
+	helpers := 0
+enlist:
+	for helpers < maxHelpers {
+		t.wg.Add(1)
+		select {
+		case s.queue <- t:
+			helpers++
+		default:
+			t.wg.Add(-1)
+			break enlist
+		}
+	}
+	if helpers > 0 {
+		poolParallelRuns.Add(1)
+		poolEnlistments.Add(int64(helpers))
+	} else {
+		poolSerialRuns.Add(1)
+	}
+	t.run()
+	t.wg.Wait()
+	t.fn = nil
+	taskPool.Put(t)
+}
+
+// grainForMACs converts a per-unit work estimate into a parallelFor
+// grain: the smallest unit count whose chunk still carries at least
+// parallelGrainMACs multiply-accumulates.
+func grainForMACs(macsPerUnit int) int {
+	if macsPerUnit <= 0 {
+		return 1
+	}
+	g := parallelGrainMACs / macsPerUnit
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// ParallelFor exposes the kernel worker pool's chunked scheduling to
+// sibling packages: the graph executor's wavefront runs level nodes
+// through it so inter-op and intra-op parallelism share one fixed
+// worker set instead of stacking goroutines. See the package comment
+// at the top of this file for the saturation (nested-parallelism)
+// semantics.
+func ParallelFor(n, grain int, fn func(lo, hi int)) { parallelFor(n, grain, fn) }
+
+// ParallelForMax is ParallelFor with an upper bound on the goroutines
+// working the range, caller included; bound <= 0 means the pool size.
+func ParallelForMax(n, grain, bound int, fn func(lo, hi int)) { parallelForMax(n, grain, bound, fn) }
+
+// KernelParallelism reports the worker count the kernel pool targets
+// (GOMAXPROCS at last resize). Serving layers export it as a metric so
+// a deployment can see what intra-op speedup is even possible.
+func KernelParallelism() int { return ensurePool().size }
