@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint analyze race check cover bench bench-smoke reproduce sweep examples serve-smoke clean
+.PHONY: all build vet test lint analyze race check cover bench bench-smoke opt-equiv reproduce sweep examples serve-smoke clean
 
 all: build vet test
 
@@ -29,6 +29,14 @@ lint:
 analyze: vet lint
 	$(GO) run ./cmd/modelzoo -analyze
 
+# Graph-compiler gate: the O2 pass pipeline (constant folding, identity
+# elimination, pattern fusion, dead-node removal) must survive every
+# verify gate on all zoo models, and the O2 graphs must be bitwise
+# equivalent to O0 on the materialized models under the compute budget.
+opt-equiv:
+	$(GO) run ./cmd/modelzoo -opt O2
+	$(GO) test -count=1 -run 'TestZooOpt|TestOptimize' ./internal/model/ ./internal/opt/
+
 # Full test suite under the race detector. This is the scheduler's
 # correctness gate: the engine-equivalence tests (internal/graph,
 # internal/model, internal/serving, internal/core) run the parallel and
@@ -41,16 +49,17 @@ race:
 # simulated envelope, fires a burst load through the built-in generator,
 # scrapes /metrics, and exits nonzero unless the run was clean (zero
 # errors, zero shed, micro-batching demonstrably active). Runs twice:
-# the FP32 path and the real-int8 path (-quantize int8), which must also
-# prove int8 kernel dispatches in /metrics.
+# the FP32 path under the O2 graph compiler (live pattern-fused serving)
+# and the real-int8 path (-quantize int8), which must also prove int8
+# kernel dispatches in /metrics.
 serve-smoke:
 	$(GO) run ./cmd/edgeserve -model CifarNet -framework TFLite -device EdgeTPU \
-		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke
+		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke -opt O2
 	$(GO) run ./cmd/edgeserve -model CifarNet -framework TFLite -device EdgeTPU \
 		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke -quantize int8
 
 # The CI gate: everything that must be clean before a merge.
-check: build analyze race serve-smoke
+check: build analyze opt-equiv race serve-smoke
 
 cover:
 	$(GO) test -cover ./...
@@ -62,10 +71,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One-iteration engbench run: exercises every benchmark path and every
-# regression gate (int8 vs FP32, and — on hosts with >= 4 CPUs — the
-# intra-op scaling gate: parallel GEMM/forward must beat serial at the
-# swept GOMAXPROCS points). Writes a throwaway JSON so the committed
-# BENCH_engine.json is never clobbered by a smoke run.
+# regression gate (int8 vs FP32, the O2 fused forward vs unfused, and —
+# on hosts with >= 4 CPUs — the intra-op scaling gate: parallel
+# GEMM/forward must beat serial at the swept GOMAXPROCS points). Writes
+# a throwaway JSON so the committed BENCH_engine.json is never clobbered
+# by a smoke run.
 bench-smoke:
 	$(GO) run ./cmd/engbench -benchtime 1x -o BENCH_smoke.json
 

@@ -188,6 +188,71 @@ func alloc() *tensor.Tensor { return tensor.New(4) }
 	}
 }
 
+// fakeGraphPasses is a stand-in for edgebench/internal/graph with just
+// the pass surface the pass-verify rule resolves against.
+const fakeGraphPasses = `package graph
+
+// Graph is a fake.
+type Graph struct{}
+
+// Pass is a fake.
+type Pass func(*Graph)
+
+// FoldBN is a fake.
+func FoldBN(g *Graph) {}
+
+// FuseActivations is a fake.
+func FuseActivations(g *Graph) {}
+
+// Pipeline is a fake.
+func Pipeline(passes ...Pass) Pass { return nil }
+
+// Validate is a fake (not a pass; must not be flagged).
+func Validate(g *Graph) {}
+`
+
+func TestPassVerify(t *testing.T) {
+	e := newEnv(t)
+	e.add(graphPkg, fakeGraphPasses)
+	p := e.add("example.com/m/user", `package user
+
+import "edgebench/internal/graph"
+
+func lower(g *graph.Graph) { graph.FoldBN(g) }
+
+func pipeline() graph.Pass { return graph.Pipeline(graph.FuseActivations) }
+
+func suppressed(g *graph.Graph) {
+	graph.FoldBN(g) // edgelint:ignore pass-verify
+}
+
+func notAPass(g *graph.Graph) { graph.Validate(g) }
+
+// FoldBN is a local function, not the graph pass.
+func FoldBN() {}
+
+func local() { FoldBN() }
+`)
+	wantRules(t, lintPackage(p), "pass-verify", "pass-verify", "pass-verify")
+}
+
+func TestPassVerifyAllowedInOpt(t *testing.T) {
+	e := newEnv(t)
+	e.add(graphPkg, fakeGraphPasses)
+	p := e.add(optPkg, `package opt
+
+import "edgebench/internal/graph"
+
+// FoldBN is a fake verified wrapper.
+func FoldBN(g *graph.Graph) { graph.FoldBN(g) }
+`)
+	for _, f := range lintPackage(p) {
+		if f.rule == "pass-verify" {
+			t.Fatalf("pass-verify reported inside %s: %s", optPkg, f.msg)
+		}
+	}
+}
+
 func TestPanicInErr(t *testing.T) {
 	e := newEnv(t)
 	p := e.add("example.com/m/panics", `package panics
@@ -272,6 +337,7 @@ func TestSelected(t *testing.T) {
 		{"/repo/internal/graph", []string{"./internal/..."}, true},
 		{"/repo/internal/graph", []string{"./internal/graph"}, true},
 		{"/repo/internal/graph", []string{"internal/graph"}, true},
+		{"/repo/internal/graph", []string{"./internal/graph/"}, true},
 		{"/repo/internal/graph", []string{"./cmd/..."}, false},
 		{"/repo/internal/graphics", []string{"./internal/graph/..."}, false},
 		{"/repo", []string{"./..."}, true},
@@ -755,8 +821,8 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"atomic-mixed", "exported-doc", "fake-quant", "float-eq",
 		"go-lifetime", "handler-ctx", "into-alias", "mutex-infer",
-		"nodes-mut", "panic-in-err", "pool-alloc", "unchecked-error",
-		"wg-add",
+		"nodes-mut", "panic-in-err", "pass-verify", "pool-alloc",
+		"unchecked-error", "wg-add",
 	}
 	got := analyzerNames()
 	if len(got) != len(want) {

@@ -213,6 +213,9 @@ func selected(dir, root string, patterns []string) bool {
 	rel = filepath.ToSlash(rel)
 	for _, pat := range patterns {
 		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if pat != "..." && !strings.HasSuffix(pat, "/...") {
+			pat = strings.TrimSuffix(pat, "/")
+		}
 		switch {
 		case pat == "...":
 			return true

@@ -169,6 +169,56 @@ var poolAllocAnalyzer = register(&Analyzer{
 	},
 })
 
+// optPkg is the pass-manager package: the sanctioned call site for
+// graph rewrites outside internal/graph itself.
+const optPkg = "edgebench/internal/opt"
+
+// graphPassFns are the internal/graph rewrite functions the pass-verify
+// rule fences in: each mutates graph structure, so production code must
+// reach them through internal/opt, whose pass manager and checked
+// wrappers re-prove the IR invariants after every run.
+var graphPassFns = map[string]bool{
+	"FoldBN":                 true,
+	"FuseActivations":        true,
+	"EliminateDead":          true,
+	"EliminateDeadCount":     true,
+	"QuantizeINT8":           true,
+	"QuantizeINT8PerChannel": true,
+	"CastFP16":               true,
+	"Prune":                  true,
+	"FreezeGraph":            true,
+	"Pipeline":               true,
+	"FusePatterns":           true,
+	"FoldConstants":          true,
+	"EliminateIdentity":      true,
+}
+
+// passVerifyAnalyzer flags references to internal/graph's rewrite
+// passes outside internal/graph and internal/opt: a raw pass call skips
+// the verify gate, so an illegal rewrite would surface as a corrupted
+// inference instead of a structured diagnostic. Test files are not
+// parsed, so pass unit tests keep calling the raw functions; deliberate
+// unverified pipelines (the harness ablation tables) carry
+// edgelint:ignore directives.
+var passVerifyAnalyzer = register(&Analyzer{
+	Name:    "pass-verify",
+	Doc:     "no raw internal/graph pass calls outside internal/graph and internal/opt; go through the verified pass manager",
+	Applies: func(path string) bool { return path != graphPkg && path != optPkg },
+	Run: func(ctx *Context) {
+		ctx.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+			sel := n.(*ast.SelectorExpr)
+			if !graphPassFns[sel.Sel.Name] {
+				return
+			}
+			obj := ctx.pkg.info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != graphPkg {
+				return
+			}
+			ctx.reportf(sel.Pos(), "graph.%s bypasses the verified pass manager; use the internal/opt wrapper (or an opt.PassManager)", sel.Sel.Name)
+		})
+	},
+})
+
 // quantRoundTripFns are the tensor-package quantizers whose result the
 // fake-quant rule watches for an immediate Dequantize.
 var quantRoundTripFns = map[string]bool{

@@ -37,7 +37,7 @@ import (
 	"time"
 
 	"edgebench/internal/core"
-	"edgebench/internal/graph"
+	"edgebench/internal/opt"
 	"edgebench/internal/server"
 	"edgebench/internal/serving"
 	"edgebench/internal/stats"
@@ -62,10 +62,16 @@ func main() {
 	attack := flag.String("attack", "", "fire the built-in load generator: rate,duration[,burst] with rate in req/s or 'auto'")
 	smoke := flag.Bool("smoke", false, "with -attack: exit nonzero unless the run is clean (no errors, no shed, batching active)")
 	quantize := flag.String("quantize", "", "execution quantization for live serving: 'int8' (per-tensor) or 'int8-perchannel'; empty serves FP32")
+	optLevel := flag.String("opt", "O0", "graph optimization level for live serving: O0 (off), O1 (cleanups), O2 (cleanups + pattern fusion)")
 	flag.Parse()
 
 	if *quantize != "" && *quantize != "int8" && *quantize != "int8-perchannel" {
 		fmt.Fprintf(os.Stderr, "edgeserve: unknown -quantize mode %q (want int8 or int8-perchannel)\n", *quantize)
+		os.Exit(1)
+	}
+	level, err := opt.ParseLevel(*optLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeserve:", err)
 		os.Exit(1)
 	}
 
@@ -90,6 +96,7 @@ func main() {
 		attack:   *attack,
 		smoke:    *smoke,
 		quantize: *quantize,
+		level:    level,
 		cfg: server.Config{
 			MaxBatch: *maxBatch,
 			MaxWait:  *maxWait,
@@ -138,21 +145,32 @@ type serveOptions struct {
 	attack   string
 	smoke    bool
 	quantize string
+	level    opt.Level
 	cfg      server.Config
 }
 
-// serve is the live mode: materialize, build the engine and HTTP
-// server, then either run the load generator or block until a signal.
+// serve is the live mode: materialize, optimize, build the engine and
+// HTTP server, then either run the load generator or block until a
+// signal. The optimization level runs before quantization so the int8
+// pass sees the fused graph (epilogue-fused nodes keep FP32 fused
+// kernels; the rest dispatch int8).
 func serve(s *core.Session, o serveOptions) {
 	if err := s.Materialize(o.seed); err != nil {
 		fatal(err)
 	}
+	if o.level > opt.O0 {
+		rep, err := s.Optimize(o.level)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimized at %s: %s\n", o.level, rep)
+	}
 	g := s.Lowered()
 	switch o.quantize {
 	case "int8":
-		graph.QuantizeINT8(g)
+		opt.QuantizeINT8(g)
 	case "int8-perchannel":
-		graph.QuantizeINT8PerChannel(g)
+		opt.QuantizeINT8PerChannel(g)
 	}
 	eng, err := serving.NewEngine(g, o.replicas)
 	if err != nil {

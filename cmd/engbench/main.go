@@ -39,6 +39,7 @@ import (
 	"edgebench/internal/graph"
 	"edgebench/internal/model"
 	"edgebench/internal/nn"
+	"edgebench/internal/opt"
 	"edgebench/internal/tensor"
 )
 
@@ -247,9 +248,22 @@ func main() {
 	// so dense convs and dense layers run the int8 kernels and the rest
 	// falls back to FP32.
 	qg := g.Clone()
-	graph.QuantizeINT8(qg)
+	opt.QuantizeINT8(qg)
 	qfwd := bench("forward/int8-pooled", &rep.Results, forward(&graph.Executor{Pooled: true}, qg))
 	rep.Summary["forward_int8_vs_fp32_speedup"] = ratio(fpool.NsPerOp, qfwd.NsPerOp)
+
+	// Pattern-fused forward: the same graph through the O2 pass pipeline,
+	// so Conv→BN→act chains collapse into single fused-kernel dispatches
+	// (BN as a per-channel epilogue — bit-identical to the unfused chain).
+	fg := g.Clone()
+	fg.Frozen = false
+	orep, err := opt.Optimize(fg, opt.O2)
+	if err != nil {
+		log.Fatalf("engbench: O2 optimization of %s failed: %v", *modelName, err)
+	}
+	fmt.Printf("%-24s %s\n", "opt/O2", orep)
+	fused := bench("forward/fused", &rep.Results, forward(&graph.Executor{Pooled: true}, fg))
+	rep.Summary["forward_fused_vs_fp32_speedup"] = ratio(fpool.NsPerOp, fused.NsPerOp)
 
 	// --- scaling sweep ------------------------------------------------
 	// Re-time the parallel-vs-serial pairs at each GOMAXPROCS setting.
@@ -308,6 +322,14 @@ func main() {
 	if qfwd.NsPerOp >= fpool.NsPerOp {
 		fmt.Fprintf(os.Stderr, "engbench: REGRESSION: int8 forward %d ns/op is not below FP32 forward %d ns/op for %s\n",
 			qfwd.NsPerOp, fpool.NsPerOp, *modelName)
+		os.Exit(1)
+	}
+	// Fused gate: the O2-fused forward pass must beat the unfused pooled
+	// one — fewer dispatches, no BN/activation intermediates — or pattern
+	// fusion has regressed into a node-count cosmetic.
+	if fused.NsPerOp >= fpool.NsPerOp {
+		fmt.Fprintf(os.Stderr, "engbench: REGRESSION: fused forward %d ns/op is not below unfused FP32 forward %d ns/op for %s\n",
+			fused.NsPerOp, fpool.NsPerOp, *modelName)
 		os.Exit(1)
 	}
 

@@ -7,6 +7,11 @@
 // buffer-plan aliasing proof over a freshly computed plan. Any
 // Error-severity finding exits nonzero, which is how `make analyze`
 // gates the model zoo.
+//
+// With -opt O1|O2 it runs the graph compiler over every zoo model at
+// the given level and prints the per-model pass report: node and edge
+// counts before/after, fixpoint iterations, and per-pass rewrite
+// totals. A model whose optimization fails verification exits nonzero.
 package main
 
 import (
@@ -18,16 +23,26 @@ import (
 	"edgebench/internal/harness"
 	"edgebench/internal/model"
 	"edgebench/internal/nn"
+	"edgebench/internal/opt"
 	"edgebench/internal/verify"
 )
 
 func main() {
 	sorted := flag.Bool("by-intensity", false, "sort by FLOP/parameter (paper Fig. 1)")
 	analyze := flag.Bool("analyze", false, "run the dataflow verifiers over every zoo model; nonzero exit on findings")
+	optLevel := flag.String("opt", "", "optimize every zoo model at this level (O0, O1, O2) and print per-model pass reports")
 	flag.Parse()
 
 	if *analyze {
 		os.Exit(runAnalyze(os.Stdout))
+	}
+	if *optLevel != "" {
+		level, err := opt.ParseLevel(*optLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelzoo:", err)
+			os.Exit(1)
+		}
+		os.Exit(runOpt(os.Stdout, level))
 	}
 
 	run := harness.TableI
@@ -74,6 +89,37 @@ func runAnalyze(w *os.File) int {
 	}
 	if failed > 0 {
 		fmt.Fprintf(w, "analyze: %d model(s) failed dataflow verification\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// runOpt optimizes every registered model (structural build — pattern
+// fusion, identity elimination, and dead-node removal reason over graph
+// shape alone; constant folding simply finds nothing to fold without
+// weights) and prints one pass report per model. Exit code is nonzero
+// when any model fails a pass or its post-pass verification gate.
+func runOpt(w *os.File, level opt.Level) int {
+	failed := 0
+	for _, s := range model.AllWithExtensions() {
+		g := s.Build(nn.Options{})
+		before := len(g.Nodes)
+		rep, err := opt.Optimize(g, level)
+		if err != nil {
+			failed++
+			fmt.Fprintf(w, "FAIL %-18s %s\n", s.Name, err)
+			continue
+		}
+		fmt.Fprintf(w, "ok   %-18s %3d -> %3d nodes", s.Name, before, len(g.Nodes))
+		for _, st := range rep.Stats {
+			if st.Rewrites > 0 {
+				fmt.Fprintf(w, "  %s:%d", st.Pass, st.Rewrites)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "opt: %d model(s) failed optimization at %s\n", failed, level)
 		return 1
 	}
 	return 0

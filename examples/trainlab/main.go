@@ -20,6 +20,7 @@ import (
 	"edgebench/internal/exchange"
 	"edgebench/internal/graph"
 	"edgebench/internal/nn"
+	graphopt "edgebench/internal/opt"
 	"edgebench/internal/stats"
 	"edgebench/internal/tensor"
 )
@@ -101,9 +102,9 @@ func main() {
 		log.Fatal(err)
 	}
 	lowered := deployed.Clone()
-	graph.FoldBN(lowered)
-	graph.FuseActivations(lowered)
-	graph.QuantizeINT8(lowered)
+	graphopt.FoldBN(lowered)
+	graphopt.FuseActivations(lowered)
+	graphopt.QuantizeINT8(lowered)
 	got, err := (&graph.Executor{}).Run(lowered, sample)
 	if err != nil {
 		log.Fatal(err)

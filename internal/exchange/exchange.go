@@ -56,15 +56,20 @@ type NodeJSON struct {
 	BiasLen    int   `json:"bias_len,omitempty"`
 	BNChannels int   `json:"bn_channels,omitempty"`
 
-	// Deployment annotations (set by lowering passes).
-	DType      string  `json:"dtype,omitempty"`
-	Activation string  `json:"activation,omitempty"`
-	FusedBN    bool    `json:"fused_bn,omitempty"`
-	Sparsity   float64 `json:"sparsity,omitempty"`
+	// Deployment annotations (set by lowering passes). EpiChannels
+	// records an absorbed batch-norm epilogue (opt.FusePatterns); the
+	// materialized scale/shift ride with the weights below.
+	DType       string  `json:"dtype,omitempty"`
+	Activation  string  `json:"activation,omitempty"`
+	FusedBN     bool    `json:"fused_bn,omitempty"`
+	EpiChannels int     `json:"epi_channels,omitempty"`
+	Sparsity    float64 `json:"sparsity,omitempty"`
 
 	// Optional materialized parameters (Options.IncludeWeights).
 	Weights  []float32 `json:"weights,omitempty"`
 	Bias     []float32 `json:"bias,omitempty"`
+	EpiScale []float32 `json:"epi_scale,omitempty"`
+	EpiShift []float32 `json:"epi_shift,omitempty"`
 	Gamma    []float32 `json:"gamma,omitempty"`
 	Beta     []float32 `json:"beta,omitempty"`
 	Mean     []float32 `json:"mean,omitempty"`
@@ -92,7 +97,7 @@ var kindNames = map[graph.OpKind]string{
 	graph.OpConcat: "concat", graph.OpFlatten: "flatten",
 	graph.OpSoftmax: "softmax", graph.OpPad: "pad",
 	graph.OpUpsample: "upsample", graph.OpLSTM: "lstm",
-	graph.OpShuffle: "shuffle",
+	graph.OpShuffle: "shuffle", graph.OpConst: "const",
 }
 
 var kindValues = func() map[string]graph.OpKind {
@@ -131,7 +136,7 @@ func Export(g *graph.Graph, opts Options) ([]byte, error) {
 			Asym: n.Attrs.Asym, Groups: n.Attrs.Groups,
 			Factor: n.Attrs.Factor, Alpha: n.Attrs.Alpha,
 			WShape: n.WShape, BiasLen: n.BiasLen, BNChannels: n.BNChannels,
-			FusedBN: n.FusedBN, Sparsity: n.Sparsity,
+			FusedBN: n.FusedBN, EpiChannels: n.EpiChannels, Sparsity: n.Sparsity,
 		}
 		if n.DType != tensor.FP32 {
 			nj.DType = n.DType.String()
@@ -160,6 +165,7 @@ func Export(g *graph.Graph, opts Options) ([]byte, error) {
 				nj.Mean, nj.Variance = n.BN.Mean, n.BN.Variance
 				nj.Eps = n.BN.Eps
 			}
+			nj.EpiScale, nj.EpiShift = n.EpiScale, n.EpiShift
 		}
 		f.Nodes = append(f.Nodes, nj)
 	}
@@ -202,7 +208,7 @@ func Import(data []byte) (*graph.Graph, error) {
 				Factor: nj.Factor, Alpha: nj.Alpha,
 			},
 			WShape: nj.WShape, BiasLen: nj.BiasLen, BNChannels: nj.BNChannels,
-			FusedBN: nj.FusedBN, Sparsity: nj.Sparsity,
+			FusedBN: nj.FusedBN, EpiChannels: nj.EpiChannels, Sparsity: nj.Sparsity,
 		}
 		if nj.DType != "" {
 			dt, ok := dtypeValues[nj.DType]
@@ -241,6 +247,7 @@ func Import(data []byte) (*graph.Graph, error) {
 			n.Weights = tensor.FromData(nj.Weights, nj.WShape...)
 		}
 		n.Bias = nj.Bias
+		n.EpiScale, n.EpiShift = nj.EpiScale, nj.EpiShift
 		if nj.Gamma != nil {
 			n.BN = &graph.BNParams{
 				Gamma: nj.Gamma, Beta: nj.Beta,

@@ -8,6 +8,7 @@ import (
 	"edgebench/internal/graph"
 	"edgebench/internal/model"
 	"edgebench/internal/nn"
+	"edgebench/internal/opt"
 	"edgebench/internal/stats"
 	"edgebench/internal/tensor"
 )
@@ -208,5 +209,66 @@ func TestRoundTripDeploymentAnnotations(t *testing.T) {
 	bad2 := strings.Replace(string(data), `"dtype":"int8"`, `"dtype":"int3"`, 1)
 	if _, err := exchange.Import([]byte(bad2)); err == nil {
 		t.Fatal("unknown dtype should be rejected")
+	}
+}
+
+func TestRoundTripFusedGraphExecutes(t *testing.T) {
+	// An O2-fused graph (epilogue-carrying nodes, folded consts removed)
+	// must survive a weighted round trip and execute bitwise-identically:
+	// EpiChannels/EpiScale/EpiShift ride the interchange format.
+	b := nn.NewBuilder("ftrip", nn.Options{Materialize: true, Seed: 6}, 3, 8, 8)
+	b.ConvBNReLU("blk1", 4, 3, 1, 1)
+	b.ConvBNReLU("blk2", 8, 3, 2, 1)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 3, true)
+	b.Softmax("p")
+	g := b.Build()
+	if _, err := opt.Optimize(g, opt.O2); err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, n := range g.Nodes {
+		if n.EpiChannels > 0 {
+			fused++
+		}
+	}
+	if fused == 0 {
+		t.Fatal("O2 fused nothing; the round trip would not exercise epilogues")
+	}
+
+	data, err := exchange.Export(g, exchange.Options{IncludeWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := exchange.Import(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backFused := 0
+	for _, n := range back.Nodes {
+		if n.EpiChannels > 0 {
+			backFused++
+			if len(n.EpiScale) != n.EpiChannels || len(n.EpiShift) != n.EpiChannels {
+				t.Fatalf("node %s epilogue arrays %d/%d, want %d",
+					n, len(n.EpiScale), len(n.EpiShift), n.EpiChannels)
+			}
+		}
+	}
+	if backFused != fused {
+		t.Fatalf("round trip kept %d epilogue nodes, want %d", backFused, fused)
+	}
+	in := tensor.New(3, 8, 8).Randomize(stats.NewRNG(7), 1)
+	want, err := (&graph.Executor{}).Run(g, in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&graph.Executor{}).Run(back, in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("fused execution diverges at %d after round trip", i)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"edgebench/internal/device"
 	"edgebench/internal/graph"
+	"edgebench/internal/opt"
 	"edgebench/internal/tensor"
 )
 
@@ -94,24 +95,27 @@ type Framework struct {
 // model graph, applies the framework's optimization pipeline, and sets
 // the execution mode. Quantization and FP16 casting apply only when the
 // framework supports them; whether they pay off on the device is the
-// latency model's concern (the datatype is on the nodes).
+// latency model's concern (the datatype is on the nodes). Passes run
+// through internal/opt's verified wrappers, so a lowering that breaks
+// IR invariants panics with the verifier's diagnostics instead of
+// reaching the latency model.
 func (f *Framework) Lower(g *graph.Graph, dev *device.Device) *graph.Graph {
 	out := g.Clone()
 	out.Mode = f.Mode
 
 	if f.Opts.Fusion {
-		graph.FoldBN(out)
-		graph.FuseActivations(out)
+		opt.FoldBN(out)
+		opt.FuseActivations(out)
 	}
 	switch {
 	case f.Opts.Quantization && f.quantizeOn(dev):
-		graph.QuantizeINT8(out)
+		opt.QuantizeINT8(out)
 	case f.Opts.HalfPrecision && dev.SupportsNative(tensor.FP16):
-		graph.CastFP16(out)
+		opt.CastFP16(out)
 	}
 	if f.Mode == graph.Static {
-		graph.EliminateDead(out)
-		graph.FreezeGraph(out)
+		opt.EliminateDead(out)
+		opt.FreezeGraph(out)
 	}
 	return out
 }

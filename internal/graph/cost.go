@@ -7,6 +7,13 @@ package graph
 type Cost struct {
 	// FLOPs is the arithmetic work (1 per MAC, 1 per elementwise op).
 	FLOPs float64
+	// MACs is the multiply-accumulate subset of FLOPs — the convolution
+	// and matrix-product work. Unlike FLOPs it is invariant under fusion:
+	// absorbing a BN or activation into a compute kernel moves elementwise
+	// work into the kernel's epilogue but adds no multiplies to the
+	// contraction, so O2 and O0 lowerings of one model report equal MACs
+	// (the property the cost tests pin down).
+	MACs float64
 	// WeightBytes is parameter traffic in the node's execution datatype.
 	WeightBytes float64
 	// ActInBytes and ActOutBytes are activation traffic in and out.
@@ -21,6 +28,7 @@ func (c Cost) Bytes() float64 { return c.WeightBytes + c.ActInBytes + c.ActOutBy
 func (c Cost) Plus(o Cost) Cost {
 	return Cost{
 		FLOPs:       c.FLOPs + o.FLOPs,
+		MACs:        c.MACs + o.MACs,
 		WeightBytes: c.WeightBytes + o.WeightBytes,
 		ActInBytes:  c.ActInBytes + o.ActInBytes,
 		ActOutBytes: c.ActOutBytes + o.ActOutBytes,
@@ -45,18 +53,21 @@ func NodeCost(n *Node) Cost {
 	case OpConv2D, OpConv3D:
 		// MACs = (elements per filter) x (output elements).
 		perFilter := float64(n.WShape.NumElems()) / float64(n.WShape[0])
-		c.FLOPs = perFilter * outElems
+		c.MACs = perFilter * outElems
+		c.FLOPs = c.MACs
 		if n.BiasLen > 0 {
 			c.FLOPs += outElems
 		}
 	case OpDepthwiseConv2D:
 		kh, kw := n.WShape[1], n.WShape[2]
-		c.FLOPs = float64(kh*kw) * outElems
+		c.MACs = float64(kh*kw) * outElems
+		c.FLOPs = c.MACs
 		if n.BiasLen > 0 {
 			c.FLOPs += outElems
 		}
 	case OpDense:
-		c.FLOPs = float64(n.WShape.NumElems())
+		c.MACs = float64(n.WShape.NumElems())
+		c.FLOPs = c.MACs
 		if n.BiasLen > 0 {
 			c.FLOPs += outElems
 		}
@@ -65,6 +76,7 @@ func NodeCost(n *Node) Cost {
 		// unit for the gate nonlinearities and state updates.
 		steps := float64(n.in(0).OutShape[0])
 		hidden := float64(n.WShape[0] / 4)
+		c.MACs = steps * float64(n.WShape.NumElems())
 		c.FLOPs = steps * (float64(n.WShape.NumElems()) + float64(n.BiasLen) + 8*hidden)
 	case OpBatchNorm:
 		c.FLOPs = 2 * outElems // scale + shift per element
@@ -81,6 +93,9 @@ func NodeCost(n *Node) Cost {
 		c.FLOPs = 0 // pure data movement
 	}
 
+	if n.EpiChannels > 0 {
+		c.FLOPs += 2 * outElems // absorbed BN affine: scale + shift per element
+	}
 	if n.Activation != 0 {
 		c.FLOPs += outElems // fused activation still computes
 	}

@@ -13,17 +13,22 @@ func (g *Graph) DOT() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
 	for _, n := range g.Nodes {
-		label := fmt.Sprintf("%s\\n%s %v", n.Name, n.Kind, []int(n.OutShape))
+		// The op line shows the whole absorbed chain (e.g. conv2d+bn+relu6)
+		// so a fused node reads as the ops it executes, whether the BN was
+		// folded into weights (FoldBN) or kept as a runtime epilogue
+		// (FusePatterns).
+		kind := n.Kind.String()
+		if n.FusedBN || n.EpiChannels > 0 {
+			kind += "+bn"
+		}
+		if n.Activation != 0 {
+			kind += "+" + n.Activation.String()
+		}
+		label := fmt.Sprintf("%s\\n%s %v", n.Name, kind, []int(n.OutShape))
 		if p := n.ParamCount(); p > 0 {
 			label += fmt.Sprintf("\\n%d params", p)
 		}
 		var marks []string
-		if n.FusedBN {
-			marks = append(marks, "+bn")
-		}
-		if n.Activation != 0 {
-			marks = append(marks, "+"+n.Activation.String())
-		}
 		if n.Sparsity > 0 {
 			marks = append(marks, fmt.Sprintf("%.0f%% sparse", n.Sparsity*100))
 		}

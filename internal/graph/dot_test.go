@@ -38,3 +38,21 @@ func TestDOTRendering(t *testing.T) {
 		t.Fatal("malformed DOT document")
 	}
 }
+
+func TestDOTRendersEpilogueFusedChain(t *testing.T) {
+	// A pattern-fused node renders its whole absorbed chain
+	// ("conv2d+bn+relu6") so the optimized topology stays inspectable.
+	b := nn.NewBuilder("fuseddot", nn.Options{}, 3, 8, 8)
+	b.Conv2D("conv", 4, 3, 1, 1, false)
+	b.BatchNorm("bn")
+	b.ReLU6("relu6")
+	g := b.Build()
+	graph.FusePatterns(g)
+	dot := g.DOT()
+	if !strings.Contains(dot, "conv2d+bn+relu6") {
+		t.Fatalf("DOT output missing the fused chain label:\n%s", dot)
+	}
+	if strings.Contains(dot, "batchnorm") {
+		t.Fatal("absorbed BN still rendered as its own node")
+	}
+}

@@ -72,9 +72,12 @@ type Executor struct {
 
 	// nInt8/nFP32 count compute-kernel dispatches (conv/dense families)
 	// by execution datatype — the probe tests and the serving metrics
-	// use to assert a quantized graph really runs int8 kernels. Atomic:
-	// the wavefront scheduler evaluates nodes concurrently.
-	nInt8, nFP32 atomic.Int64
+	// use to assert a quantized graph really runs int8 kernels. nFused
+	// counts the subset of dispatches (either datatype) that ran a fused
+	// epilogue kernel (absorbed BN/activation applied in the output
+	// loop) rather than separate elementwise passes. Atomic: the
+	// wavefront scheduler evaluates nodes concurrently.
+	nInt8, nFP32, nFused atomic.Int64
 
 	// lastValues retains the most recent forward pass's node values for
 	// RunValues (training) callers.
@@ -105,9 +108,12 @@ func (e *Executor) Run(g *Graph, input *tensor.Tensor) (*tensor.Tensor, error) {
 
 // DispatchCounts reports how many compute-kernel dispatches (the
 // conv/dense op families) ran on the int8 path vs the FP32 path since
-// the executor was created. Safe to call concurrently with Run.
-func (e *Executor) DispatchCounts() (int8Kernels, fp32Kernels int64) {
-	return e.nInt8.Load(), e.nFP32.Load()
+// the executor was created, plus how many of those (across both paths)
+// ran a fused epilogue kernel — bias/BN/activation applied in the
+// kernel's output loop instead of separate node dispatches. Safe to
+// call concurrently with Run.
+func (e *Executor) DispatchCounts() (int8Kernels, fp32Kernels, fusedKernels int64) {
+	return e.nInt8.Load(), e.nFP32.Load(), e.nFused.Load()
 }
 
 // PoolStats reports the arena's traffic counters; zero-valued until a
@@ -406,7 +412,21 @@ func (e *Executor) evalNode(n *Node, rt *runState) (out *tensor.Tensor, err erro
 		// The int8 kernels fuse the activation into their requantize
 		// epilogue, so no separate applyActivation pass runs here.
 		e.nInt8.Add(1)
+		if n.Activation != 0 {
+			e.nFused.Add(1)
+		}
 		return out, qerr
+	}
+	if out, ok, ferr := e.evalFused(n, rt); ok {
+		// One fused FP32 kernel call: absorbed BN affine and activation
+		// run in the output buffer, no separate elementwise dispatches.
+		// (Fused adds count as fused kernels but, like unfused adds, stay
+		// outside the conv/dense dispatch-family counter.)
+		if isComputeKernelKind(n.Kind) {
+			e.nFP32.Add(1)
+		}
+		e.nFused.Add(1)
+		return out, ferr
 	}
 	out, err = e.eval(n, rt)
 	if err == nil && n.Activation != 0 {
@@ -416,6 +436,66 @@ func (e *Executor) evalNode(n *Node, rt *runState) (out *tensor.Tensor, err erro
 		e.nFP32.Add(1)
 	}
 	return out, err
+}
+
+// evalFused dispatches nodes carrying a fused FP32 epilogue (an
+// absorbed batch-norm affine and/or activation from the pattern-fusion
+// pass) to the single-call fused kernels in internal/tensor, mirroring
+// the int8 path's requantize epilogue. ok is false when the node has
+// nothing fused or no fused kernel exists for its kind (grouped/3-D
+// convolutions keep the eval + applyActivation fallback). A node with
+// an absorbed affine but no fused kernel is an error: the fallback
+// would silently skip the affine, so the verifier forbids the
+// combination and the executor refuses it.
+func (e *Executor) evalFused(n *Node, rt *runState) (out *tensor.Tensor, ok bool, err error) {
+	if n.Activation == 0 && n.EpiChannels == 0 {
+		return nil, false, nil
+	}
+	fusable := false
+	switch n.Kind {
+	case OpConv2D:
+		fusable = n.Attrs.GroupCount() == 1
+	case OpDepthwiseConv2D, OpDense:
+		fusable = true
+	case OpAdd:
+		fusable = n.EpiChannels == 0 // adds absorb activations only
+	}
+	if !fusable {
+		if n.EpiChannels > 0 {
+			return nil, true, fmt.Errorf("no fused kernel for %s with an absorbed batch-norm epilogue", n.Kind)
+		}
+		return nil, false, nil
+	}
+	epi := tensor.Epilogue{
+		Scale: n.EpiScale,
+		Shift: n.EpiShift,
+		Act:   actFor(n.Activation),
+		Alpha: n.Attrs.LeakySlope(),
+	}
+	in, found := rt.values[n.Inputs[0]]
+	if !found {
+		return nil, true, fmt.Errorf("input %s not computed", n.Inputs[0])
+	}
+	dst := rt.alloc(n)
+	switch n.Kind {
+	case OpConv2D:
+		if e.UseGEMMConv {
+			tensor.Conv2DGEMMFusedInto(dst, in, n.Weights, n.Bias, n.Attrs.ConvSpec(), rt.scratch(), epi)
+		} else {
+			tensor.Conv2DFusedInto(dst, in, n.Weights, n.Bias, n.Attrs.ConvSpec(), epi)
+		}
+	case OpDepthwiseConv2D:
+		tensor.DepthwiseConv2DFusedInto(dst, in, n.Weights, n.Bias, n.Attrs.ConvSpec(), epi)
+	case OpDense:
+		tensor.DenseFusedInto(dst, n.Weights, n.Bias, in.Data, epi)
+	case OpAdd:
+		b, found := rt.values[n.Inputs[1]]
+		if !found {
+			return nil, true, fmt.Errorf("input %s not computed", n.Inputs[1])
+		}
+		tensor.AddFusedInto(dst, in, b, epi)
+	}
+	return dst, true, nil
 }
 
 // isComputeKernelKind reports whether the op is in the conv/dense kernel
@@ -455,6 +535,11 @@ func (e *Executor) evalQuantized(n *Node, rt *runState) (out *tensor.Tensor, ok 
 	if n.QWeights == nil {
 		return nil, false, nil
 	}
+	if n.EpiChannels > 0 {
+		// The int8 requantize epilogue has no per-channel affine stage;
+		// fall back to the FP32 fused path via the dequantized shadow.
+		return nil, false, nil
+	}
 	if n.Activation != 0 && actFor(n.Activation) == tensor.ActNone {
 		return nil, false, nil
 	}
@@ -491,6 +576,10 @@ func (e *Executor) eval(n *Node, rt *runState) (*tensor.Tensor, error) {
 		return v, nil
 	}
 	switch n.Kind {
+	case OpConst:
+		// The value is the node's weight tensor; consumers treat inputs
+		// as read-only, so no defensive copy is made.
+		return n.Weights, nil
 	case OpConv2D:
 		in, err := get(0)
 		if err != nil {

@@ -45,14 +45,14 @@ func TestQuantizedDispatchProbe(t *testing.T) {
 			graph.QuantizeINT8(g)
 
 			e := mode.mk()
-			if i8, f32 := e.DispatchCounts(); i8 != 0 || f32 != 0 {
+			if i8, f32, _ := e.DispatchCounts(); i8 != 0 || f32 != 0 {
 				t.Fatalf("fresh executor counts %d/%d, want 0/0", i8, f32)
 			}
 			out, err := e.Run(g, in)
 			if err != nil {
 				t.Fatal(err)
 			}
-			i8, f32 := e.DispatchCounts()
+			i8, f32, _ := e.DispatchCounts()
 			if i8 != 2 {
 				t.Fatalf("int8 dispatches = %d, want 2 (conv1+fc)", i8)
 			}
@@ -96,7 +96,7 @@ func TestQuantizePerChannelExecutesInt8(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if i8, _ := e.DispatchCounts(); i8 != 2 {
+	if i8, _, _ := e.DispatchCounts(); i8 != 2 {
 		t.Fatalf("int8 dispatches = %d, want 2", i8)
 	}
 	if d := maxAbsDiff(ref, out); d > 0.2 {

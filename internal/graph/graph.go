@@ -173,7 +173,7 @@ func (g *Graph) Roots() []*Node {
 // variadic ops.
 func arity(k OpKind) int {
 	switch k {
-	case OpInput:
+	case OpInput, OpConst:
 		return 0
 	case OpAdd:
 		return 2
@@ -192,19 +192,26 @@ func (g *Graph) Clone() *Graph {
 	out := &Graph{Name: g.Name, Mode: g.Mode, Frozen: false, nextID: g.nextID}
 	for _, n := range g.Nodes {
 		cp := &Node{
-			ID:         n.ID,
-			Name:       n.Name,
-			Kind:       n.Kind,
-			Attrs:      n.Attrs,
-			WShape:     n.WShape.Clone(),
-			BiasLen:    n.BiasLen,
-			BNChannels: n.BNChannels,
-			OutShape:   n.OutShape.Clone(),
-			DType:      n.DType,
-			Activation: n.Activation,
-			FusedBN:    n.FusedBN,
-			Sparsity:   n.Sparsity,
-			BN:         n.BN.Clone(),
+			ID:          n.ID,
+			Name:        n.Name,
+			Kind:        n.Kind,
+			Attrs:       n.Attrs,
+			WShape:      n.WShape.Clone(),
+			BiasLen:     n.BiasLen,
+			BNChannels:  n.BNChannels,
+			OutShape:    n.OutShape.Clone(),
+			DType:       n.DType,
+			Activation:  n.Activation,
+			FusedBN:     n.FusedBN,
+			EpiChannels: n.EpiChannels,
+			Sparsity:    n.Sparsity,
+			BN:          n.BN.Clone(),
+		}
+		if n.EpiScale != nil {
+			cp.EpiScale = append([]float32(nil), n.EpiScale...)
+		}
+		if n.EpiShift != nil {
+			cp.EpiShift = append([]float32(nil), n.EpiShift...)
 		}
 		if n.Weights != nil {
 			cp.Weights = n.Weights.Clone()
@@ -292,6 +299,11 @@ func inferShape(n *Node) (tensor.Shape, error) {
 			return nil, fmt.Errorf("input node has no shape")
 		}
 		return n.OutShape, nil
+	case OpConst:
+		if len(n.WShape) == 0 {
+			return nil, fmt.Errorf("const node has no value shape")
+		}
+		return n.WShape.Clone(), nil
 	case OpConv2D:
 		in, w := n.in(0).OutShape, n.WShape
 		if err := wantRank("input", in, 3); err != nil {

@@ -126,6 +126,19 @@ type Node struct {
 	// profiling can attribute the saved op.
 	FusedBN bool
 
+	// EpiChannels, when non-zero, records a batch-norm absorbed into this
+	// node as a per-channel affine epilogue by the pattern-fusion pass
+	// (opt.FusePatterns). Unlike FoldBN, which rewrites the weights (and
+	// so perturbs numerics), the epilogue executes at runtime inside the
+	// fused kernel — bitwise identical to the separate BatchNorm node.
+	// EpiChannels is the structural description; EpiScale/EpiShift are the
+	// materialized per-channel terms (scale = gamma/sqrt(var+eps),
+	// shift = beta - mean*scale), nil on structural graphs.
+	EpiChannels int
+	// EpiScale and EpiShift hold the materialized epilogue affine terms,
+	// each of length EpiChannels.
+	EpiScale, EpiShift []float32
+
 	// Sparsity is the fraction of zero weights after pruning, in [0, 1].
 	Sparsity float64
 }
@@ -143,6 +156,7 @@ func (n *Node) ParamCount() int64 {
 	}
 	p += int64(n.BiasLen)
 	p += 4 * int64(n.BNChannels)
+	p += 2 * int64(n.EpiChannels)
 	return p
 }
 
@@ -162,6 +176,9 @@ func (n *Node) Materialized() bool {
 		return false
 	}
 	if n.BNChannels > 0 && n.BN == nil {
+		return false
+	}
+	if n.EpiChannels > 0 && (n.EpiScale == nil || n.EpiShift == nil) {
 		return false
 	}
 	return true

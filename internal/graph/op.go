@@ -61,6 +61,11 @@ const (
 	// shuffle, §VIII's mobile-specific-model group): with g groups,
 	// channel i moves to (i%g)*(C/g) + i/g. Pure data movement.
 	OpShuffle
+	// OpConst is a compile-time constant tensor: zero inputs, value in
+	// Weights (shape WShape). Produced by the constant-folding pass when
+	// an all-constant subgraph is evaluated offline; costs zero FLOPs at
+	// inference.
+	OpConst
 )
 
 var opNames = map[OpKind]string{
@@ -87,6 +92,7 @@ var opNames = map[OpKind]string{
 	OpUpsample:        "upsample",
 	OpLSTM:            "lstm",
 	OpShuffle:         "shuffle",
+	OpConst:           "const",
 }
 
 // String names the op kind.
@@ -108,9 +114,10 @@ func (k OpKind) IsActivation() bool {
 }
 
 // HasWeights reports whether the op carries learned parameters.
+// OpConst counts: its value lives in Weights like a parameter tensor.
 func (k OpKind) HasWeights() bool {
 	switch k {
-	case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense, OpBatchNorm, OpLSTM:
+	case OpConv2D, OpDepthwiseConv2D, OpConv3D, OpDense, OpBatchNorm, OpLSTM, OpConst:
 		return true
 	}
 	return false

@@ -22,7 +22,7 @@ func consumers(g *Graph) map[*Node][]*Node {
 }
 
 // replaceUses rewires every reference to old so it points at repl, and
-// moves the graph output if necessary.
+// moves the graph output (and any extra-output root) if necessary.
 func replaceUses(g *Graph, old, repl *Node) {
 	for _, n := range g.Nodes {
 		for i, in := range n.Inputs {
@@ -33,6 +33,11 @@ func replaceUses(g *Graph, old, repl *Node) {
 	}
 	if g.Output == old {
 		g.Output = repl
+	}
+	for i, x := range g.Extra {
+		if x == old {
+			g.Extra[i] = repl
+		}
 	}
 }
 
@@ -166,7 +171,10 @@ func quantizeNode(n *Node, perChannel bool) {
 		q = tensor.QuantizeSymmetric(n.Weights)
 	}
 	n.Weights = q.Dequantize()
-	if int8Executable(n) {
+	// A node carrying an absorbed-BN epilogue stays on the FP32 fused
+	// path: the int8 requantize epilogue has no per-channel affine stage
+	// (verify's fusion rule rejects the combination).
+	if int8Executable(n) && n.EpiChannels == 0 {
 		n.QWeights = q
 	}
 }

@@ -80,7 +80,7 @@ func TestZooInt8Conformance(t *testing.T) {
 					t.Fatalf("%s: int8 output drifts %.4f from FP32 (tolerance %v)",
 						v.name, maxDiff, int8Tolerance)
 				}
-				i8, _ := v.exec.DispatchCounts()
+				i8, _, _ := v.exec.DispatchCounts()
 				if quantizable > 0 && i8 == 0 {
 					t.Fatalf("%s: %d quantizable nodes but zero int8 kernel dispatches",
 						v.name, quantizable)

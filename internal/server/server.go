@@ -57,9 +57,12 @@ type Metrics struct {
 	WeightBytes *metrics.Gauge
 	// Int8Dispatches / FP32Dispatches gauge cumulative compute-kernel
 	// dispatches by datatype across the engine's replicas, refreshed on
-	// each /metrics scrape.
-	Int8Dispatches *metrics.Gauge
-	FP32Dispatches *metrics.Gauge
+	// each /metrics scrape. FusedDispatches gauges the subset (either
+	// datatype) that ran a fused epilogue kernel — absorbed BN/activation
+	// applied inside the kernel's output loop.
+	Int8Dispatches  *metrics.Gauge
+	FP32Dispatches  *metrics.Gauge
+	FusedDispatches *metrics.Gauge
 }
 
 // NewMetrics builds the standard serving metric set on a fresh registry.
@@ -84,6 +87,8 @@ func NewMetrics() *Metrics {
 			"Cumulative conv/dense kernels dispatched on the int8 path across replicas."),
 		FP32Dispatches: r.NewGauge("edgeserve_fp32_kernel_dispatches",
 			"Cumulative conv/dense kernels dispatched on the FP32 path across replicas."),
+		FusedDispatches: r.NewGauge("edgeserve_fused_kernel_dispatches",
+			"Cumulative compute kernels that ran a fused epilogue (absorbed BN/activation) across replicas."),
 	}
 }
 
@@ -121,9 +126,10 @@ func New(eng *serving.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		// Refresh the dispatch gauges from the engine at scrape time so
 		// the exported counts reflect kernels run since start.
-		i8, f32 := eng.DispatchCounts()
+		i8, f32, fz := eng.DispatchCounts()
 		m.Int8Dispatches.SetMax(float64(i8))
 		m.FP32Dispatches.SetMax(float64(f32))
+		m.FusedDispatches.SetMax(float64(fz))
 		metricsHandler.ServeHTTP(w, r)
 	})
 	s.ready.Store(true)

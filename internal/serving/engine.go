@@ -193,22 +193,24 @@ func (e *Engine) WeightBytes() int64 {
 }
 
 // DispatchCounts sums the executor dispatch counters (int8-path vs
-// FP32-path compute kernels) across all replicas currently parked in
-// the pool; quiesce the engine first for exact totals.
-func (e *Engine) DispatchCounts() (int8Kernels, fp32Kernels int64) {
+// FP32-path compute kernels, plus the fused-epilogue subset) across all
+// replicas currently parked in the pool; quiesce the engine first for
+// exact totals.
+func (e *Engine) DispatchCounts() (int8Kernels, fp32Kernels, fusedKernels int64) {
 	n := len(e.replicas)
 	held := make([]*graph.Executor, 0, n)
 	for i := 0; i < n; i++ {
 		ex := <-e.replicas
-		i8, f32 := ex.DispatchCounts()
+		i8, f32, fz := ex.DispatchCounts()
 		int8Kernels += i8
 		fp32Kernels += f32
+		fusedKernels += fz
 		held = append(held, ex)
 	}
 	for _, ex := range held {
 		e.replicas <- ex
 	}
-	return int8Kernels, fp32Kernels
+	return int8Kernels, fp32Kernels, fusedKernels
 }
 
 // PoolStats sums the arena counters across all replicas currently parked

@@ -1,0 +1,166 @@
+package tensor
+
+import "math"
+
+// This file is the FP32 twin of the int8 epilogue in qconv.go: fused
+// kernels that run a compute op's main loop and then apply an absorbed
+// batch-norm (per-channel affine) and activation in the output buffer,
+// so a Conv→BN→ReLU chain is one kernel call with no intermediate
+// tensors. Bit-exactness contract: the epilogue performs the exact
+// per-element operation sequence of the unfused node chain —
+// (x [+bias]) then (x*scale + shift) then act(x) — with scale/shift
+// precomputed by the same formula BatchNormInto uses, so fused and
+// unfused execution produce bitwise-identical float32 outputs.
+
+// Epilogue describes the fused post-processing a kernel applies to its
+// output: an optional per-channel affine (an absorbed batch-norm, with
+// scale = gamma/sqrt(var+eps) and shift = beta - mean*scale) followed
+// by an optional activation. The zero value is a no-op.
+type Epilogue struct {
+	// Scale/Shift are per-output-channel affine terms; nil means no
+	// absorbed batch-norm. Both must have equal length.
+	Scale, Shift []float32
+	// Act is the fused activation; ActNone means none.
+	Act Act
+	// Alpha is the LeakyReLU negative slope.
+	Alpha float32
+}
+
+// Empty reports whether the epilogue performs no work.
+func (e Epilogue) Empty() bool { return len(e.Scale) == 0 && e.Act == ActNone }
+
+// ApplyInto applies the epilogue to dst in place: the affine sweep runs
+// per channel (channel count = len(Scale), plane = elements/channel —
+// for a rank-1 vector that degenerates to one term per element), then
+// the activation sweep runs elementwise. The two sweeps reproduce the
+// separate BatchNorm and activation nodes' per-element operation order
+// exactly, so the result is bitwise identical to the unfused chain.
+func (e Epilogue) ApplyInto(dst *Tensor) {
+	if c := len(e.Scale); c > 0 {
+		if len(e.Shift) != c {
+			panic("tensor: Epilogue scale/shift length mismatch")
+		}
+		n := dst.Shape.NumElems()
+		if n%c != 0 {
+			panic("tensor: Epilogue channels do not divide output elements")
+		}
+		plane := n / c
+		for ic := 0; ic < c; ic++ {
+			seg := dst.Data[ic*plane : (ic+1)*plane]
+			scale, shift := e.Scale[ic], e.Shift[ic]
+			for i, v := range seg {
+				seg[i] = v*scale + shift
+			}
+		}
+	}
+	if e.Act != ActNone {
+		applyActInPlace(dst.Data, e.Act, e.Alpha)
+	}
+}
+
+// applyActInPlace applies the activation elementwise in place, using
+// the exact expressions of the standalone *Into activation kernels.
+func applyActInPlace(data []float32, act Act, alpha float32) {
+	switch act {
+	case ActReLU:
+		for i, v := range data {
+			if v < 0 {
+				data[i] = 0
+			}
+		}
+	case ActReLU6:
+		for i, v := range data {
+			if v < 0 {
+				data[i] = 0
+			} else if v > 6 {
+				data[i] = 6
+			}
+		}
+	case ActLeakyReLU:
+		for i, v := range data {
+			if v < 0 {
+				data[i] = alpha * v
+			}
+		}
+	case ActSigmoid:
+		for i, v := range data {
+			data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	case ActTanh:
+		for i, v := range data {
+			data[i] = float32(math.Tanh(float64(v)))
+		}
+	}
+}
+
+// Conv2DFusedInto computes the direct (auto-parallel) convolution with
+// bias and applies the epilogue in the output buffer — one kernel call
+// for a fused Conv→BN→act node.
+func Conv2DFusedInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, epi Epilogue) {
+	Conv2DAutoInto(dst, in, w, bias, spec)
+	epi.ApplyInto(dst)
+}
+
+// Conv2DGEMMFusedInto is the im2col+GEMM convolution with the bias,
+// affine, and activation folded into one per-channel output sweep (the
+// GEMM path's bias loop already traverses the output once; the fused
+// sweep does bias+epilogue in that same pass).
+func Conv2DGEMMFusedInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, scratch *Pool, epi Epilogue) {
+	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	checkConvDst(dst, cout, hout, wout)
+	if c := len(epi.Scale); c > 0 && (len(epi.Shift) != c || c != cout) {
+		panic("tensor: Conv2DGEMMFused epilogue length mismatch")
+	}
+	cin, kh, kw := w.Shape[1], w.Shape[2], w.Shape[3]
+	rows := cin * kh * kw
+	ncols := hout * wout
+	var cols *Tensor
+	if scratch != nil {
+		cols = scratch.Get(rows, ncols)
+	} else {
+		cols = New(rows, ncols)
+	}
+	im2colInto(cols.Data, in, kh, kw, spec, hout, wout)
+	matmulInto(dst.Data, w.Data, cols.Data, cout, rows, ncols)
+	if scratch != nil {
+		scratch.Put(cols)
+	}
+	for oc := 0; oc < cout; oc++ {
+		seg := dst.Data[oc*ncols : (oc+1)*ncols]
+		if bias != nil {
+			b := bias[oc]
+			for i := range seg {
+				seg[i] += b
+			}
+		}
+		if len(epi.Scale) > 0 {
+			scale, shift := epi.Scale[oc], epi.Shift[oc]
+			for i, v := range seg {
+				seg[i] = v*scale + shift
+			}
+		}
+		applyActInPlace(seg, epi.Act, epi.Alpha)
+	}
+}
+
+// DepthwiseConv2DFusedInto computes the depthwise convolution with bias
+// and applies the epilogue in the output buffer.
+func DepthwiseConv2DFusedInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, epi Epilogue) {
+	DepthwiseConv2DInto(dst, in, w, bias, spec)
+	epi.ApplyInto(dst)
+}
+
+// DenseFusedInto computes dst = epi(w*x + bias) for a [Out, In] weight
+// matrix; the epilogue's affine (if any) is per output element.
+func DenseFusedInto(dst *Tensor, w *Tensor, bias, x []float32, epi Epilogue) {
+	DenseInto(dst.Data, w, bias, x)
+	epi.ApplyInto(dst)
+}
+
+// AddFusedInto computes dst = epi(a + b) — the fused residual-add +
+// activation kernel (the epilogue carries no affine for adds).
+func AddFusedInto(dst, a, b *Tensor, epi Epilogue) {
+	AddInto(dst, a, b)
+	epi.ApplyInto(dst)
+}

@@ -368,6 +368,26 @@ func (c *checker) checkFusion() {
 				c.add("fusion", Error, n, "FusedBN on op %s, which FoldBN never folds into", n.Kind)
 			}
 		}
+		if n.EpiChannels > 0 {
+			// The absorbed-BN epilogue exists only where the executor has a
+			// fused FP32 kernel; elsewhere the affine would silently be
+			// skipped by the generic fallback.
+			switch n.Kind {
+			case graph.OpConv2D:
+				if n.Attrs.GroupCount() != 1 {
+					c.add("fusion", Error, n, "BN epilogue on grouped convolution (no fused kernel)")
+				}
+			case graph.OpDepthwiseConv2D, graph.OpDense:
+			default:
+				c.add("fusion", Error, n, "BN epilogue on op %s, which has no fused kernel", n.Kind)
+			}
+			if n.QWeights != nil {
+				c.add("fusion", Error, n, "BN epilogue on an int8-dispatched node (the int8 requantize epilogue has no affine stage)")
+			}
+			if len(n.OutShape) > 0 && n.EpiChannels != n.OutShape[0] {
+				c.add("fusion", Error, n, "BN epilogue has %d channels over output %v", n.EpiChannels, n.OutShape)
+			}
+		}
 	}
 }
 
@@ -396,6 +416,15 @@ func (c *checker) checkParams() {
 					break
 				}
 			}
+		}
+		if n.EpiChannels > 0 {
+			if (n.EpiScale != nil || n.EpiShift != nil) &&
+				(len(n.EpiScale) != n.EpiChannels || len(n.EpiShift) != n.EpiChannels) {
+				c.add("params", Error, n, "epilogue arrays sized %d/%d, declared %d channels",
+					len(n.EpiScale), len(n.EpiShift), n.EpiChannels)
+			}
+		} else if n.EpiScale != nil || n.EpiShift != nil {
+			c.add("params", Error, n, "epilogue arrays present but EpiChannels is 0")
 		}
 		if n.Sparsity < 0 || n.Sparsity > 1 {
 			c.add("params", Error, n, "sparsity %v outside [0, 1]", n.Sparsity)
