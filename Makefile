@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint analyze race check cover bench bench-smoke opt-equiv reproduce sweep examples serve-smoke clean
+.PHONY: all build vet test lint analyze race check cover bench bench-smoke opt-equiv reproduce sweep examples serve-smoke pipe-smoke clean
 
 all: build vet test
 
@@ -58,8 +58,21 @@ serve-smoke:
 	$(GO) run ./cmd/edgeserve -model CifarNet -framework TFLite -device EdgeTPU \
 		-listen 127.0.0.1:0 -replicas 2 -attack auto,2s,4 -smoke -quantize int8
 
+# Distributed pipelined-serving smoke: partitions CifarNet into three
+# pipeline stages (the paper's RPi3 / Nano / TX2 testbed under the
+# ethernet link model), spawns three local stage-worker processes,
+# verifies the distributed pipeline is bit-identical to the
+# single-process executor, then fires a burst load through the front
+# server and asserts the pipeline out-throughputs one serving replica
+# (the throughput gate enforces on >= 4-CPU hosts and is loudly waived
+# below that, matching the engbench scaling-gate policy).
+pipe-smoke:
+	$(GO) run ./cmd/edgepipe run -model CifarNet -framework TFLite \
+		-devices RPi3,JetsonNano,JetsonTX2 -link ethernet \
+		-check 4 -attack auto,2s,4 -smoke
+
 # The CI gate: everything that must be clean before a merge.
-check: build analyze opt-equiv race serve-smoke
+check: build analyze opt-equiv race serve-smoke pipe-smoke
 
 cover:
 	$(GO) test -cover ./...

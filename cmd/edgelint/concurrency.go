@@ -393,13 +393,18 @@ func hasLifecyclePlumbing(ctx *Context, body ast.Node) bool {
 // retirable: they pass the done-channel exemption because each worker
 // receives the generation's stop channel (chan struct{}) as an
 // argument, and closing it is exactly how ensurePool retires a
-// generation on GOMAXPROCS resize.
+// generation on GOMAXPROCS resize. internal/cluster joined the scope
+// with the distributed pipeline: every worker/dispatcher goroutine
+// (accept loops, per-connection readers, the compute loop) must be
+// joinable through the done channel + WaitGroup teardown or a killed
+// stage would leak readers blocked on dead sockets.
 var goLifetimeAnalyzer = register(&Analyzer{
 	Name: "go-lifetime",
 	Doc:  "long-lived goroutines need ctx, a done channel, or a WaitGroup",
 	Applies: func(path string) bool {
 		switch path {
-		case "edgebench/internal/server", "edgebench/internal/serving", "edgebench/internal/tensor":
+		case "edgebench/internal/server", "edgebench/internal/serving",
+			"edgebench/internal/tensor", "edgebench/internal/cluster":
 			return true
 		}
 		return false

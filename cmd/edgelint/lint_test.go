@@ -647,6 +647,41 @@ func spawn() {
 	}
 }
 
+// TestGoLifetimeClusterScope pins internal/cluster into the rule's
+// scope: the distributed pipeline's connection readers and compute
+// loops must be joinable, so an unplumbed goroutine there fires while
+// the worker's done-channel idiom passes.
+func TestGoLifetimeClusterScope(t *testing.T) {
+	e := newEnv(t)
+	p := e.add("edgebench/internal/cluster", `package cluster
+
+type Worker struct {
+	done chan struct{}
+}
+
+func (w *Worker) run() {
+	go w.acceptLoop() // exempt: selects on w.done
+	go orphanReader() // unplumbed: must fire
+}
+
+func (w *Worker) acceptLoop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		}
+	}
+}
+
+func orphanReader() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+`)
+	wantRules(t, lintPackage(p), "go-lifetime")
+}
+
 func TestWgAdd(t *testing.T) {
 	e := newEnv(t)
 	p := e.add("example.com/m/wga", `package wga

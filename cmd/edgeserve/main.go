@@ -31,7 +31,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -40,8 +39,6 @@ import (
 	"edgebench/internal/opt"
 	"edgebench/internal/server"
 	"edgebench/internal/serving"
-	"edgebench/internal/stats"
-	"edgebench/internal/tensor"
 )
 
 func main() {
@@ -220,7 +217,7 @@ func serve(s *core.Session, o serveOptions) {
 // comparison against the analytic envelope, scrapes /metrics, and (in
 // smoke mode) asserts the run was clean. Returns the process exit code.
 func runAttack(srv *server.Server, eng *serving.Engine, baseURL string, o serveOptions, simMax float64) int {
-	opts, err := parseAttack(o.attack)
+	opts, err := server.ParseAttack(o.attack)
 	if err != nil {
 		fatal(err)
 	}
@@ -294,41 +291,10 @@ func runAttack(srv *server.Server, eng *serving.Engine, baseURL string, o serveO
 	return 0
 }
 
-// parseAttack parses "rate,duration[,burst]"; rate "auto" leaves
-// Rate 0 for the caller to fill from the live capacity probe.
-func parseAttack(s string) (server.AttackOptions, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) < 2 || len(parts) > 3 {
-		return server.AttackOptions{}, fmt.Errorf("edgeserve: -attack wants rate,duration[,burst], got %q", s)
-	}
-	var opts server.AttackOptions
-	if parts[0] != "auto" {
-		rate, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil || rate <= 0 {
-			return opts, fmt.Errorf("edgeserve: bad attack rate %q", parts[0])
-		}
-		opts.Rate = rate
-	}
-	d, err := time.ParseDuration(parts[1])
-	if err != nil || d <= 0 {
-		return opts, fmt.Errorf("edgeserve: bad attack duration %q", parts[1])
-	}
-	opts.Duration = d
-	opts.Burst = 4
-	if len(parts) == 3 {
-		b, err := strconv.Atoi(parts[2])
-		if err != nil || b < 1 {
-			return opts, fmt.Errorf("edgeserve: bad attack burst %q", parts[2])
-		}
-		opts.Burst = b
-	}
-	return opts, nil
-}
-
 // measureLive times a few single-stream inferences through the engine
 // to find the real (host) service rate, which bounds a sane attack.
 func measureLive(eng *serving.Engine) float64 {
-	in := seededInput(eng, 0)
+	in := server.SeededInput(eng.InputShape(), 0)
 	_, _ = eng.Infer(in) // warm the replica's arena; timing, not correctness
 	const n = 3
 	start := time.Now()
@@ -336,16 +302,6 @@ func measureLive(eng *serving.Engine) float64 {
 		_, _ = eng.Infer(in)
 	}
 	return time.Since(start).Seconds() / n
-}
-
-// seededInput builds one deterministic input matching the engine shape.
-func seededInput(eng *serving.Engine, seed int64) *tensor.Tensor {
-	in := tensor.New(eng.InputShape()...)
-	rng := stats.NewRNG(seed)
-	for i := range in.Data {
-		in.Data[i] = float32(rng.Float64()*2 - 1)
-	}
-	return in
 }
 
 func waitForSignal() {

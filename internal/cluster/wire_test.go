@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"edgebench/internal/stats"
+	"edgebench/internal/tensor"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := tensor.New(3, 5, 7).Randomize(stats.NewRNG(2), 1)
+	frames := []*Frame{
+		TensorFrame(42, in),
+		ControlFrame(KindCredit, 8, nil),
+		ControlFrame(KindError, 3, []byte("stage 1: engine closed")),
+		ControlFrame(KindHello, 0, nil),
+		ControlFrame(KindEOS, 9, nil),
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write %s: %v", f.Kind, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq || got.DType != want.DType {
+			t.Fatalf("header mismatch: got %+v want %+v", got, want)
+		}
+		if !got.Shape.Equal(want.Shape) || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("body mismatch for %s", want.Kind)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream should yield io.EOF, got %v", err)
+	}
+
+	back, err := TensorFrame(0, in).Tensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data {
+		if in.Data[i] != back.Data[i] {
+			t.Fatal("tensor payload not bit-exact through the codec")
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	enc := func(f *Frame) []byte {
+		b, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	good := enc(TensorFrame(1, tensor.New(2, 3).Randomize(stats.NewRNG(1), 1)))
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xff
+		if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("want ErrBadMagic, got %v", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		for _, cut := range []int{headerLen - 1, headerLen + 3, len(good) - 1} {
+			_, err := ReadFrame(bytes.NewReader(good[:cut]))
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut at %d: want ErrUnexpectedEOF, got %v", cut, err)
+			}
+		}
+	})
+	t.Run("crc mismatch", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[headerLen+13] ^= 0x01 // flip one payload bit (2 dims + len field precede it)
+		if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("want ErrChecksum, got %v", err)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = 0xee
+		if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("want ErrMalformedFrame, got %v", err)
+		}
+	})
+	t.Run("oversized payload header", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		// payload length field sits after the fixed header + 2 dims
+		binary.LittleEndian.PutUint32(b[headerLen+8:], MaxPayload+1)
+		if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooBig) {
+			t.Fatalf("want ErrFrameTooBig, got %v", err)
+		}
+	})
+	t.Run("shape payload disagreement", func(t *testing.T) {
+		f := TensorFrame(1, tensor.New(2, 3))
+		f.Shape[0] = 4 // claims 4x3 floats, carries 2x3
+		b := enc(f)
+		if _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("want ErrMalformedFrame, got %v", err)
+		}
+	})
+	t.Run("encode rejects oversize", func(t *testing.T) {
+		if _, err := AppendFrame(nil, &Frame{Kind: KindTensor, DType: DTypeFP32,
+			Shape: make(tensor.Shape, MaxRank+1)}); !errors.Is(err, ErrFrameTooBig) {
+			t.Fatalf("want ErrFrameTooBig, got %v", err)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip feeds arbitrary bytes into the frame decoder: it
+// must never panic or over-allocate, and any frame it accepts must
+// re-encode to the exact bytes it was decoded from (the codec is
+// canonical).
+func FuzzFrameRoundTrip(f *testing.F) {
+	seed := func(fr *Frame) {
+		b, err := AppendFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(TensorFrame(7, tensor.New(2, 4, 4).Randomize(stats.NewRNG(3), 1)))
+	seed(ControlFrame(KindCredit, 16, nil))
+	seed(ControlFrame(KindConfig, 0, []byte(`{"stage":0}`)))
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x70, 0x42, 0x45})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("re-encode differs from accepted input prefix")
+		}
+		if fr.Kind == KindTensor {
+			if _, err := fr.Tensor(); err != nil {
+				t.Fatalf("accepted tensor frame fails to unpack: %v", err)
+			}
+		}
+	})
+}

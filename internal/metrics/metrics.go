@@ -116,7 +116,11 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 }
 
 // Inc adds one to the child with the given label value.
-func (cv *CounterVec) Inc(value string) {
+func (cv *CounterVec) Inc(value string) { cv.Add(value, 1) }
+
+// Add adds n to the child with the given label value — the bulk form
+// per-stage transfer byte/frame counters use.
+func (cv *CounterVec) Add(value string, n uint64) {
 	cv.mu.Lock()
 	c := cv.children[value]
 	if c == nil {
@@ -124,7 +128,7 @@ func (cv *CounterVec) Inc(value string) {
 		cv.children[value] = c
 	}
 	cv.mu.Unlock()
-	c.Add(1)
+	c.Add(n)
 }
 
 // Value returns the child's count (zero for a label never incremented).

@@ -110,16 +110,53 @@ func CutPoints(g *graph.Graph) []CutPoint {
 // input of the cut's shape. Both preserve node structure (names, shapes,
 // attributes) so the cost model prices them exactly like the original
 // layers; parameters stay structural — use CopyParams to materialize a
-// split for numeric execution.
+// split for numeric execution. Split is the 2-way case of SplitN.
 func Split(g *graph.Graph, cut CutPoint) (head, tail *graph.Graph, err error) {
-	head = &graph.Graph{Name: g.Name + "/head", Mode: g.Mode}
+	parts, err := SplitN(g, cut)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts[0].Name = g.Name + "/head"
+	parts[1].Name = g.Name + "/tail"
+	return parts[0], parts[1], nil
+}
+
+// SplitN cuts the graph at every given cut point (which must come from
+// CutPoints(g) and be in ascending node order), returning len(cuts)+1
+// consecutive subgraphs named name/stage0..stageK. Each subgraph after
+// the first starts with a fresh "cut_input" bridge node carrying the
+// preceding cut's shape and execution datatype, so a split of a
+// quantized graph keeps every edge dtype-uniform. Structure — names,
+// shapes, attributes, fused-epilogue annotations — is preserved so the
+// cost model prices the stages exactly like the original layers;
+// parameters stay structural. Use CopyParams to materialize the parts
+// for numeric execution: running the stages in sequence, feeding each
+// output into the next bridge input, is bit-identical to running g.
+func SplitN(g *graph.Graph, cuts ...CutPoint) ([]*graph.Graph, error) {
+	if len(cuts) == 0 {
+		return nil, fmt.Errorf("partition: SplitN needs at least one cut")
+	}
+	for i, c := range cuts {
+		if c.After == nil || c.Index < 0 || c.Index >= len(g.Nodes) || g.Nodes[c.Index] != c.After {
+			return nil, fmt.Errorf("partition: cut %d does not reference a node of %s", i, g.Name)
+		}
+		if c.Index == len(g.Nodes)-1 {
+			return nil, fmt.Errorf("partition: cut %d after the output node is not a split", i)
+		}
+		if i > 0 && c.Index <= cuts[i-1].Index {
+			return nil, fmt.Errorf("partition: cuts out of order (index %d after %d)", c.Index, cuts[i-1].Index)
+		}
+	}
+
+	var parts []*graph.Graph
 	mapping := map[*graph.Node]*graph.Node{}
 	cloneInto := func(dst *graph.Graph, n *graph.Node) *graph.Node {
 		cp := &graph.Node{
 			Name: n.Name, Kind: n.Kind, Attrs: n.Attrs,
 			WShape: n.WShape.Clone(), BiasLen: n.BiasLen, BNChannels: n.BNChannels,
 			OutShape: n.OutShape.Clone(), DType: n.DType,
-			Activation: n.Activation, FusedBN: n.FusedBN, Sparsity: n.Sparsity,
+			Activation: n.Activation, FusedBN: n.FusedBN,
+			EpiChannels: n.EpiChannels, Sparsity: n.Sparsity,
 		}
 		for _, in := range n.Inputs {
 			m, ok := mapping[in]
@@ -132,52 +169,62 @@ func Split(g *graph.Graph, cut CutPoint) (head, tail *graph.Graph, err error) {
 		mapping[n] = cp
 		return cp
 	}
-	for i := 0; i <= cut.Index; i++ {
-		cp := cloneInto(head, g.Nodes[i])
-		if cp == nil {
-			return nil, nil, fmt.Errorf("partition: head references a node outside the prefix")
-		}
-		if g.Nodes[i].Kind == graph.OpInput {
-			head.Input = cp
-		}
-		head.Output = cp
-	}
 
-	tail = &graph.Graph{Name: g.Name + "/tail", Mode: g.Mode}
-	// The bridge input inherits the cut node's execution datatype so a
-	// split of a quantized graph keeps every edge dtype-uniform (the
-	// verifier rejects mixed-dtype edges).
-	bridge := &graph.Node{Kind: graph.OpInput, Name: "cut_input",
-		OutShape: cut.After.OutShape.Clone(), DType: cut.After.DType}
-	tail.Append(bridge)
-	tail.Input = bridge
-	tail.Output = bridge
-	mapping = map[*graph.Node]*graph.Node{cut.After: bridge}
-	for i := cut.Index + 1; i < len(g.Nodes); i++ {
-		cp := cloneInto(tail, g.Nodes[i])
-		if cp == nil {
-			return nil, nil, fmt.Errorf("partition: tail references a non-cut prefix node")
+	start := 0
+	for s := 0; s <= len(cuts); s++ {
+		part := &graph.Graph{Name: fmt.Sprintf("%s/stage%d", g.Name, s), Mode: g.Mode}
+		if s > 0 {
+			// The bridge inherits the cut node's shape and dtype; the
+			// previous stage's cut node maps to it, so cross-cut edges
+			// resolve to the bridge. Mappings from earlier stages are
+			// dropped — a reference that skips a stage has no single
+			// live tensor at the boundary and CutPoints would not have
+			// admitted the cut.
+			cut := cuts[s-1]
+			bridge := &graph.Node{Kind: graph.OpInput, Name: "cut_input",
+				OutShape: cut.After.OutShape.Clone(), DType: cut.After.DType}
+			part.Append(bridge)
+			part.Input = bridge
+			part.Output = bridge
+			mapping = map[*graph.Node]*graph.Node{cut.After: bridge}
 		}
-		tail.Output = cp
-	}
-	for _, r := range g.Extra {
-		if m, ok := mapping[r]; ok {
-			tail.Extra = append(tail.Extra, m)
+		end := len(g.Nodes) - 1
+		if s < len(cuts) {
+			end = cuts[s].Index
 		}
+		for i := start; i <= end; i++ {
+			cp := cloneInto(part, g.Nodes[i])
+			if cp == nil {
+				return nil, fmt.Errorf("partition: stage %d references a node outside its range", s)
+			}
+			if g.Nodes[i].Kind == graph.OpInput {
+				part.Input = cp
+			}
+			part.Output = cp
+		}
+		if s == len(cuts) {
+			for _, r := range g.Extra {
+				if m, ok := mapping[r]; ok {
+					part.Extra = append(part.Extra, m)
+				}
+			}
+		}
+		if err := part.Validate(); err != nil {
+			return nil, fmt.Errorf("partition: stage %d: %w", s, err)
+		}
+		parts = append(parts, part)
+		start = end + 1
 	}
-	if err := head.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("partition: head: %w", err)
-	}
-	if err := tail.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("partition: tail: %w", err)
-	}
-	return head, tail, nil
+	return parts, nil
 }
 
 // CopyParams transfers materialized parameters from the source graph
 // into split graphs by node name, enabling numeric execution of a
-// partition. Nodes missing from a part (they belong to the other side)
-// are skipped.
+// partition. All parameter kinds travel — FP32 weights, quantized
+// weights, bias, batch-norm, and absorbed-epilogue scale/shift — so
+// split quantized or pattern-fused graphs execute identically to the
+// whole. Nodes missing from a part (they belong to another stage) are
+// skipped.
 func CopyParams(src *graph.Graph, parts ...*graph.Graph) {
 	byName := map[string]*graph.Node{}
 	for _, n := range src.Nodes {
@@ -190,8 +237,11 @@ func CopyParams(src *graph.Graph, parts ...*graph.Graph) {
 				continue
 			}
 			n.Weights = orig.Weights
+			n.QWeights = orig.QWeights
 			n.Bias = orig.Bias
 			n.BN = orig.BN
+			n.EpiScale = orig.EpiScale
+			n.EpiShift = orig.EpiShift
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"edgebench/internal/partition"
 	"edgebench/internal/stats"
 	"edgebench/internal/tensor"
+	"edgebench/internal/verify"
 )
 
 func TestLinkTransfer(t *testing.T) {
@@ -191,6 +192,211 @@ func TestSplitPreservesSemantics(t *testing.T) {
 			if d := want.Data[i] - got.Data[i]; d > 1e-5 || d < -1e-5 {
 				t.Fatalf("cut %s changes output", cut.After.Name)
 			}
+		}
+	}
+}
+
+// runChain executes the split parts in sequence, feeding each output
+// into the next stage's bridge input.
+func runChain(t *testing.T, parts []*graph.Graph, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	cur := in
+	for _, p := range parts {
+		out, err := (&graph.Executor{}).Run(p, cur)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		cur = out
+	}
+	return cur
+}
+
+// TestSplitNPreservesSemantics cuts a chain at two points and requires
+// the three-stage execution to be bit-identical to the whole graph —
+// the property the distributed pipeline's correctness rests on.
+func TestSplitNPreservesSemantics(t *testing.T) {
+	b := nn.NewBuilder("semN", nn.Options{Materialize: true, Seed: 7}, 2, 8, 8)
+	b.Conv2D("c1", 4, 3, 1, 1, true)
+	b.ReLU("r1")
+	b.MaxPool("p1", 2, 2, 0)
+	b.Conv2D("c2", 6, 3, 1, 1, true)
+	b.ReLU("r2")
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 5, true)
+	b.Softmax("prob")
+	g := b.Build()
+
+	in := tensor.New(2, 8, 8).Randomize(stats.NewRNG(9), 1)
+	want, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cuts := partition.CutPoints(g)
+	if len(cuts) < 4 {
+		t.Fatalf("chain admits only %d cuts", len(cuts))
+	}
+	parts, err := partition.SplitN(g, cuts[1], cuts[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("SplitN returned %d parts, want 3", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		if diags := verify.Check(p); len(verify.Errors(diags)) != 0 {
+			t.Fatalf("%s not verify-clean: %v", p.Name, diags)
+		}
+		total += p.NumOps()
+	}
+	if total != g.NumOps() {
+		t.Fatalf("stages carry %d ops, whole graph has %d", total, g.NumOps())
+	}
+	partition.CopyParams(g, parts...)
+	got := runChain(t, parts, in.Clone())
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("3-stage output differs from whole graph at %d: %v vs %v",
+				i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// TestSplitNResidualBoundary splits a residual model exactly at a block
+// boundary and checks numeric equivalence: inside the block two tensors
+// are live, so CutPoints only offers the join, and SplitN must keep the
+// shortcut edge intact within its stage.
+func TestSplitNResidualBoundary(t *testing.T) {
+	b := nn.NewBuilder("resN", nn.Options{Materialize: true, Seed: 3}, 4, 8, 8)
+	pre := b.Conv2D("pre", 4, 3, 1, 1, true)
+	b.Conv2D("body", 4, 3, 1, 1, true)
+	b.Add("join", pre, b.Current())
+	b.ReLU("mid")
+	skip := b.Conv2D("skip", 4, 3, 1, 1, true)
+	b.Conv2D("body2", 4, 3, 1, 1, true)
+	b.Add("join2", skip, b.Current())
+	b.GlobalAvgPool("gap")
+	g := b.Build()
+
+	var cuts []partition.CutPoint
+	for _, c := range partition.CutPoints(g) {
+		if c.After.Name == "mid" {
+			cuts = append(cuts, c)
+		}
+	}
+	if len(cuts) != 1 {
+		t.Fatalf("expected one cut at the block boundary, got %d", len(cuts))
+	}
+	parts, err := partition.SplitN(g, cuts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partition.CopyParams(g, parts...)
+
+	in := tensor.New(4, 8, 8).Randomize(stats.NewRNG(4), 1)
+	want, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runChain(t, parts, in.Clone())
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("residual-boundary split changes the output")
+		}
+	}
+}
+
+// TestSplitNZooModels K-way-splits real zoo models (structural mode) at
+// evenly spread cuts and requires every stage to be verify-clean with
+// the op count conserved — residual/inverted-residual boundaries
+// included.
+func TestSplitNZooModels(t *testing.T) {
+	for _, name := range []string{"MobileNet-v2", "ResNet-18", "CifarNet", "TinyYolo"} {
+		t.Run(name, func(t *testing.T) {
+			g := model.MustGet(name).Build(nn.Options{})
+			cuts := partition.CutPoints(g)
+			if len(cuts) < 3 {
+				t.Fatalf("%s admits only %d cuts", name, len(cuts))
+			}
+			picked := []partition.CutPoint{cuts[len(cuts)/3], cuts[2*len(cuts)/3]}
+			if picked[0].Index >= picked[1].Index {
+				t.Skipf("spread cuts collide for %s", name)
+			}
+			parts, err := partition.SplitN(g, picked...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for _, p := range parts {
+				if diags := verify.Check(p); len(verify.Errors(diags)) != 0 {
+					t.Fatalf("%s not verify-clean: %v", p.Name, diags)
+				}
+				total += p.NumOps()
+			}
+			if total != g.NumOps() {
+				t.Fatalf("stages carry %d ops, whole graph has %d", total, g.NumOps())
+			}
+			if !parts[0].Input.OutShape.Equal(g.Input.OutShape) {
+				t.Fatal("stage 0 must keep the model input shape")
+			}
+		})
+	}
+}
+
+// TestSplitNRejectsBadCuts pins the error paths: empty, disordered, and
+// foreign cut lists must fail loudly instead of producing broken stages.
+func TestSplitNRejectsBadCuts(t *testing.T) {
+	b := nn.NewBuilder("bad", nn.Options{}, 2, 8, 8)
+	b.Conv2D("c1", 4, 3, 1, 1, true)
+	b.ReLU("r1")
+	b.GlobalAvgPool("gap")
+	g := b.Build()
+	cuts := partition.CutPoints(g)
+	if _, err := partition.SplitN(g); err == nil {
+		t.Fatal("SplitN with no cuts should error")
+	}
+	if _, err := partition.SplitN(g, cuts[1], cuts[0]); err == nil {
+		t.Fatal("disordered cuts should error")
+	}
+	if _, err := partition.SplitN(g, partition.CutPoint{After: g.Nodes[0], Index: 2}); err == nil {
+		t.Fatal("a cut whose index does not match its node should error")
+	}
+	if _, err := partition.SplitN(g, partition.CutPoint{After: g.Output, Index: len(g.Nodes) - 1}); err == nil {
+		t.Fatal("a cut after the output should error")
+	}
+}
+
+// TestPipelinePlanCuts round-trips an analytic placement into
+// executable stage subgraphs: the plan's stage boundaries must resolve
+// to legal cut points and SplitN must accept them.
+func TestPipelinePlanCuts(t *testing.T) {
+	plan, err := partition.PipelinePartition("MobileNet-v2",
+		[]string{"JetsonNano", "JetsonNano", "JetsonNano"}, "TFLite", partition.Ethernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 3 {
+		t.Fatalf("plan has %d stages, want 3", len(plan.Stages))
+	}
+	g := model.MustGet("MobileNet-v2").Build(nn.Options{})
+	cuts, err := plan.Cuts(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 2 {
+		t.Fatalf("plan yields %d cuts, want 2", len(cuts))
+	}
+	parts, err := partition.SplitN(g, cuts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if p.NumOps() == 0 {
+			t.Fatalf("stage %d is empty", i)
+		}
+		if got, want := parts[i].Nodes[len(parts[i].Nodes)-1].Name, plan.Stages[i].LastOp; got != want {
+			t.Fatalf("stage %d ends at %s, plan says %s", i, got, want)
 		}
 	}
 }

@@ -64,6 +64,31 @@ func (p *PipelinePlan) ThroughputSpeedup() float64 {
 	return p.SingleDeviceSec / p.BottleneckSec
 }
 
+// Cuts maps the plan's stage boundaries back onto g's legal cut points,
+// in stage order — the input SplitN needs to turn an analytic placement
+// into executable stage subgraphs. g must be built from the same model
+// the plan was computed for (node names are the join key).
+func (p *PipelinePlan) Cuts(g *graph.Graph) ([]CutPoint, error) {
+	all := CutPoints(g)
+	byName := make(map[string]CutPoint, len(all))
+	for _, c := range all {
+		byName[c.After.Name] = c
+	}
+	var cuts []CutPoint
+	for i, st := range p.Stages {
+		if i == len(p.Stages)-1 {
+			break // the last stage ends at the graph output, not a cut
+		}
+		c, ok := byName[st.LastOp]
+		if !ok {
+			return nil, fmt.Errorf("partition: plan stage %d ends at %q, which is not a cut point of %s",
+				i, st.LastOp, g.Name)
+		}
+		cuts = append(cuts, c)
+	}
+	return cuts, nil
+}
+
 // PipelinePartition splits modelName across the ordered device chain
 // (all running framework fw, linked pairwise by link), choosing cuts
 // that minimize the bottleneck stage — the throughput-optimal objective

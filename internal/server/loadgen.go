@@ -36,6 +36,38 @@ type AttackOptions struct {
 	Timeout time.Duration
 }
 
+// ParseAttack parses the CLI attack spec "rate,duration[,burst]" shared
+// by edgeserve and edgepipe. Rate "auto" leaves Rate zero for the
+// caller to fill from a measured or simulated service time.
+func ParseAttack(s string) (AttackOptions, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 || len(parts) > 3 {
+		return AttackOptions{}, fmt.Errorf("server: attack spec wants rate,duration[,burst], got %q", s)
+	}
+	var opts AttackOptions
+	if parts[0] != "auto" {
+		rate, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || rate <= 0 {
+			return opts, fmt.Errorf("server: bad attack rate %q", parts[0])
+		}
+		opts.Rate = rate
+	}
+	d, err := time.ParseDuration(parts[1])
+	if err != nil || d <= 0 {
+		return opts, fmt.Errorf("server: bad attack duration %q", parts[1])
+	}
+	opts.Duration = d
+	opts.Burst = 4
+	if len(parts) == 3 {
+		b, err := strconv.Atoi(parts[2])
+		if err != nil || b < 1 {
+			return opts, fmt.Errorf("server: bad attack burst %q", parts[2])
+		}
+		opts.Burst = b
+	}
+	return opts, nil
+}
+
 // AttackReport summarizes one load-generator run.
 type AttackReport struct {
 	// Sent is the number of requests issued.

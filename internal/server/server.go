@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,22 +93,44 @@ func NewMetrics() *Metrics {
 	}
 }
 
+// Engine is the backend contract the server fronts: batched inference
+// plus the introspection the metrics endpoint exports. serving.Engine
+// is the single-process implementation; cluster.Pipeline satisfies the
+// same contract across a chain of stage processes, so the whole HTTP
+// surface (admission queue, micro-batching, deadlines, metrics) fronts
+// either without knowing which.
+type Engine interface {
+	Backend
+	// InputShape is the shape one request tensor must have.
+	InputShape() tensor.Shape
+	// ExecDType labels the execution datatype ("fp32", "int8", ...).
+	ExecDType() string
+	// WeightBytes is the parameter footprint in the execution datatype.
+	WeightBytes() int64
+	// DispatchCounts reports cumulative kernel dispatches by path.
+	DispatchCounts() (int8Kernels, fp32Kernels, fusedKernels int64)
+	// Close drains the backend; subsequent InferBatch calls must fail.
+	Close() error
+}
+
 // Server is the HTTP inference server: admission control and
-// micro-batching in front of a serving.Engine, with /infer, /healthz,
-// and /metrics endpoints.
+// micro-batching in front of an Engine, with /infer, /healthz, and
+// /metrics endpoints.
 type Server struct {
-	cfg   Config
-	eng   *serving.Engine
-	bat   *Batcher
-	m     *Metrics
-	mux   *http.ServeMux
-	ready atomic.Bool
-	shape tensor.Shape
+	cfg      Config
+	eng      Engine
+	bat      *Batcher
+	m        *Metrics
+	mux      *http.ServeMux
+	ready    atomic.Bool
+	shape    tensor.Shape
+	scrapeMu sync.Mutex
+	onScrape []func()
 }
 
 // New wires a server around an engine. The engine must be built from a
 // materialized graph (serving.NewEngine enforces this).
-func New(eng *serving.Engine, cfg Config) *Server {
+func New(eng Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
 	s := &Server{
@@ -130,10 +153,26 @@ func New(eng *serving.Engine, cfg Config) *Server {
 		m.Int8Dispatches.SetMax(float64(i8))
 		m.FP32Dispatches.SetMax(float64(f32))
 		m.FusedDispatches.SetMax(float64(fz))
+		s.scrapeMu.Lock()
+		hooks := append([]func(){}, s.onScrape...)
+		s.scrapeMu.Unlock()
+		for _, fn := range hooks {
+			fn()
+		}
 		metricsHandler.ServeHTTP(w, r)
 	})
 	s.ready.Store(true)
 	return s
+}
+
+// OnScrape registers fn to run at every /metrics scrape, before the
+// registry renders — the hook backends use to refresh gauges that are
+// expensive or remote (the cluster dispatcher polls per-stage stats
+// here). Safe to call concurrently with serving.
+func (s *Server) OnScrape(fn func()) {
+	s.scrapeMu.Lock()
+	s.onScrape = append(s.onScrape, fn)
+	s.scrapeMu.Unlock()
 }
 
 // Handler returns the root handler (mount it on an http.Server).
@@ -255,12 +294,20 @@ func (s *Server) buildInput(req InferRequest) (*tensor.Tensor, error) {
 		}
 		return tensor.FromData(req.Data, s.shape...), nil
 	}
-	in := tensor.New(s.shape...)
-	rng := stats.NewRNG(req.Seed)
+	return SeededInput(s.shape, req.Seed), nil
+}
+
+// SeededInput generates the deterministic pseudo-random input tensor a
+// request seed maps to. It is shared by the /infer seed path and the
+// smoke tools, so bit-exactness comparisons across processes and
+// topologies run on identical inputs.
+func SeededInput(shape tensor.Shape, seed int64) *tensor.Tensor {
+	in := tensor.New(shape...)
+	rng := stats.NewRNG(seed)
 	for i := range in.Data {
 		in.Data[i] = float32(rng.Float64()*2 - 1)
 	}
-	return in, nil
+	return in
 }
 
 // fail writes the JSON error envelope and records the status metric.
@@ -271,14 +318,20 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
 }
 
-// statusFor maps pipeline errors onto HTTP semantics.
+// statusFor maps pipeline errors onto HTTP semantics. Any error in the
+// chain may declare itself Unavailable() (cluster.StageError does, when
+// a stage process dies) to get 503 rather than a generic 500, so load
+// balancers retry elsewhere instead of treating the failure as a bug.
 func statusFor(err error) int {
+	var unavail interface{ Unavailable() bool }
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrClosed), errors.Is(err, serving.ErrEngineClosed):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &unavail) && unavail.Unavailable():
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -82,6 +82,36 @@ func NewEngine(g *graph.Graph, replicas int) (*Engine, error) {
 // Replicas returns the configured replica count.
 func (e *Engine) Replicas() int { return e.size }
 
+// Warmup runs one throwaway inference on every replica so each
+// executor's arena is allocated before real traffic (or the first
+// pipelined frame) arrives. Stage workers call it before reporting
+// Ready, keeping first-frame latency off the steady-state measurement.
+// It borrows every replica exactly once, so after Warmup no replica is
+// cold.
+func (e *Engine) Warmup() error {
+	in := tensor.New(e.g.Input.OutShape...)
+	exs := make([]*graph.Executor, 0, e.size)
+	defer func() {
+		for _, ex := range exs {
+			e.replicas <- ex
+		}
+	}()
+	for i := 0; i < e.size; i++ {
+		select {
+		case ex := <-e.replicas:
+			exs = append(exs, ex)
+		case <-e.closed:
+			return ErrEngineClosed
+		}
+	}
+	for _, ex := range exs {
+		if _, err := ex.Run(e.g, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // KernelParallelism returns the size of the package-global kernel
 // worker pool all replicas share (GOMAXPROCS at last use) — the
 // intra-op concurrency bound, as opposed to Replicas, the inter-request
@@ -165,9 +195,14 @@ func (e *Engine) Close() error {
 // the dominant DType among weight-bearing nodes ("int8" after a
 // quantization pass, "fp32" by default). The serving metrics export it
 // so /metrics shows which path a deployment runs.
-func (e *Engine) ExecDType() string {
+func (e *Engine) ExecDType() string { return GraphExecDType(e.g) }
+
+// GraphExecDType computes the execution-datatype label for any graph —
+// shared by Engine.ExecDType and the cluster dispatcher, which must
+// label a pipeline whose stages execute in other processes.
+func GraphExecDType(g *graph.Graph) string {
 	counts := map[tensor.DType]int{}
-	for _, n := range e.g.Nodes {
+	for _, n := range g.Nodes {
 		if n.WShape != nil {
 			counts[n.DType]++
 		}

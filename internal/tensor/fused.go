@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // This file is the FP32 twin of the int8 epilogue in qconv.go: fused
 // kernels that run a compute op's main loop and then apply an absorbed
@@ -93,12 +96,111 @@ func applyActInPlace(data []float32, act Act, alpha float32) {
 	}
 }
 
-// Conv2DFusedInto computes the direct (auto-parallel) convolution with
-// bias and applies the epilogue in the output buffer — one kernel call
-// for a fused Conv→BN→act node.
+// applyEpilogueSpan applies the epilogue to a contiguous span of output
+// channel oc in ONE traversal: each element goes through the exact
+// per-element operation sequence of Epilogue.ApplyInto — (v*scale +
+// shift) then act — so the result is bitwise identical to the separate
+// whole-tensor sweeps, but the span is read and written once instead of
+// twice. The cheap clamping activations fuse into the affine loop; the
+// transcendental ones fall back to two passes (their math/exp call
+// dominates anyway).
+func applyEpilogueSpan(seg []float32, oc int, epi Epilogue) {
+	if len(epi.Scale) == 0 {
+		applyActInPlace(seg, epi.Act, epi.Alpha)
+		return
+	}
+	scale, shift := epi.Scale[oc], epi.Shift[oc]
+	switch epi.Act {
+	case ActNone:
+		for i, v := range seg {
+			seg[i] = v*scale + shift
+		}
+	case ActReLU:
+		for i, v := range seg {
+			v = v*scale + shift
+			if v < 0 {
+				v = 0
+			}
+			seg[i] = v
+		}
+	case ActReLU6:
+		for i, v := range seg {
+			v = v*scale + shift
+			if v < 0 {
+				v = 0
+			} else if v > 6 {
+				v = 6
+			}
+			seg[i] = v
+		}
+	case ActLeakyReLU:
+		for i, v := range seg {
+			v = v*scale + shift
+			if v < 0 {
+				v = epi.Alpha * v
+			}
+			seg[i] = v
+		}
+	default:
+		for i, v := range seg {
+			seg[i] = v*scale + shift
+		}
+		applyActInPlace(seg, epi.Act, epi.Alpha)
+	}
+}
+
+// foldEpilogueRows applies the epilogue to the flattened output-row
+// tiles [lo, hi) by channel-contiguous spans, so a compute shard's
+// epilogue costs a handful of span calls, not one call per row.
+func foldEpilogueRows(out *Tensor, lo, hi int, epi Epilogue) {
+	hout, wout := out.Shape[1], out.Shape[2]
+	for u := lo; u < hi; {
+		oc := u / hout
+		end := (oc + 1) * hout
+		if end > hi {
+			end = hi
+		}
+		applyEpilogueSpan(out.Data[u*wout:end*wout], oc, epi)
+		u = end
+	}
+}
+
+// checkEpilogueChannels rejects an affine epilogue whose channel count
+// does not match the kernel's output channels (the row-folded paths
+// index Scale/Shift by output channel directly).
+func checkEpilogueChannels(epi Epilogue, cout int) {
+	if c := len(epi.Scale); c > 0 && (len(epi.Shift) != c || c != cout) {
+		panic("tensor: fused epilogue scale/shift length does not match output channels")
+	}
+}
+
+// convRowsFused computes the flattened output-row tiles [lo, hi) and
+// then applies the epilogue to just those rows while the shard is still
+// cache-resident — the epilogue work rides along with each compute
+// shard instead of running as two extra whole-tensor sweeps after all
+// shards finish.
+func convRowsFused(in, w *Tensor, bias []float32, spec Conv2DSpec, out *Tensor, lo, hi int, epi Epilogue) {
+	convRows(in, w, bias, spec, out, lo, hi)
+	foldEpilogueRows(out, lo, hi, epi)
+}
+
+// Conv2DFusedInto computes the direct convolution with bias and the
+// epilogue folded into the row loop — one output traversal per fused
+// Conv→BN→act node, sharded across the worker pool above the MAC
+// threshold exactly like Conv2DAutoInto.
 func Conv2DFusedInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, epi Epilogue) {
-	Conv2DAutoInto(dst, in, w, bias, spec)
-	epi.ApplyInto(dst)
+	spec = spec.check()
+	_, _, _, cout, _, _, hout, wout := conv2DDims(in, w, bias, spec)
+	checkConvDst(dst, cout, hout, wout)
+	checkEpilogueChannels(epi, cout)
+	if ConvMACs(w, hout, wout) >= parallelThresholdMACs {
+		macsPerRow := in.Shape[0] * w.Shape[2] * w.Shape[3] * wout
+		parallelFor(cout*hout, grainForMACs(macsPerRow), func(lo, hi int) {
+			convRowsFused(in, w, bias, spec, dst, lo, hi, epi)
+		})
+		return
+	}
+	convRowsFused(in, w, bias, spec, dst, 0, cout*hout, epi)
 }
 
 // Conv2DGEMMFusedInto is the im2col+GEMM convolution with the bias,
@@ -144,11 +246,37 @@ func Conv2DGEMMFusedInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, sc
 	}
 }
 
-// DepthwiseConv2DFusedInto computes the depthwise convolution with bias
-// and applies the epilogue in the output buffer.
+// depthwiseRowsFused is depthwiseRows with the epilogue folded into the
+// row loop, mirroring convRowsFused.
+func depthwiseRowsFused(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, lo, hi int, epi Epilogue) {
+	depthwiseRows(dst, in, w, bias, spec, lo, hi)
+	foldEpilogueRows(dst, lo, hi, epi)
+}
+
+// DepthwiseConv2DFusedInto computes the depthwise convolution with the
+// epilogue folded into the row loop — one output traversal, same
+// sharding policy as DepthwiseConv2DInto.
 func DepthwiseConv2DFusedInto(dst, in, w *Tensor, bias []float32, spec Conv2DSpec, epi Epilogue) {
-	DepthwiseConv2DInto(dst, in, w, bias, spec)
-	epi.ApplyInto(dst)
+	spec = spec.check()
+	c, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	wc, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2]
+	if c != wc {
+		panic(fmt.Sprintf("tensor: DepthwiseConv2DFused channel mismatch: %v vs %v", in.Shape, w.Shape))
+	}
+	if bias != nil && len(bias) != c {
+		panic("tensor: DepthwiseConv2DFused bias length mismatch")
+	}
+	hout, wout := spec.OutDims(h, wd, kh, kw)
+	checkConvDst(dst, c, hout, wout)
+	checkEpilogueChannels(epi, c)
+	macsPerRow := kh * kw * wout
+	if c*hout*macsPerRow < parallelThresholdMACs {
+		depthwiseRowsFused(dst, in, w, bias, spec, 0, c*hout, epi)
+		return
+	}
+	parallelFor(c*hout, grainForMACs(macsPerRow), func(lo, hi int) {
+		depthwiseRowsFused(dst, in, w, bias, spec, lo, hi, epi)
+	})
 }
 
 // DenseFusedInto computes dst = epi(w*x + bias) for a [Out, In] weight

@@ -231,3 +231,68 @@ func actName(a Act) string {
 	}
 	return "none"
 }
+
+// TestFoldedEpilogueParallelPath pins bit-equivalence of the fused
+// kernels above the parallel MAC threshold, where the folded epilogue
+// runs inside worker-pool shards: folded output must equal the explicit
+// compute-then-ApplyInto two-sweep sequence exactly.
+func TestFoldedEpilogueParallelPath(t *testing.T) {
+	t.Run("conv", func(t *testing.T) {
+		in := New(16, 32, 32)
+		w := New(24, 16, 3, 3)
+		fillPseudo(in.Data, 5)
+		fillPseudo(w.Data, 6)
+		bias := make([]float32, 24)
+		fillPseudo(bias, 7)
+		spec := Conv2DSpec{Stride: 1, Pad: 1}
+		if ConvMACs(w, 32, 32) < ParallelThresholdMACs() {
+			t.Fatal("test layer too small to hit the parallel path")
+		}
+		_, _, _, _, _, epi := bnEpilogue(24, 8)
+		epi.Act = ActReLU6
+		want := New(24, 32, 32)
+		Conv2DAutoInto(want, in, w, bias, spec)
+		epi.ApplyInto(want)
+		got := New(24, 32, 32)
+		Conv2DFusedInto(got, in, w, bias, spec, epi)
+		assertBitEqual(t, got, want, "parallel folded conv")
+	})
+	t.Run("depthwise", func(t *testing.T) {
+		c, hw := 64, 160
+		in := New(c, hw, hw)
+		w := New(c, 3, 3)
+		fillPseudo(in.Data, 9)
+		fillPseudo(w.Data, 10)
+		bias := make([]float32, c)
+		fillPseudo(bias, 11)
+		spec := Conv2DSpec{Stride: 1, Pad: 1}
+		if c*hw*3*3*hw < ParallelThresholdMACs() {
+			t.Fatal("test layer too small to hit the parallel path")
+		}
+		_, _, _, _, _, epi := bnEpilogue(c, 12)
+		epi.Act = ActLeakyReLU
+		epi.Alpha = 0.1
+		want := New(c, hw, hw)
+		DepthwiseConv2DInto(want, in, w, bias, spec)
+		epi.ApplyInto(want)
+		got := New(c, hw, hw)
+		DepthwiseConv2DFusedInto(got, in, w, bias, spec, epi)
+		assertBitEqual(t, got, want, "parallel folded depthwise")
+	})
+}
+
+// TestFoldedEpilogueChannelMismatchPanics pins the guard the row-folded
+// paths depend on: an affine epilogue sized differently from the output
+// channel count must panic, not silently mis-index.
+func TestFoldedEpilogueChannelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched epilogue channels should panic")
+		}
+	}()
+	in := New(2, 5, 5)
+	w := New(3, 2, 3, 3)
+	dst := New(3, 5, 5)
+	Conv2DFusedInto(dst, in, w, nil, Conv2DSpec{Stride: 1, Pad: 1},
+		Epilogue{Scale: make([]float32, 2), Shift: make([]float32, 2)})
+}
