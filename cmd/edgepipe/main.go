@@ -357,8 +357,12 @@ func readReadyLine(out interface{ Read([]byte) (int, error) }) (string, error) {
 }
 
 // verifyBitExact runs n seeded inputs through the pipeline and through
-// a local executor on the same graph and requires identical bits.
+// a local executor on the same graph and requires identical bits. The
+// stage workers' engines pre-pack their subgraph weights at session
+// open, so the local reference pre-packs too — same GEMM lowering on
+// both sides, or the comparison would diverge in the last float bits.
 func verifyBitExact(p *cluster.Pipeline, g *graph.Graph, n int) error {
+	graph.PrepackWeights(g)
 	ex := &graph.Executor{}
 	for s := int64(0); s < int64(n); s++ {
 		in := server.SeededInput(g.Input.OutShape, s)

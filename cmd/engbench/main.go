@@ -11,18 +11,27 @@
 //   - forward: a full MobileNet-class model forward pass under the
 //     executor's four modes (serial, parallel, pooled, pooled+parallel),
 //     with allocs/op capturing the static memory planner's effect.
+//   - prepack: the same model with ahead-of-time packed weight panels
+//     (the session-open pre-pack pass) vs the unpacked pooled forward.
+//   - serving: 8 frames through a serving engine, sequentially vs
+//     batch-folded InferBatch at batch 2/4/8 — the batch curve.
 //   - scaling: the -procs sweep re-times the blocked vs parallel GEMM
 //     and the pooled vs pooled-parallel forward pass at each GOMAXPROCS
 //     setting (resizing the persistent kernel worker pool in-process),
 //     recording the intra-op scaling curve the ISSUE's tentpole is
 //     about.
 //
+// The headline groups run at the host's full width: GOMAXPROCS is
+// pinned to NumCPU at startup, so p=1 appears only as a swept point in
+// the scaling group, never as an accidental headline configuration.
+//
 // Speedups are computed from the host's actual timings. The scaling
 // regression gate (parallel beats serial) only enforces at swept points
 // with 4 <= p <= NumCPU: below that the pool legitimately cannot win,
-// and points above the physical core count oversubscribe. On hosts with
-// fewer than 4 CPUs the gate is waived with a loud message; the curve
-// is still recorded.
+// and points above the physical core count oversubscribe. The
+// pooled-conv, pre-pack, and batch-fold gates likewise enforce only on
+// hosts with >= 4 CPUs. On smaller hosts every waived gate says so
+// loudly; the curves are still recorded.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"edgebench/internal/model"
 	"edgebench/internal/nn"
 	"edgebench/internal/opt"
+	"edgebench/internal/serving"
 	"edgebench/internal/tensor"
 )
 
@@ -156,6 +166,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Headline groups describe the machine at full width, not whatever
+	// GOMAXPROCS the caller happened to inherit; p=1 is a scaling-sweep
+	// point only.
+	runtime.GOMAXPROCS(runtime.NumCPU())
+
 	rep := &report{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -196,12 +211,16 @@ func main() {
 	fill(w, 4)
 	bias := make([]float32, 64)
 	spec := tensor.Conv2DSpec{Stride: 1, Pad: 1}
-	direct := bench("conv2d/direct", &rep.Results, func(bb *testing.B) {
+	// The whole group runs min-of-3: the pooled-vs-allocating gate below
+	// compares two timings a few percent apart, and single runs on small
+	// shared hosts swing more than that (the historical 36.0ms-pooled vs
+	// 34.3ms-allocating "regression" was exactly such a swing).
+	direct := benchMin("conv2d/direct", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.Conv2D(in, w, bias, spec)
 		}
 	})
-	alloc := bench("conv2d/gemm", &rep.Results, func(bb *testing.B) {
+	alloc := benchMin("conv2d/gemm", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.Conv2DGEMM(in, w, bias, spec)
 		}
@@ -209,12 +228,13 @@ func main() {
 	scratch := tensor.NewPool()
 	cdst := tensor.New(64, 56, 56)
 	tensor.Conv2DGEMMInto(cdst, in, w, bias, spec, scratch) // warm the scratch arena
-	pooled := bench("conv2d/gemm-pooled", &rep.Results, func(bb *testing.B) {
+	pooled := benchMin("conv2d/gemm-pooled", &rep.Results, func(bb *testing.B) {
 		for i := 0; i < bb.N; i++ {
 			tensor.Conv2DGEMMInto(cdst, in, w, bias, spec, scratch)
 		}
 	})
 	rep.Summary["conv2d_gemm_vs_direct_speedup"] = ratio(direct.NsPerOp, pooled.NsPerOp)
+	rep.Summary["conv2d_pooled_vs_gemm_speedup"] = ratio(alloc.NsPerOp, pooled.NsPerOp)
 	rep.Summary["conv2d_pooled_alloc_reduction"] = reduction(alloc.AllocsPerOp, pooled.AllocsPerOp)
 
 	// --- epilogue group: folded vs two-sweep fused kernels. The direct
@@ -312,7 +332,9 @@ func main() {
 	}
 	serial := bench("forward/serial", &rep.Results, forward(&graph.Executor{}, g))
 	bench("forward/parallel", &rep.Results, forward(&graph.Executor{Parallel: true}, g))
-	fpool := bench("forward/pooled", &rep.Results, forward(&graph.Executor{Pooled: true}, g))
+	// Pooled feeds three regression gates (int8, fused, prepack), so it
+	// gets the noise-robust estimator.
+	fpool := benchMin("forward/pooled", &rep.Results, forward(&graph.Executor{Pooled: true}, g))
 	both := bench("forward/pooled-parallel", &rep.Results, forward(&graph.Executor{Pooled: true, Parallel: true}, g))
 	rep.Summary["forward_pooled_alloc_reduction"] = reduction(serial.AllocsPerOp, fpool.AllocsPerOp)
 	rep.Summary["forward_pooled_parallel_speedup"] = ratio(serial.NsPerOp, both.NsPerOp)
@@ -322,7 +344,7 @@ func main() {
 	// falls back to FP32.
 	qg := g.Clone()
 	opt.QuantizeINT8(qg)
-	qfwd := bench("forward/int8-pooled", &rep.Results, forward(&graph.Executor{Pooled: true}, qg))
+	qfwd := benchMin("forward/int8-pooled", &rep.Results, forward(&graph.Executor{Pooled: true}, qg))
 	rep.Summary["forward_int8_vs_fp32_speedup"] = ratio(fpool.NsPerOp, qfwd.NsPerOp)
 
 	// Pattern-fused forward: the same graph through the O2 pass pipeline,
@@ -335,8 +357,66 @@ func main() {
 		log.Fatalf("engbench: O2 optimization of %s failed: %v", *modelName, err)
 	}
 	fmt.Printf("%-24s %s\n", "opt/O2", orep)
-	fused := bench("forward/fused", &rep.Results, forward(&graph.Executor{Pooled: true}, fg))
+	fused := benchMin("forward/fused", &rep.Results, forward(&graph.Executor{Pooled: true}, fg))
 	rep.Summary["forward_fused_vs_fp32_speedup"] = ratio(fpool.NsPerOp, fused.NsPerOp)
+
+	// --- prepack group ------------------------------------------------
+	// Session-open weight pre-packing: every GEMM-executable operand is
+	// packed into the blocked-panel layout once, and the forward pass
+	// dispatches on the cached panels (prepacked GEMM lowering) instead
+	// of the per-call Auto lowering.
+	pg := g.Clone()
+	npk := graph.PrepackWeights(pg)
+	fmt.Printf("%-24s %d weight operands packed ahead of time\n", "prepack", npk)
+	prepacked := benchMin("forward/prepacked", &rep.Results, forward(&graph.Executor{Pooled: true}, pg))
+	rep.Summary["forward_prepacked_vs_unpacked_speedup"] = ratio(fpool.NsPerOp, prepacked.NsPerOp)
+
+	// --- serving batch group ------------------------------------------
+	// 8 frames through a serving engine (which pre-packs at session
+	// open): one at a time vs batch-folded InferBatch at 2/4/8. Every
+	// point processes the same 8 frames, so ns/op compares directly and
+	// the batch sizes trace the batch-fold curve.
+	sg := g.Clone()
+	eng, err := serving.NewEngine(sg, 0)
+	if err != nil {
+		log.Fatalf("engbench: serving engine for %s: %v", *modelName, err)
+	}
+	frames := make([]*tensor.Tensor, 8)
+	for i := range frames {
+		frames[i] = tensor.New(g.Input.OutShape...)
+		fill(frames[i], 20+i)
+	}
+	if _, err := eng.InferBatch(frames); err != nil { // warm plans + arenas
+		log.Fatalf("engbench: warmup InferBatch: %v", err)
+	}
+	seq8 := benchMin("serving/sequential-8", &rep.Results, func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			for _, f := range frames {
+				if _, err := eng.Infer(f); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		}
+	})
+	var batch8 result
+	for _, bsz := range []int{2, 4, 8} {
+		r := benchMin(fmt.Sprintf("serving/batch-%d", bsz), &rep.Results, func(bb *testing.B) {
+			for i := 0; i < bb.N; i++ {
+				for lo := 0; lo < len(frames); lo += bsz {
+					if _, err := eng.InferBatch(frames[lo : lo+bsz]); err != nil {
+						bb.Fatal(err)
+					}
+				}
+			}
+		})
+		rep.Summary[fmt.Sprintf("serving_batch%d_vs_sequential_speedup", bsz)] = ratio(seq8.NsPerOp, r.NsPerOp)
+		if bsz == 8 {
+			batch8 = r
+		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("engbench: engine close: %v", err)
+	}
 
 	// --- scaling sweep ------------------------------------------------
 	// Re-time the parallel-vs-serial pairs at each GOMAXPROCS setting.
@@ -422,6 +502,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "engbench: REGRESSION: folded conv epilogue %d ns/op is far above two-sweep %d ns/op\n",
 			convFold.NsPerOp, convSweep.NsPerOp)
 		os.Exit(1)
+	}
+
+	// Pooled-conv, pre-pack, and batch-fold gates. All three compare
+	// timings of the same arithmetic under different memory behavior, so
+	// they enforce only on hosts with >= 4 CPUs — the CI floor
+	// bench-smoke documents — and are loudly waived below it (ratios
+	// still recorded above).
+	if rep.NumCPU >= 4 {
+		// Pooled scratch must never lose to per-call allocation beyond
+		// timer noise (5%): the pool exists to remove allocator traffic,
+		// and a slower pool means its free-list lookup has regressed.
+		if pooled.NsPerOp > alloc.NsPerOp+alloc.NsPerOp/20 {
+			fmt.Fprintf(os.Stderr, "engbench: REGRESSION: pooled GEMM conv %d ns/op is above allocating %d ns/op beyond noise\n",
+				pooled.NsPerOp, alloc.NsPerOp)
+			os.Exit(1)
+		}
+		// Session-open pre-packing must pay for itself: the prepacked
+		// forward skips per-call weight packing and pins the GEMM
+		// lowering, so it must beat the unpacked pooled forward by 15%.
+		if spd := ratio(fpool.NsPerOp, prepacked.NsPerOp); spd < 1.15 {
+			fmt.Fprintf(os.Stderr, "engbench: REGRESSION: prepacked forward is only %.3fx vs unpacked (gate 1.15x): %d vs %d ns/op\n",
+				spd, prepacked.NsPerOp, fpool.NsPerOp)
+			os.Exit(1)
+		}
+		// Batch folding must amortize: 8 frames through one batch-folded
+		// InferBatch must beat the same 8 frames one at a time by 30%.
+		if spd := ratio(seq8.NsPerOp, batch8.NsPerOp); spd < 1.3 {
+			fmt.Fprintf(os.Stderr, "engbench: REGRESSION: batched-8 serving is only %.3fx vs 8 sequential (gate 1.30x): %d vs %d ns/op\n",
+				spd, batch8.NsPerOp, seq8.NsPerOp)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "engbench: pooled-conv/prepack/batch-fold gates WAIVED: host has %d CPUs (< 4); ratios recorded, not enforced\n",
+			rep.NumCPU)
 	}
 
 	// Scaling gate: intra-op parallelism must actually win where it can.

@@ -95,6 +95,10 @@ func waitExit(t *testing.T, p *workerProc) error {
 // in-process executor, sequentially and under concurrent load.
 func TestPipelineBitExact(t *testing.T) {
 	g := testModel(t)
+	// Stage engines pre-pack their subgraph weights at session open, so
+	// the single-process reference must run the same pre-packed GEMM
+	// lowering to stay bitwise comparable.
+	graph.PrepackWeights(g)
 	parts := splitThree(t, g)
 	stages, procs := startWorkers(t, 3)
 	p, err := cluster.Connect(parts, stages, cluster.Options{})
@@ -189,6 +193,7 @@ func TestPipelinePlanRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := model.MustGet(plan.Model).Build(nn.Options{Materialize: true, Seed: 21})
+	graph.PrepackWeights(g) // match the stage engines' pre-packed lowering
 	parts, err := cluster.BuildStages(g, plan)
 	if err != nil {
 		t.Fatal(err)

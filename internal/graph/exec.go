@@ -60,6 +60,13 @@ type Executor struct {
 	pool     *tensor.Pool
 	debugged *Graph
 
+	// batchPools are the extra per-sample arenas RunBatch lends to
+	// samples 1..B-1 (sample 0 reuses pool). One arena per sample keeps
+	// the pools single-goroutine while non-folded nodes evaluate all
+	// samples concurrently; the slice grows to the largest batch seen
+	// and is dropped on replan.
+	batchPools []*tensor.Pool
+
 	// levels/leveled cache the wavefront partition for the last graph the
 	// Parallel scheduler saw; louts/lerrs are the per-level result slices,
 	// sized to the widest level and reused across Run calls so steady-state
@@ -78,6 +85,12 @@ type Executor struct {
 	// loop) rather than separate elementwise passes. Atomic: the
 	// wavefront scheduler evaluates nodes concurrently.
 	nInt8, nFP32, nFused atomic.Int64
+
+	// nPrepacked counts conv/dense dispatches that consumed an
+	// ahead-of-time packed panel (Node.Packed/PackedQ) instead of packing
+	// per call — the probe serving metrics and prepack tests use to
+	// assert a pre-packed graph really skips the pack step.
+	nPrepacked atomic.Int64
 
 	// lastValues retains the most recent forward pass's node values for
 	// RunValues (training) callers.
@@ -116,13 +129,27 @@ func (e *Executor) DispatchCounts() (int8Kernels, fp32Kernels, fusedKernels int6
 	return e.nInt8.Load(), e.nFP32.Load(), e.nFused.Load()
 }
 
-// PoolStats reports the arena's traffic counters; zero-valued until a
-// Pooled run has executed.
+// PrepackedDispatches reports how many conv/dense dispatches ran on
+// ahead-of-time packed weight panels since the executor was created.
+// Safe to call concurrently with Run.
+func (e *Executor) PrepackedDispatches() int64 { return e.nPrepacked.Load() }
+
+// PoolStats reports the arena traffic counters summed across the main
+// arena and any per-sample batch arenas; zero-valued until a Pooled run
+// or a pooled RunBatch has executed.
 func (e *Executor) PoolStats() tensor.PoolStats {
-	if e.pool == nil {
-		return tensor.PoolStats{}
+	var total tensor.PoolStats
+	if e.pool != nil {
+		total = e.pool.Stats()
 	}
-	return e.pool.Stats()
+	for _, p := range e.batchPools {
+		st := p.Stats()
+		total.Gets += st.Gets
+		total.Misses += st.Misses
+		total.Puts += st.Puts
+		total.Idle += st.Idle
+	}
+	return total
 }
 
 func (e *Executor) run(g *Graph, input *tensor.Tensor, retain bool) (*tensor.Tensor, error) {
@@ -149,6 +176,8 @@ func (e *Executor) run(g *Graph, input *tensor.Tensor, retain bool) (*tensor.Ten
 			e.plan, e.planned = plan, g
 			e.pool = tensor.NewPool()
 			e.pool.Preallocate(plan.Slots...)
+			e.pool.Preallocate(plan.Scratch...)
+			e.batchPools = nil
 		}
 		rt.pooled = true
 		rt.plan = e.plan
@@ -479,9 +508,16 @@ func (e *Executor) evalFused(n *Node, rt *runState) (out *tensor.Tensor, ok bool
 	dst := rt.alloc(n)
 	switch n.Kind {
 	case OpConv2D:
-		if e.UseGEMMConv {
+		switch {
+		case n.Packed != nil:
+			// Ahead-of-time packed panels force the GEMM lowering (the
+			// layout is the GEMM microkernel's); bitwise identical to
+			// Conv2DGEMMFusedInto, minus the per-call weight packing.
+			tensor.Conv2DPrepackedInto(dst, in, n.Packed, n.Bias, n.Attrs.ConvSpec(), epi, rt.scratch())
+			e.nPrepacked.Add(1)
+		case e.UseGEMMConv:
 			tensor.Conv2DGEMMFusedInto(dst, in, n.Weights, n.Bias, n.Attrs.ConvSpec(), rt.scratch(), epi)
-		} else {
+		default:
 			tensor.Conv2DFusedInto(dst, in, n.Weights, n.Bias, n.Attrs.ConvSpec(), epi)
 		}
 	case OpDepthwiseConv2D:
@@ -557,10 +593,19 @@ func (e *Executor) evalQuantized(n *Node, rt *runState) (out *tensor.Tensor, ok 
 		return nil, true, fmt.Errorf("input %s not computed", n.Inputs[0])
 	}
 	dst := rt.alloc(n)
-	if n.Kind == OpConv2D {
+	switch {
+	case n.Kind == OpConv2D && n.PackedQ != nil:
+		tensor.Conv2DQPrepackedInto(dst, in, n.PackedQ, n.QWeights, n.Bias, n.Attrs.ConvSpec(),
+			actFor(n.Activation), n.Attrs.LeakySlope())
+		e.nPrepacked.Add(1)
+	case n.Kind == OpConv2D:
 		tensor.Conv2DQInt8Into(dst, in, n.QWeights, n.Bias, n.Attrs.ConvSpec(),
 			actFor(n.Activation), n.Attrs.LeakySlope())
-	} else {
+	case n.PackedQ != nil:
+		tensor.DenseQPrepackedInto(dst.Data, n.PackedQ, n.QWeights, n.Bias, in.Data,
+			actFor(n.Activation), n.Attrs.LeakySlope())
+		e.nPrepacked.Add(1)
+	default:
 		tensor.DenseQInt8Into(dst.Data, n.QWeights, n.Bias, in.Data,
 			actFor(n.Activation), n.Attrs.LeakySlope())
 	}
@@ -590,9 +635,13 @@ func (e *Executor) eval(n *Node, rt *runState) (*tensor.Tensor, error) {
 			return e.groupedConv(n, in, g, spec)
 		}
 		dst := rt.alloc(n)
-		if e.UseGEMMConv {
+		switch {
+		case n.Packed != nil:
+			tensor.Conv2DPrepackedInto(dst, in, n.Packed, n.Bias, spec, tensor.Epilogue{}, rt.scratch())
+			e.nPrepacked.Add(1)
+		case e.UseGEMMConv:
 			tensor.Conv2DGEMMInto(dst, in, n.Weights, n.Bias, spec, rt.scratch())
-		} else {
+		default:
 			tensor.Conv2DAutoInto(dst, in, n.Weights, n.Bias, spec)
 		}
 		return dst, nil

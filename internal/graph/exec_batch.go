@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"edgebench/internal/tensor"
+)
+
+// batchFold classifies how a node executes inside RunBatch: folded into
+// one wide GEMM across the whole micro-batch, or per-sample through the
+// ordinary evalNode dispatch.
+type batchFold int
+
+const (
+	foldNone     batchFold = iota // no batch kernel; evaluate each sample
+	foldFP32Conv                  // pre-packed FP32 conv: one (B·M)×K GEMM
+	foldQConv                     // pre-packed int8 conv: one wide QGEMM
+	foldQDense                    // pre-packed int8 dense: one [B, In] QGEMM
+)
+
+// foldKind replicates evalNode's dispatch decision for a whole batch:
+// a node folds only when every sample would take the same pre-packed
+// kernel path, so RunBatch outputs are bitwise identical to B
+// sequential Run calls.
+func foldKind(n *Node) batchFold {
+	switch n.Kind {
+	case OpConv2D:
+		if n.Attrs.GroupCount() > 1 {
+			return foldNone
+		}
+		if int8Prepackable(n) {
+			if n.PackedQ != nil {
+				return foldQConv
+			}
+			return foldNone // unpacked int8 path has no batch kernel
+		}
+		if n.Packed != nil {
+			return foldFP32Conv
+		}
+	case OpDense:
+		if int8Prepackable(n) && n.PackedQ != nil {
+			return foldQDense
+		}
+	}
+	return foldNone
+}
+
+// RunBatch evaluates g on a micro-batch of inputs, folding the batch
+// dimension through every pre-packed conv/dense node: the B lowered
+// activation matrices stack into one (B·M)×K operand and run as a
+// single wide GEMM against the node's ahead-of-time packed panels,
+// which is where a batch window earns real throughput (wider GEMMs
+// amortize panel traversal and spread rows across the worker pool).
+// Nodes without a batch kernel evaluate per sample through the normal
+// dispatch — concurrently, one goroutine per sample, since samples are
+// independent — so outputs are bitwise identical to B sequential Run
+// calls on the same graph. On static graphs each sample runs against
+// its own arena (sample 0 borrows the executor's Run arena, the rest
+// use cached per-sample pools) with per-sample refcount release: a
+// buffer returns to its free list the moment its owning sample is done
+// with it, so each arena holds one live buffer per plan slot instead of
+// retaining every intermediate (pooling never changes values, only
+// allocation traffic). Like Run, RunBatch is single-goroutine per
+// Executor.
+func (e *Executor) RunBatch(g *Graph, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("graph %s: empty batch", g.Name)
+	}
+	if len(inputs) == 1 {
+		out, err := e.Run(g, inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{out}, nil
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("graph %s: batch input %d is nil", g.Name, i)
+		}
+		if !in.Shape.Equal(g.Input.OutShape) {
+			return nil, fmt.Errorf("graph %s: batch input %d shape %v, want %v", g.Name, i, in.Shape, g.Input.OutShape)
+		}
+	}
+	for _, n := range g.Nodes {
+		if !n.Materialized() {
+			return nil, fmt.Errorf("graph %s: node %s has structural-only parameters; build the model with materialized weights to execute it", g.Name, n)
+		}
+	}
+	pooled := g.Mode == Static
+	if pooled {
+		if e.plan == nil || e.planned != g {
+			plan, err := PlanBuffers(g)
+			if err != nil {
+				return nil, fmt.Errorf("graph %s: %w", g.Name, err)
+			}
+			e.plan, e.planned = plan, g
+			e.pool = tensor.NewPool()
+			e.pool.Preallocate(plan.Slots...)
+			e.pool.Preallocate(plan.Scratch...)
+			e.batchPools = nil
+		}
+		// One arena per sample: the Pool is not goroutine-safe across a
+		// Get/Put pair, and non-folded nodes evaluate samples
+		// concurrently, so each sample owns an arena for the whole call.
+		for len(e.batchPools) < len(inputs)-1 {
+			p := tensor.NewPool()
+			p.Preallocate(e.plan.Slots...)
+			p.Preallocate(e.plan.Scratch...)
+			e.batchPools = append(e.batchPools, p)
+		}
+	}
+	keep := make(map[*Node]bool, 1+len(g.Extra))
+	for _, root := range g.Roots() {
+		keep[root] = true
+	}
+	rts := make([]*runState, len(inputs))
+	for i := range rts {
+		rts[i] = &runState{
+			exec:   e,
+			g:      g,
+			values: make(map[*Node]*tensor.Tensor, len(g.Nodes)),
+			keep:   keep,
+			retain: !pooled,
+		}
+		if pooled {
+			rts[i].pooled = true
+			rts[i].plan = e.plan
+			if i == 0 {
+				rts[i].pool = e.pool
+			} else {
+				rts[i].pool = e.batchPools[i-1]
+			}
+			rts[i].left = make(map[*Node]int, len(e.plan.refs))
+			for n, c := range e.plan.refs {
+				rts[i].left[n] = c
+			}
+		}
+		rts[i].values[g.Input] = inputs[i]
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == OpInput {
+			continue
+		}
+		if err := e.evalBatchNode(n, rts); err != nil {
+			return nil, fmt.Errorf("graph %s: node %s: %w", g.Name, n, err)
+		}
+	}
+	outs := make([]*tensor.Tensor, len(rts))
+	for i, rt := range rts {
+		out, ok := rt.values[g.Output]
+		if !ok {
+			return nil, fmt.Errorf("graph %s: output value missing", g.Name)
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// evalBatchNode runs one node for the whole micro-batch: a folded wide
+// GEMM when the node carries packed panels, per-sample evalNode
+// otherwise. The recover guard mirrors evalNode's, converting residual
+// kernel panics into errors.
+func (e *Executor) evalBatchNode(n *Node, rts []*runState) (err error) {
+	fold := foldKind(n)
+	if fold == foldNone {
+		// Samples are independent, so evaluate all of them concurrently:
+		// each runState owns its values map and arena, dispatch counters
+		// are atomic, and every sample computes exactly what a sequential
+		// Run would, so concurrency changes wall-clock, never values.
+		// This is where a batch earns throughput on the ops with no wide
+		// kernel — B depthwise/pool/activation evaluations overlap
+		// instead of queueing behind one another. evalNode's recover
+		// guard converts kernel panics to errors inside each goroutine.
+		errs := make([]error, len(rts))
+		var wg sync.WaitGroup
+		for i := range rts {
+			rt := rts[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := e.evalNode(n, rt)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				rt.values[n] = out
+				rt.release(n)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("kernel panic: %v", r)
+		}
+	}()
+	b := int64(len(rts))
+	ins := make([]*tensor.Tensor, len(rts))
+	dsts := make([]*tensor.Tensor, len(rts))
+	for i, rt := range rts {
+		in, ok := rt.values[n.Inputs[0]]
+		if !ok {
+			return fmt.Errorf("input %s not computed", n.Inputs[0])
+		}
+		ins[i] = in
+		dsts[i] = rt.alloc(n)
+	}
+	switch fold {
+	case foldFP32Conv:
+		// Same epilogue evalFused builds; with nothing fused it degrades
+		// to the bias-only sweep the plain eval path runs.
+		epi := tensor.Epilogue{
+			Scale: n.EpiScale,
+			Shift: n.EpiShift,
+			Act:   actFor(n.Activation),
+			Alpha: n.Attrs.LeakySlope(),
+		}
+		tensor.Conv2DPrepackedBatchInto(dsts, ins, n.Packed, n.Bias, n.Attrs.ConvSpec(), epi)
+		e.nFP32.Add(b)
+		if n.Activation != 0 || n.EpiChannels > 0 {
+			e.nFused.Add(b)
+		}
+	case foldQConv:
+		tensor.Conv2DQPrepackedBatchInto(dsts, ins, n.PackedQ, n.QWeights, n.Bias,
+			n.Attrs.ConvSpec(), actFor(n.Activation), n.Attrs.LeakySlope())
+		e.nInt8.Add(b)
+		if n.Activation != 0 {
+			e.nFused.Add(b)
+		}
+	case foldQDense:
+		tensor.DenseQPrepackedBatchInto(dsts, ins, n.PackedQ, n.QWeights, n.Bias,
+			actFor(n.Activation), n.Attrs.LeakySlope())
+		e.nInt8.Add(b)
+		if n.Activation != 0 {
+			e.nFused.Add(b)
+		}
+	}
+	e.nPrepacked.Add(b)
+	for i, rt := range rts {
+		rt.values[n] = dsts[i]
+		rt.release(n)
+	}
+	return nil
+}

@@ -76,6 +76,7 @@ func FoldBN(g *Graph) {
 					n.BN.Gamma, n.BN.Beta, n.BN.Mean, n.BN.Variance, n.BN.Eps)
 				prod.Weights = fw
 				prod.Bias = fb
+				prod.Packed = nil // panels packed from the pre-fold weights are stale
 			}
 			// Structurally, folding moves the BN's scale/shift into the
 			// producer's weights and a bias of one value per channel
@@ -171,6 +172,7 @@ func quantizeNode(n *Node, perChannel bool) {
 		q = tensor.QuantizeSymmetric(n.Weights)
 	}
 	n.Weights = q.Dequantize()
+	n.Packed, n.PackedQ = nil, nil // both layouts derive from the replaced weights
 	// A node carrying an absorbed-BN epilogue stays on the FP32 fused
 	// path: the int8 requantize epilogue has no per-channel affine stage
 	// (verify's fusion rule rejects the combination).
@@ -225,6 +227,7 @@ func CastFP16(g *Graph) {
 	for _, n := range g.Nodes {
 		if n.Weights != nil {
 			n.Weights = tensor.RoundTripFP16(n.Weights)
+			n.Packed = nil // stale: packed from the pre-rounding weights
 		}
 		n.DType = tensor.FP16
 	}
@@ -242,6 +245,7 @@ func Prune(fraction float64) Pass {
 				if n.Weights != nil {
 					tensor.PruneMagnitude(n.Weights, fraction)
 					n.Sparsity = tensor.Sparsity(n.Weights)
+					n.Packed = nil // stale panels; pruned weights take the sparse path
 				} else {
 					// Structural graph: record the target sparsity for the
 					// cost model without weight data to prune.

@@ -17,6 +17,14 @@ type Plan struct {
 	// outputs.
 	PeakBytes int64
 
+	// Scratch holds the element counts of the persistent im2col/GEMM
+	// scratch buffers the pre-packed conv kernels borrow from the arena
+	// (the lowered [ncols, K] rows matrix and the transposed [ncols, N]
+	// GEMM output per distinct geometry), sized from inferred shapes so
+	// Executor.run can preallocate them once and lowering reuses stable
+	// arena slots instead of churning the pool.
+	Scratch []int
+
 	slot    map[*Node]int     // pooled node -> slot index
 	root    map[*Node]*Node   // alias node -> storage owner
 	aliases map[*Node][]*Node // storage owner -> alias nodes
@@ -138,6 +146,25 @@ func PlanBuffers(g *Graph) (*Plan, error) {
 		}
 	}
 	p.PeakBytes = peak
+
+	// Reserve persistent scratch for pre-packed convolutions: the kernel
+	// Gets exactly these sizes per dispatch, so preallocating one buffer
+	// per distinct size turns the per-call im2col lowering into writes
+	// against stable arena slots. (Concurrent same-level dispatches under
+	// the wavefront scheduler fall back to on-demand pool growth.)
+	seen := make(map[int]bool)
+	for _, n := range g.Nodes {
+		if n.Packed == nil || n.Kind != OpConv2D || n.Attrs.GroupCount() > 1 {
+			continue
+		}
+		ncols := n.OutShape[1] * n.OutShape[2]
+		for _, elems := range []int{ncols * n.Packed.K, ncols * n.Packed.N} {
+			if !seen[elems] {
+				seen[elems] = true
+				p.Scratch = append(p.Scratch, elems)
+			}
+		}
+	}
 	return p, nil
 }
 

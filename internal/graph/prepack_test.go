@@ -1,0 +1,298 @@
+package graph_test
+
+import (
+	"math"
+	"testing"
+
+	"edgebench/internal/graph"
+	"edgebench/internal/nn"
+	"edgebench/internal/tensor"
+)
+
+// prepackCNN builds a graph holding every pre-pack eligibility class in
+// one topology: a dense FP32 conv (packed), a grouped conv (skipped —
+// the GEMM lowering only covers ungrouped convs), and an FP32 dense
+// layer (skipped — matVecInto's 4-chain accumulation has no packed
+// twin).
+func prepackCNN(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	b := nn.NewBuilder("prepack", nn.Options{Materialize: true, Seed: seed}, 4, 8, 8)
+	b.Conv2D("conv1", 8, 3, 1, 1, true)
+	b.ReLU("relu1")
+	b.Conv2DG("gconv", 8, 3, 1, 1, 2, true)
+	b.GlobalAvgPool("gap")
+	b.Dense("fc", 10, true)
+	b.Softmax("prob")
+	return b.Build()
+}
+
+func findNode(t testing.TB, g *graph.Graph, name string) *graph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("graph has no node %q", name)
+	return nil
+}
+
+// seededInput fills a deterministic but non-constant input so bitwise
+// comparisons exercise real value diversity.
+func seededInput(shape tensor.Shape, seed int) *tensor.Tensor {
+	in := tensor.New(shape...)
+	for i := range in.Data {
+		in.Data[i] = float32(math.Sin(float64(i+37*seed)*0.7)) * 0.5
+	}
+	return in
+}
+
+// TestPrepackDispatchProbe: PrepackWeights packs exactly the eligible
+// nodes, executing a packed graph is bitwise identical to the unpacked
+// GEMM lowering in every executor mode, and the executor's counter
+// proves the prepacked kernel actually ran.
+func TestPrepackDispatchProbe(t *testing.T) {
+	g := prepackCNN(t, 31)
+	in := seededInput(g.Input.OutShape, 1)
+
+	// Reference BEFORE packing, pinned to the GEMM lowering: the packed
+	// kernel's bitwise contract is against the blocked GEMM, not direct
+	// conv (which accumulates in a different order).
+	want, err := (&graph.Executor{UseGEMMConv: true}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := graph.PrepackWeights(g); n != 1 {
+		t.Fatalf("PrepackWeights packed %d nodes, want 1 (conv1 only)", n)
+	}
+	if findNode(t, g, "conv1").Packed == nil {
+		t.Fatal("conv1 not packed")
+	}
+	if p := findNode(t, g, "gconv"); p.Packed != nil || p.PackedQ != nil {
+		t.Fatal("grouped conv must not be packed")
+	}
+	if p := findNode(t, g, "fc"); p.Packed != nil || p.PackedQ != nil {
+		t.Fatal("FP32 dense must not be packed")
+	}
+	// Idempotent: a second sweep finds nothing to do (the opt pass runs
+	// inside a fixpoint loop and must not report perpetual rewrites).
+	if n := graph.PrepackWeights(g); n != 0 {
+		t.Fatalf("second PrepackWeights repacked %d nodes, want 0", n)
+	}
+
+	// UseGEMMConv stays pinned on the packed-graph executors too: the
+	// prepacked conv ignores the flag (dispatch is on n.Packed), but the
+	// UNpacked grouped conv honors it, and the reference above lowered
+	// that node through GEMM.
+	modes := []struct {
+		name string
+		mk   func() *graph.Executor
+	}{
+		{"sequential", func() *graph.Executor { return &graph.Executor{UseGEMMConv: true} }},
+		{"parallel", func() *graph.Executor { return &graph.Executor{UseGEMMConv: true, Parallel: true, Workers: 4} }},
+		{"pooled", func() *graph.Executor { return &graph.Executor{UseGEMMConv: true, Pooled: true} }},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			e := mode.mk()
+			got, err := e.Run(g, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("out[%d] = %v, want %v (bitwise)", i, got.Data[i], want.Data[i])
+				}
+			}
+			if e.PrepackedDispatches() != 1 {
+				t.Fatalf("prepacked dispatches = %d, want 1", e.PrepackedDispatches())
+			}
+		})
+	}
+}
+
+// TestPrepackInt8DispatchProbe: on a quantized graph the pre-pack pass
+// caches int8 panels for the conv and the dense head, execution stays
+// bitwise identical to the unpacked QGEMM path (integer accumulation is
+// order-independent), and both prepacked dispatches are counted.
+func TestPrepackInt8DispatchProbe(t *testing.T) {
+	in := tensor.New(3, 8, 8).Fill(0.25)
+	g := mixedCNN(t, 33)
+	graph.FuseActivations(g)
+	graph.QuantizeINT8(g)
+	ref := run(t, g, in)
+
+	if n := graph.PrepackWeights(g); n != 2 {
+		t.Fatalf("PrepackWeights packed %d nodes, want 2 (conv1+fc)", n)
+	}
+	if findNode(t, g, "conv1").PackedQ == nil || findNode(t, g, "fc").PackedQ == nil {
+		t.Fatal("quantized conv1/fc must carry PackedQ panels")
+	}
+	if findNode(t, g, "dw").PackedQ != nil {
+		t.Fatal("depthwise conv must not be packed")
+	}
+
+	e := &graph.Executor{}
+	got, err := e.Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Data {
+		if got.Data[i] != ref.Data[i] {
+			t.Fatalf("out[%d] = %v, want %v (bitwise vs unpacked int8)", i, got.Data[i], ref.Data[i])
+		}
+	}
+	if e.PrepackedDispatches() != 2 {
+		t.Fatalf("prepacked dispatches = %d, want 2", e.PrepackedDispatches())
+	}
+	i8, f32, _ := e.DispatchCounts()
+	if i8 != 2 || f32 != 1 {
+		t.Fatalf("dispatch counts i8=%d f32=%d, want 2/1", i8, f32)
+	}
+}
+
+// TestRunBatchMatchesSequential is the batch-folding contract: RunBatch
+// over B distinct inputs is bitwise identical to B sequential Runs, for
+// both an FP32 pre-packed graph and a quantized one, and the dispatch
+// counters account for every folded sample.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	const B = 5
+	cases := []struct {
+		name      string
+		mk        func() *graph.Graph
+		prepacked int // nodes RunBatch folds through prepacked kernels
+	}{
+		{"fp32", func() *graph.Graph {
+			g := smallCNN(t, 41)
+			if n := graph.PrepackWeights(g); n != 2 {
+				t.Fatalf("packed %d, want 2 convs", n)
+			}
+			return g
+		}, 2},
+		{"int8", func() *graph.Graph {
+			g := mixedCNN(t, 43)
+			graph.FuseActivations(g)
+			graph.QuantizeINT8(g)
+			if n := graph.PrepackWeights(g); n != 2 {
+				t.Fatalf("packed %d, want conv1+fc", n)
+			}
+			return g
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.mk()
+			ins := make([]*tensor.Tensor, B)
+			for i := range ins {
+				ins[i] = seededInput(g.Input.OutShape, i)
+			}
+			wants := make([]*tensor.Tensor, B)
+			for i := range ins {
+				w, err := (&graph.Executor{}).Run(g, ins[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				wants[i] = w
+			}
+			e := &graph.Executor{}
+			outs, err := e.RunBatch(g, ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(outs) != B {
+				t.Fatalf("RunBatch returned %d outputs, want %d", len(outs), B)
+			}
+			for b := range outs {
+				if !outs[b].Shape.Equal(wants[b].Shape) {
+					t.Fatalf("sample %d: shape %v, want %v", b, outs[b].Shape, wants[b].Shape)
+				}
+				for i := range wants[b].Data {
+					if outs[b].Data[i] != wants[b].Data[i] {
+						t.Fatalf("sample %d: out[%d] = %v, want %v (bitwise)",
+							b, i, outs[b].Data[i], wants[b].Data[i])
+					}
+				}
+			}
+			if got := e.PrepackedDispatches(); got != int64(tc.prepacked*B) {
+				t.Fatalf("prepacked dispatches = %d, want %d (%d nodes x %d samples)",
+					got, tc.prepacked*B, tc.prepacked, B)
+			}
+		})
+	}
+}
+
+// TestRunBatchEdgeCases covers the batched entry point's error paths
+// and its single-input delegation.
+func TestRunBatchEdgeCases(t *testing.T) {
+	g := smallCNN(t, 47)
+	graph.PrepackWeights(g)
+	e := &graph.Executor{}
+
+	if _, err := e.RunBatch(g, nil); err == nil {
+		t.Fatal("empty batch must error")
+	}
+	bad := []*tensor.Tensor{seededInput(g.Input.OutShape, 0), tensor.New(3, 4, 4).Fill(1)}
+	if _, err := e.RunBatch(g, bad); err == nil {
+		t.Fatal("shape-mismatched batch member must error")
+	}
+
+	in := seededInput(g.Input.OutShape, 9)
+	want, err := (&graph.Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.RunBatch(g, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("got %d outputs, want 1", len(outs))
+	}
+	for i := range want.Data {
+		if outs[0].Data[i] != want.Data[i] {
+			t.Fatalf("single-input RunBatch diverges from Run at %d", i)
+		}
+	}
+}
+
+// TestPlanReservesPrepackScratch: buffer planning on a pre-packed graph
+// reserves the persistent im2col and transposed-output scratch the
+// prepacked conv kernel borrows per call — two element counts per
+// distinct conv geometry — and reserves nothing before packing.
+func TestPlanReservesPrepackScratch(t *testing.T) {
+	g := smallCNN(t, 51)
+	plain, err := graph.PlanBuffers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Scratch) != 0 {
+		t.Fatalf("unpacked graph reserved scratch %v", plain.Scratch)
+	}
+
+	graph.PrepackWeights(g)
+	p, err := graph.PlanBuffers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{}
+	for _, n := range g.Nodes {
+		if n.Packed == nil {
+			continue
+		}
+		ncols := n.OutShape[1] * n.OutShape[2]
+		want[ncols*n.Packed.K] = true
+		want[ncols*n.Packed.N] = true
+	}
+	if len(want) == 0 {
+		t.Fatal("no packed convs to plan for")
+	}
+	if len(p.Scratch) != len(want) {
+		t.Fatalf("plan reserved %d scratch sizes %v, want %d", len(p.Scratch), p.Scratch, len(want))
+	}
+	for _, sz := range p.Scratch {
+		if !want[sz] {
+			t.Fatalf("unexpected scratch reservation %d (want one of %v)", sz, want)
+		}
+	}
+}

@@ -256,8 +256,10 @@ const (
 	LevelUnset Level = iota - 1
 	// O0 applies no passes: the graph executes exactly as built.
 	O0
-	// O1 applies the always-safe cleanups: constant folding, identity
-	// elimination, dead-node elimination.
+	// O1 applies the always-safe cleanups — constant folding, identity
+	// elimination, dead-node elimination — plus ahead-of-time weight
+	// pre-packing into the GEMM panel layout (bitwise identical; it only
+	// changes where packing happens, not what is computed).
 	O1
 	// O2 adds pattern fusion: conv→BN→activation and dense→activation
 	// chains collapse into single fused-kernel dispatches, bitwise
@@ -298,9 +300,9 @@ func ParseLevel(s string) (Level, error) {
 func (l Level) Passes() []Pass {
 	switch l {
 	case O1:
-		return []Pass{ConstantFolding(), IdentityElimination(), DeadElimination()}
+		return []Pass{ConstantFolding(), IdentityElimination(), DeadElimination(), WeightPrepack()}
 	case O2:
-		return []Pass{ConstantFolding(), IdentityElimination(), PatternFusion(), DeadElimination()}
+		return []Pass{ConstantFolding(), IdentityElimination(), PatternFusion(), DeadElimination(), WeightPrepack()}
 	}
 	return nil
 }

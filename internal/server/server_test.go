@@ -122,11 +122,26 @@ func TestServerBadInput(t *testing.T) {
 	}
 }
 
+// slowEngine delays every dispatch so the admission queue observably
+// fills during the overload flood regardless of how fast the kernels
+// themselves run (pre-packed GEMM made the tiny test model quick
+// enough to drain a 1-deep queue between arrivals).
+type slowEngine struct {
+	server.Engine
+	delay time.Duration
+}
+
+func (s slowEngine) InferBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	time.Sleep(s.delay)
+	return s.Engine.InferBatch(ins)
+}
+
 // TestServerOverloadReturns429 floods a tiny queue and requires shed
 // requests to come back 429 with a Retry-After hint.
 func TestServerOverloadReturns429(t *testing.T) {
 	_, eng := buildEngine(t, 1)
-	srv := server.New(eng, server.Config{MaxBatch: 1, QueueCap: 1, MaxWait: time.Millisecond})
+	srv := server.New(slowEngine{Engine: eng, delay: 2 * time.Millisecond},
+		server.Config{MaxBatch: 1, QueueCap: 1, MaxWait: time.Millisecond})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.Close()

@@ -55,6 +55,14 @@ type Engine struct {
 // NewEngine verifies g, requires materialized weights, and builds an
 // engine with the given number of executor replicas (<= 0 means
 // GOMAXPROCS).
+//
+// Session open is also where ahead-of-time weight pre-packing runs:
+// every GEMM-executable node's weights are packed once into the blocked
+// panel layout the microkernels consume (graph.PrepackWeights), in
+// place on g, so all replicas — and any executor the caller later runs
+// on the same graph object — share the panels and skip per-call
+// packing. Pre-packed execution is bitwise identical to the unpacked
+// GEMM lowering.
 func NewEngine(g *graph.Graph, replicas int) (*Engine, error) {
 	if err := verify.Err(verify.Check(g)); err != nil {
 		return nil, fmt.Errorf("serving: graph %s: %w", g.Name, err)
@@ -64,6 +72,7 @@ func NewEngine(g *graph.Graph, replicas int) (*Engine, error) {
 			return nil, fmt.Errorf("serving: graph %s: node %s has structural-only parameters", g.Name, n)
 		}
 	}
+	graph.PrepackWeights(g)
 	if replicas <= 0 {
 		replicas = runtime.GOMAXPROCS(0)
 	}
@@ -144,11 +153,24 @@ func (e *Engine) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 }
 
-// InferBatch runs every input concurrently across the replica pool and
-// returns outputs in input order. An empty batch fails with
-// ErrEmptyBatch and a nil tensor with ErrNilInput (both before any work
-// is dispatched); otherwise the first error (by input index) is
-// returned, and outputs past a failed input may be nil.
+// maxFoldPerRun bounds how many inputs fold into one batch-folded
+// executor forward: past ~8 samples the stacked (B·M)×K lowered matrix
+// stops fitting the panel reuse the blocking gives and latency for the
+// whole chunk grows without throughput to show for it, so larger
+// batches split into chunks that spread across idle replicas instead.
+const maxFoldPerRun = 8
+
+// InferBatch runs a micro-batch and returns outputs in input order.
+// Inputs are folded into batched executor forwards (Executor.RunBatch)
+// in chunks of up to maxFoldPerRun: every pre-packed conv/dense node
+// executes the whole chunk as one wide GEMM instead of B narrow ones.
+// Chunks spread across however many replicas are idle right now — one
+// replica is always acquired (blocking), extras are taken
+// opportunistically — so a batch never waits behind the full pool.
+// Outputs are bitwise identical to per-input Infer calls. An empty
+// batch fails with ErrEmptyBatch and a nil tensor with ErrNilInput
+// (both before any work is dispatched); otherwise the first error (by
+// input index) is returned, and outputs of a failed chunk are nil.
 func (e *Engine) InferBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(ins) == 0 {
 		return nil, ErrEmptyBatch
@@ -158,20 +180,60 @@ func (e *Engine) InferBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
 			return nil, fmt.Errorf("serving: request %d: %w", i, ErrNilInput)
 		}
 	}
+	select {
+	case <-e.closed:
+		return nil, ErrEngineClosed
+	default:
+	}
+	var chunks [][2]int
+	for lo := 0; lo < len(ins); lo += maxFoldPerRun {
+		hi := lo + maxFoldPerRun
+		if hi > len(ins) {
+			hi = len(ins)
+		}
+		chunks = append(chunks, [2]int{lo, hi})
+	}
+	exs := make([]*graph.Executor, 0, len(chunks))
+	select {
+	case ex := <-e.replicas:
+		exs = append(exs, ex)
+	case <-e.closed:
+		return nil, ErrEngineClosed
+	}
+acquire:
+	for len(exs) < len(chunks) {
+		select {
+		case ex := <-e.replicas:
+			exs = append(exs, ex)
+		default:
+			break acquire // pool busy; the replicas we hold take the rest
+		}
+	}
 	outs := make([]*tensor.Tensor, len(ins))
-	errs := make([]error, len(ins))
+	errs := make([]error, len(chunks))
 	var wg sync.WaitGroup
-	for i, in := range ins {
+	for w := range exs {
 		wg.Add(1)
-		go func(i int, in *tensor.Tensor) {
+		go func(w int) {
 			defer wg.Done()
-			outs[i], errs[i] = e.Infer(in)
-		}(i, in)
+			for c := w; c < len(chunks); c += len(exs) {
+				lo, hi := chunks[c][0], chunks[c][1]
+				res, err := exs[w].RunBatch(e.g, ins[lo:hi])
+				if err != nil {
+					errs[c] = err
+					continue
+				}
+				copy(outs[lo:hi], res)
+			}
+		}(w)
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for _, ex := range exs {
+		e.replicas <- ex
+	}
+	for c, err := range errs {
 		if err != nil {
-			return outs, fmt.Errorf("serving: request %d: %w", i, err)
+			return outs, fmt.Errorf("serving: request %d: %w", chunks[c][0], err)
 		}
 	}
 	return outs, nil

@@ -58,15 +58,22 @@ func TestEngineBatchMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		single, err := eng.Infer(in)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for j := range want.Data {
 			if outs[i].Data[j] != want.Data[j] {
-				t.Fatalf("request %d: out[%d] = %v, want %v", i, j, outs[i].Data[j], want.Data[j])
+				t.Fatalf("request %d: batched out[%d] = %v, want %v", i, j, outs[i].Data[j], want.Data[j])
+			}
+			if single.Data[j] != want.Data[j] {
+				t.Fatalf("request %d: Infer out[%d] = %v, want %v", i, j, single.Data[j], want.Data[j])
 			}
 		}
 	}
-	// Static graph: replicas must be reusing their arenas, not
-	// allocating per request — with 16 requests over 4 replicas, hits
-	// must dominate after each replica's first pass.
+	// Static graph: both paths run against the replica arenas, so after
+	// the Infer and InferBatch traffic above, steady-state reuse must
+	// dominate over cold misses.
 	st := eng.PoolStats()
 	if st.Gets == 0 {
 		t.Fatal("engine never touched its arenas")

@@ -1,0 +1,369 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the ahead-of-time weight pre-packing layer for the FP32
+// GEMM path. The per-call blocked kernel (gemm.go) packs its B operand
+// into interleaved panels on every invocation; for inference the weight
+// operand is constant, so a session can pack it once and reuse the
+// panels forever. To make the *weights* the packed operand the
+// convolution is executed in its transposed formulation:
+//
+//	unpacked: dst[cout, ncols]  = W[cout, rows]  x cols[rows, ncols]
+//	prepacked: out[ncols, cout] = rowsA[ncols, rows] x Wt[rows, cout]
+//
+// where rowsA is the im2row lowering (one row per output pixel) and Wt
+// is the transposed weight matrix, packed AOT by PackConvWeights. The
+// blocked kernel's per-output-element accumulation order depends only
+// on the K blocking, which is identical in both formulations, and
+// float multiplication is bitwise commutative, so GemmPrepacked output
+// element (nc, oc) is bitwise identical to unpacked element (oc, nc) —
+// the property the prepack pass's zoo-wide equivalence gate pins down.
+// Padding positions contribute +0.0 in both formulations (both the
+// zero-padded A row and the zero-filled panel rows are positive zeros).
+//
+// FP32 Dense is deliberately NOT prepacked: DenseInto accumulates each
+// dot product in four independent chains (matVecInto), an order the
+// blocked GEMM cannot reproduce, so packing it would break the bitwise
+// contract. The int8 twin (qprepack.go) packs Dense too, because
+// integer accumulation is exact in any order.
+
+// PackedWeights is a weight matrix packed AOT into the blocked-panel
+// layout the FP32 GEMM microkernel consumes: the panels of every
+// (N-block, K-block) tile of the transposed weight matrix, concatenated
+// in the kernel's traversal order (jc outer, kc inner). Immutable after
+// construction — clones of a graph share the pointer.
+type PackedWeights struct {
+	// K and N are the GEMM dimensions of the packed operand: it stands
+	// in for a [K, N] B matrix (K = Cin*KH*KW, N = Cout for convs).
+	K, N int
+	// Shape is the original weight tensor shape ([Cout, Cin, KH, KW]
+	// for convs), kept so the executor can derive conv geometry without
+	// consulting the FP32 weights.
+	Shape Shape
+	// Panels is the concatenated packed panel data.
+	Panels []float32
+}
+
+// Elems returns the packed panel element count (the memory cost of the
+// pre-pack, within rounding of the original weight count).
+func (p *PackedWeights) Elems() int { return len(p.Panels) }
+
+// packedPanelsLen returns the total panel length for a [k, n] B operand
+// under the FP32 blocking: each (jc, kc) tile stores kb4 x jb elements.
+func packedPanelsLen(k, n, kc0, nc0, mr int) int {
+	total := 0
+	for jc := 0; jc < n; jc += nc0 {
+		jb := min(n-jc, nc0)
+		for kc := 0; kc < k; kc += kc0 {
+			kb := min(k-kc, kc0)
+			kb4 := (kb + mr - 1) &^ (mr - 1)
+			total += kb4 * jb
+		}
+	}
+	return total
+}
+
+// PackGemmB packs a row-major [k, n] B matrix into the blocked-panel
+// layout, one packPanel tile per (jc, kc) block in kernel traversal
+// order. The result feeds GemmPrepacked.
+func PackGemmB(b []float32, k, n int) *PackedWeights {
+	if len(b) != k*n {
+		panic(fmt.Sprintf("tensor: PackGemmB data length %d, want %d", len(b), k*n))
+	}
+	pw := &PackedWeights{K: k, N: n, Panels: make([]float32, packedPanelsLen(k, n, gemmKC, gemmNC, gemmMR))}
+	off := 0
+	for jc := 0; jc < n; jc += gemmNC {
+		jb := min(n-jc, gemmNC)
+		for kc := 0; kc < k; kc += gemmKC {
+			kb := min(k-kc, gemmKC)
+			kb4 := (kb + gemmMR - 1) &^ (gemmMR - 1)
+			packPanel(pw.Panels[off:off+kb4*jb], b, n, kc, kb, kb4, jc, jb)
+			off += kb4 * jb
+		}
+	}
+	return pw
+}
+
+// PackConvWeights packs a [Cout, Cin, KH, KW] convolution weight tensor
+// for the prepacked GEMM path: the weight matrix is transposed to
+// [rows, Cout] (rows = Cin*KH*KW) and packed with PackGemmB. It returns
+// nil for weights sparse enough that the unpacked path would take the
+// zero-skipping kernel (pruned models keep their sparse fast path, and
+// the prepacked dense kernel would not be bitwise identical to it).
+func PackConvWeights(w *Tensor) *PackedWeights {
+	if len(w.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: PackConvWeights wants rank-4 weights, got %v", w.Shape))
+	}
+	if zeroFraction(w.Data) >= sparseSkipFraction {
+		return nil
+	}
+	cout := w.Shape[0]
+	rows := w.Shape[1] * w.Shape[2] * w.Shape[3]
+	wt := make([]float32, rows*cout)
+	for oc := 0; oc < cout; oc++ {
+		src := w.Data[oc*rows : (oc+1)*rows]
+		for r, v := range src {
+			wt[r*cout+oc] = v
+		}
+	}
+	pw := PackGemmB(wt, rows, cout)
+	pw.Shape = w.Shape.Clone()
+	return pw
+}
+
+// GemmPrepacked computes dst = a x B for a row-major a [m, pw.K] and the
+// prepacked B operand, overwriting all of dst[0:m*pw.N]. It is the
+// blocked kernel with the per-call packPanel step deleted: each (jc, kc)
+// tile's panel is a slice of pw.Panels at its precomputed offset. Large
+// multiplies shard output rows across the worker pool; per-row results
+// do not depend on the split, so output is bitwise identical to serial.
+func GemmPrepacked(dst, a []float32, pw *PackedWeights, m int) {
+	k, n := pw.K, pw.N
+	if m*k*n >= parallelThresholdMACs {
+		parallelFor(m, grainForMACs(k*n), func(lo, hi int) {
+			gemmPrepackedRange(dst, a, pw, lo, hi)
+		})
+		return
+	}
+	gemmPrepackedRange(dst, a, pw, 0, m)
+}
+
+// gemmPrepackedRange computes output rows [rlo, rhi) of dst = a x B.
+// The loop structure, A-row staging, and microkernel are exactly
+// matmulBlockedRange's; only the panel source differs.
+func gemmPrepackedRange(dst, a []float32, pw *PackedWeights, rlo, rhi int) {
+	k, n := pw.K, pw.N
+	for i := rlo; i < rhi; i++ {
+		clear(dst[i*n : (i+1)*n])
+	}
+	var abuf [gemmKC]float32
+	off := 0
+	for jc := 0; jc < n; jc += gemmNC {
+		jb := min(n-jc, gemmNC)
+		for kc := 0; kc < k; kc += gemmKC {
+			kb := min(k-kc, gemmKC)
+			kb4 := (kb + gemmMR - 1) &^ (gemmMR - 1)
+			panel := pw.Panels[off : off+kb4*jb]
+			off += kb4 * jb
+			for i := rlo; i < rhi; i++ {
+				copy(abuf[:kb], a[i*k+kc:i*k+kc+kb])
+				for z := kb; z < kb4; z++ {
+					abuf[z] = 0
+				}
+				orow := dst[i*n+jc : i*n+jc+jb]
+				for g := 0; g < kb4; g += gemmMR {
+					a0, a1, a2, a3 := abuf[g], abuf[g+1], abuf[g+2], abuf[g+3]
+					p := panel[g*jb : g*jb+jb*gemmMR]
+					for j := range orow {
+						base := j * gemmMR
+						orow[j] += a0*p[base] + a1*p[base+1] + a2*p[base+2] + a3*p[base+3]
+					}
+				}
+			}
+		}
+	}
+}
+
+// im2rowInto writes the im2row lowering of in into rowsA: a row-major
+// [Hout*Wout, Cin*KH*KW] matrix, one row per output pixel (the
+// transpose of im2colInto's layout), every element stored — padding
+// positions are explicit zeros, so dirty scratch cannot leak. Large
+// lowerings shard output-pixel rows across the worker pool; each row is
+// written by exactly one chunk.
+func im2rowInto(rowsA []float32, in *Tensor, kh, kw int, spec Conv2DSpec, hout, wout int) {
+	rdim := in.Shape[0] * kh * kw
+	if hout*wout*rdim < im2colElemsThreshold {
+		im2rowPixels(rowsA, in, kh, kw, spec, hout, wout, 0, hout*wout)
+		return
+	}
+	grain := (1 << 16) / rdim
+	parallelFor(hout*wout, grain, func(lo, hi int) {
+		im2rowPixels(rowsA, in, kh, kw, spec, hout, wout, lo, hi)
+	})
+}
+
+// im2rowPixels writes rows [plo, phi) of the im2row matrix, where row
+// index p maps to output pixel (oy = p/wout, ox = p%wout).
+func im2rowPixels(rowsA []float32, in *Tensor, kh, kw int, spec Conv2DSpec, hout, wout, plo, phi int) {
+	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	padH, padW := spec.padHW()
+	rdim := cin * kh * kw
+	for p := plo; p < phi; p++ {
+		oy, ox := p/wout, p%wout
+		dst := rowsA[p*rdim : (p+1)*rdim]
+		r := 0
+		for ic := 0; ic < cin; ic++ {
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*spec.Stride + ky - padH
+				if iy < 0 || iy >= h {
+					clear(dst[r : r+kw])
+					r += kw
+					continue
+				}
+				src := in.Data[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*spec.Stride + kx - padW
+					if ix >= 0 && ix < wd {
+						dst[r] = src[ix]
+					} else {
+						dst[r] = 0
+					}
+					r++
+				}
+			}
+		}
+	}
+}
+
+// prepackScratch holds the FP32 prepacked path's per-call scratch when
+// the caller supplies no arena: the im2row matrix and the transposed
+// GEMM output. Pooled so concurrent replicas never share or reallocate.
+type prepackScratch struct {
+	rows []float32
+	outT []float32
+}
+
+var prepackScratchPool = sync.Pool{New: func() any { return new(prepackScratch) }}
+
+func (s *prepackScratch) grow(nrows, nout int) {
+	if cap(s.rows) < nrows {
+		s.rows = make([]float32, nrows)
+	}
+	s.rows = s.rows[:nrows]
+	if cap(s.outT) < nout {
+		s.outT = make([]float32, nout)
+	}
+	s.outT = s.outT[:nout]
+}
+
+// prepackedConvDims validates the input against the packed weights and
+// returns (cout, kh, kw, hout, wout).
+func prepackedConvDims(in *Tensor, pw *PackedWeights, spec Conv2DSpec) (int, int, int, int, int) {
+	if len(pw.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: prepacked conv weights carry shape %v, want rank 4", pw.Shape))
+	}
+	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	cout, wcin, kh, kw := pw.Shape[0], pw.Shape[1], pw.Shape[2], pw.Shape[3]
+	if cin != wcin {
+		panic(fmt.Sprintf("tensor: prepacked conv channel mismatch: input %v weights %v", in.Shape, pw.Shape))
+	}
+	hout, wout := spec.OutDims(h, wd, kh, kw)
+	return cout, kh, kw, hout, wout
+}
+
+// convEpilogueTransposed writes output channel plane oc of dst from the
+// transposed GEMM output: the gather transposes outT's (pixel, channel)
+// layout back to channel-major, then the bias, affine, and activation
+// sweeps run over the contiguous plane with exactly the per-element
+// expressions of Conv2DGEMMFusedInto's epilogue, so prepacked output is
+// bitwise identical to the unpacked fused (or plain bias-swept) path.
+func convEpilogueTransposed(seg, outT []float32, oc, cout int, bias []float32, epi Epilogue) {
+	for i := range seg {
+		seg[i] = outT[i*cout+oc]
+	}
+	if bias != nil {
+		b := bias[oc]
+		for i := range seg {
+			seg[i] += b
+		}
+	}
+	if len(epi.Scale) > 0 {
+		scale, shift := epi.Scale[oc], epi.Shift[oc]
+		for i, v := range seg {
+			seg[i] = v*scale + shift
+		}
+	}
+	applyActInPlace(seg, epi.Act, epi.Alpha)
+}
+
+// Conv2DPrepackedInto computes the im2row + prepacked-GEMM convolution
+// into a preallocated dst of shape [Cout, Hout, Wout], overwriting
+// every element, with the bias/affine/activation epilogue applied
+// during the transpose back to channel-major layout. A zero-value epi
+// reproduces the plain GEMM conv (bias sweep only). When scratch is
+// non-nil the lowering and transposed-output buffers are borrowed from
+// (and returned to) it — the planner-reserved arena slots — otherwise a
+// package pool supplies them.
+func Conv2DPrepackedInto(dst, in *Tensor, pw *PackedWeights, bias []float32, spec Conv2DSpec, epi Epilogue, scratch *Pool) {
+	spec = spec.check()
+	cout, kh, kw, hout, wout := prepackedConvDims(in, pw, spec)
+	checkConvDst(dst, cout, hout, wout)
+	checkEpilogueChannels(epi, cout)
+	if bias != nil && len(bias) != cout {
+		panic("tensor: prepacked conv bias length mismatch")
+	}
+	ncols := hout * wout
+	var rowsA, outT []float32
+	if scratch != nil {
+		rt := scratch.Get(ncols, pw.K)
+		ot := scratch.Get(ncols, cout)
+		defer func() { scratch.Put(rt); scratch.Put(ot) }()
+		rowsA, outT = rt.Data, ot.Data
+	} else {
+		s := prepackScratchPool.Get().(*prepackScratch)
+		s.grow(ncols*pw.K, ncols*cout)
+		defer prepackScratchPool.Put(s)
+		rowsA, outT = s.rows, s.outT
+	}
+	im2rowInto(rowsA, in, kh, kw, spec, hout, wout)
+	GemmPrepacked(outT, rowsA, pw, ncols)
+	convEpilogueSweep(dst.Data, outT, cout, ncols, bias, epi)
+}
+
+// convEpilogueSweep runs convEpilogueTransposed over every output
+// channel, sharding channels across the worker pool when the output is
+// large (each channel's plane is written by exactly one chunk, so the
+// parallel sweep is bitwise identical to serial).
+func convEpilogueSweep(dst, outT []float32, cout, ncols int, bias []float32, epi Epilogue) {
+	if cout*ncols < parallelThresholdMACs {
+		for oc := 0; oc < cout; oc++ {
+			convEpilogueTransposed(dst[oc*ncols:(oc+1)*ncols], outT, oc, cout, bias, epi)
+		}
+		return
+	}
+	parallelFor(cout, grainForMACs(ncols), func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			convEpilogueTransposed(dst[oc*ncols:(oc+1)*ncols], outT, oc, cout, bias, epi)
+		}
+	})
+}
+
+// Conv2DPrepackedBatchInto is the batch-folded prepacked convolution:
+// the B inputs' im2row lowerings are stacked into one (B*Hout*Wout) x
+// rows matrix and multiplied in a single prepacked GEMM, so a serving
+// micro-batch becomes one wide GEMM instead of B narrow ones. Each
+// sample's rows are independent in the blocked kernel, so every output
+// is bitwise identical to B separate Conv2DPrepackedInto calls.
+func Conv2DPrepackedBatchInto(dsts, ins []*Tensor, pw *PackedWeights, bias []float32, spec Conv2DSpec, epi Epilogue) {
+	if len(dsts) != len(ins) || len(ins) == 0 {
+		panic("tensor: prepacked batch conv needs equal non-empty dst/in slices")
+	}
+	spec = spec.check()
+	cout, kh, kw, hout, wout := prepackedConvDims(ins[0], pw, spec)
+	for i, in := range ins {
+		if !in.Shape.Equal(ins[0].Shape) {
+			panic(fmt.Sprintf("tensor: prepacked batch conv input %d shape %v, want %v", i, in.Shape, ins[0].Shape))
+		}
+		checkConvDst(dsts[i], cout, hout, wout)
+	}
+	checkEpilogueChannels(epi, cout)
+	if bias != nil && len(bias) != cout {
+		panic("tensor: prepacked conv bias length mismatch")
+	}
+	b := len(ins)
+	ncols := hout * wout
+	s := prepackScratchPool.Get().(*prepackScratch)
+	s.grow(b*ncols*pw.K, b*ncols*cout)
+	defer prepackScratchPool.Put(s)
+	for i, in := range ins {
+		im2rowInto(s.rows[i*ncols*pw.K:(i+1)*ncols*pw.K], in, kh, kw, spec, hout, wout)
+	}
+	GemmPrepacked(s.outT, s.rows, pw, b*ncols)
+	for i, dst := range dsts {
+		convEpilogueSweep(dst.Data, s.outT[i*ncols*cout:(i+1)*ncols*cout], cout, ncols, bias, epi)
+	}
+}

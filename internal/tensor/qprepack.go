@@ -1,0 +1,389 @@
+package tensor
+
+import "fmt"
+
+// This file is the int8 twin of prepack.go: ahead-of-time packing of
+// quantized weights into the biased column-major panels the SWAR QGEMM
+// microkernel consumes, plus the transposed conv/dense entry points
+// that execute against them. The transposed formulation makes the
+// constant weight matrix the packed B operand (activations stream as A
+// rows), so the per-call packQPanel work in qgemm.go disappears
+// entirely. Integer accumulation is exact in any order, so — unlike the
+// FP32 path, which must replicate the blocked kernel's float
+// accumulation order — the int8 prepacked results are bitwise identical
+// to the unpacked kernels by construction, including int8 Dense (whose
+// FP32 counterpart stays unpacked).
+
+// PackedQWeights is an int8 weight matrix packed AOT into the QGEMM
+// panel layout: +128-biased bytes, column-major per (N-block, K-block)
+// tile, concatenated in kernel traversal order (jc outer, kc inner).
+// Immutable after construction — graph clones share the pointer.
+type PackedQWeights struct {
+	// K and N are the GEMM dimensions of the packed operand: it stands
+	// in for a [K, N] int8 B matrix (K = Cin*KH*KW, N = Cout for convs;
+	// K = In, N = Out for dense layers).
+	K, N int
+	// Shape is the original quantized weight shape, kept so the
+	// executor can derive kernel geometry from the pack alone.
+	Shape Shape
+	// Panels is the concatenated packed panel data (one byte per
+	// element, value = int8 + 128).
+	Panels []byte
+}
+
+// Elems returns the packed panel byte count.
+func (p *PackedQWeights) Elems() int { return len(p.Panels) }
+
+// PackQGemmB packs a row-major [k, n] int8 B matrix into the QGEMM
+// panel layout, one packQPanel tile per (jc, kc) block in kernel
+// traversal order. The result feeds QGemmPrepacked.
+func PackQGemmB(b []int8, k, n int) *PackedQWeights {
+	if len(b) != k*n {
+		panic(fmt.Sprintf("tensor: PackQGemmB data length %d, want %d", len(b), k*n))
+	}
+	pq := &PackedQWeights{K: k, N: n, Panels: make([]byte, packedPanelsLen(k, n, qgemmKC, qgemmNC, qgemmMR))}
+	off := 0
+	for jc := 0; jc < n; jc += qgemmNC {
+		jb := min(n-jc, qgemmNC)
+		for kc := 0; kc < k; kc += qgemmKC {
+			kb := min(k-kc, qgemmKC)
+			kb4 := (kb + qgemmMR - 1) &^ (qgemmMR - 1)
+			packQPanel(pq.Panels[off:off+kb4*jb], b, n, kc, kb, kb4, jc, jb)
+			off += kb4 * jb
+		}
+	}
+	return pq
+}
+
+// packQTransposed packs the transpose of a row-major [n, k] int8 matrix
+// (so the packed operand is [k, n]) — the shared core of the conv and
+// dense weight packers.
+func packQTransposed(data []int8, n, k int, shape Shape) *PackedQWeights {
+	bt := make([]int8, k*n)
+	for row := 0; row < n; row++ {
+		src := data[row*k : (row+1)*k]
+		for c, v := range src {
+			bt[c*n+row] = v
+		}
+	}
+	pq := PackQGemmB(bt, k, n)
+	pq.Shape = shape.Clone()
+	return pq
+}
+
+// PackQConvWeights packs [Cout, Cin, KH, KW] int8 convolution weights
+// for the prepacked QGEMM path (transposed to [Cin*KH*KW, Cout]).
+func PackQConvWeights(qw *QTensor) *PackedQWeights {
+	if len(qw.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: PackQConvWeights wants rank-4 weights, got %v", qw.Shape))
+	}
+	cout := qw.Shape[0]
+	rows := qw.Shape[1] * qw.Shape[2] * qw.Shape[3]
+	return packQTransposed(qw.Data, cout, rows, qw.Shape)
+}
+
+// PackQDenseWeights packs an [Out, In] int8 dense weight matrix for the
+// prepacked QGEMM path (transposed to [In, Out]).
+func PackQDenseWeights(qw *QTensor) *PackedQWeights {
+	if len(qw.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: PackQDenseWeights wants rank-2 weights, got %v", qw.Shape))
+	}
+	return packQTransposed(qw.Data, qw.Shape[0], qw.Shape[1], qw.Shape)
+}
+
+// QGemmPrepacked computes dst = a x B for a row-major int8 a [m, pq.K]
+// and the prepacked B operand, overwriting all of dst[0:m*pq.N]. Like
+// QGEMM it shards large multiplies by row pairs to keep the SWAR
+// two-rows-per-int64 pairing on even boundaries; results are identical
+// to any split because integer accumulation is exact.
+func QGemmPrepacked(dst []int32, a []int8, pq *PackedQWeights, m int) {
+	k, n := pq.K, pq.N
+	if m*k*n < parallelThresholdMACs {
+		qgemmPrepackedRange(dst, a, pq, 0, m)
+		return
+	}
+	pairs := (m + 1) / 2
+	parallelFor(pairs, grainForMACs(2*k*n), func(lo, hi int) {
+		rlo, rhi := qgemmPairRange(lo, hi, m)
+		qgemmPrepackedRange(dst, a, pq, rlo, rhi)
+	})
+}
+
+// qgemmPrepackedRange computes output rows [rlo, rhi) of dst = a x B.
+// The loop structure, row staging, and SWAR microkernels are exactly
+// qgemmBlockedRange's; only the panel source differs.
+func qgemmPrepackedRange(dst []int32, a []int8, pq *PackedQWeights, rlo, rhi int) {
+	k, n := pq.K, pq.N
+	for i := rlo; i < rhi; i++ {
+		clear(dst[i*n : (i+1)*n])
+	}
+	var abuf0, abuf1 [qgemmKC]int8
+	var pair [qgemmKC]int64
+	off := 0
+	for jc := 0; jc < n; jc += qgemmNC {
+		jb := min(n-jc, qgemmNC)
+		for kc := 0; kc < k; kc += qgemmKC {
+			kb := min(k-kc, qgemmKC)
+			kb4 := (kb + qgemmMR - 1) &^ (qgemmMR - 1)
+			panel := pq.Panels[off : off+kb4*jb]
+			off += kb4 * jb
+			i := rlo
+			for ; i+1 < rhi; i += 2 {
+				s0 := loadQRow(&abuf0, a, i, k, kc, kb, kb4)
+				s1 := loadQRow(&abuf1, a, i+1, k, kc, kb, kb4)
+				for g := 0; g < kb4; g++ {
+					pair[g] = int64(abuf1[g])<<32 + int64(abuf0[g])
+				}
+				qkernel2(dst[i*n+jc:i*n+jc+jb], dst[(i+1)*n+jc:(i+1)*n+jc+jb],
+					panel, pair[:kb4], 128*s0, 128*s1, kb4)
+			}
+			if i < rhi {
+				s0 := loadQRow(&abuf0, a, i, k, kc, kb, kb4)
+				qkernel1(dst[i*n+jc:i*n+jc+jb], panel, abuf0[:kb4], 128*s0, kb4)
+			}
+		}
+	}
+}
+
+// im2rowQInto is the int8 twin of im2rowInto: it lowers the quantized
+// input (layout [Cin, H, W]) into rowsQ as a [Hout*Wout, Cin*KH*KW]
+// int8 matrix, padding positions written as explicit zeros (the int8
+// zero-point of the symmetric scheme).
+func im2rowQInto(rowsQ []int8, qin []int8, cin, h, wd, kh, kw int, spec Conv2DSpec, hout, wout int) {
+	padH, padW := spec.padHW()
+	rdim := cin * kh * kw
+	for p := 0; p < hout*wout; p++ {
+		oy, ox := p/wout, p%wout
+		dst := rowsQ[p*rdim : (p+1)*rdim]
+		r := 0
+		for ic := 0; ic < cin; ic++ {
+			for ky := 0; ky < kh; ky++ {
+				iy := oy*spec.Stride + ky - padH
+				if iy < 0 || iy >= h {
+					clear(dst[r : r+kw])
+					r += kw
+					continue
+				}
+				src := qin[(ic*h+iy)*wd : (ic*h+iy+1)*wd]
+				for kx := 0; kx < kw; kx++ {
+					ix := ox*spec.Stride + kx - padW
+					if ix >= 0 && ix < wd {
+						dst[r] = src[ix]
+					} else {
+						dst[r] = 0
+					}
+					r++
+				}
+			}
+		}
+	}
+}
+
+// requantizeStrided is requantizeInto over a strided accumulator view:
+// dst[i] is computed from acc[i*stride] with exactly the per-element
+// expressions of requantizeInto, so the transposed prepacked path's
+// outputs are bitwise identical to the unpacked epilogue's.
+func requantizeStrided(dst []float32, acc []int32, stride int, scale float32, bias float32, act Act, alpha float32) {
+	switch act {
+	case ActNone:
+		for i := range dst {
+			dst[i] = float32(acc[i*stride])*scale + bias
+		}
+	case ActReLU:
+		for i := range dst {
+			x := float32(acc[i*stride])*scale + bias
+			if x < 0 {
+				x = 0
+			}
+			dst[i] = x
+		}
+	case ActReLU6:
+		for i := range dst {
+			x := float32(acc[i*stride])*scale + bias
+			if x < 0 {
+				x = 0
+			} else if x > 6 {
+				x = 6
+			}
+			dst[i] = x
+		}
+	case ActLeakyReLU:
+		for i := range dst {
+			x := float32(acc[i*stride])*scale + bias
+			if x < 0 {
+				x *= alpha
+			}
+			dst[i] = x
+		}
+	default:
+		// The transcendental activations share requantizeInto's exact
+		// expressions via a per-element forwarding call.
+		for i := range dst {
+			requantizeInto(dst[i:i+1], acc[i*stride:i*stride+1], scale, bias, act, alpha)
+		}
+	}
+}
+
+// prepackedQConvDims validates the input against the packed weights and
+// returns (cin, h, w, cout, kh, kw, hout, wout).
+func prepackedQConvDims(in *Tensor, pq *PackedQWeights, spec Conv2DSpec) (int, int, int, int, int, int, int, int) {
+	if len(pq.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: prepacked qconv weights carry shape %v, want rank 4", pq.Shape))
+	}
+	cin, h, wd := in.Shape[0], in.Shape[1], in.Shape[2]
+	cout, wcin, kh, kw := pq.Shape[0], pq.Shape[1], pq.Shape[2], pq.Shape[3]
+	if cin != wcin {
+		panic(fmt.Sprintf("tensor: prepacked qconv channel mismatch: input %v weights %v", in.Shape, pq.Shape))
+	}
+	hout, wout := spec.OutDims(h, wd, kh, kw)
+	return cin, h, wd, cout, kh, kw, hout, wout
+}
+
+// Conv2DQPrepackedInto is Conv2DQInt8Into against AOT-packed weights:
+// dynamic activation quantization, int8 im2row, prepacked QGEMM, and
+// the fused requantize+bias+activation epilogue applied through the
+// strided (transposed) accumulator view. qw supplies the weight scales
+// (per-tensor or per-channel); its codes are not read.
+func Conv2DQPrepackedInto(dst, in *Tensor, pq *PackedQWeights, qw *QTensor, bias []float32, spec Conv2DSpec, act Act, alpha float32) {
+	spec = spec.check()
+	cin, h, wd, cout, kh, kw, hout, wout := prepackedQConvDims(in, pq, spec)
+	if bias != nil && len(bias) != cout {
+		panic("tensor: prepacked qconv bias length mismatch")
+	}
+	checkConvDst(dst, cout, hout, wout)
+	ncols := hout * wout
+	s := qscratchPool.Get().(*qscratch)
+	s.grow(len(in.Data), ncols*pq.K, ncols*cout)
+
+	sx := QuantizeDynamicInto(s.qin, in.Data)
+	im2rowQInto(s.cols, s.qin, cin, h, wd, kh, kw, spec, hout, wout)
+	QGemmPrepacked(s.acc, s.cols, pq, ncols)
+
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		requantizeStrided(dst.Data[oc*ncols:(oc+1)*ncols], s.acc[oc:],
+			cout, sx*qw.ScaleFor(oc), b, act, alpha)
+	}
+	qscratchPool.Put(s)
+}
+
+// Conv2DQPrepackedBatchInto is the batch-folded prepacked int8
+// convolution: every sample is quantized with its own dynamic scale
+// (bitwise matching B sequential calls), the im2row lowerings stack
+// into one (B*Hout*Wout) x rows matrix, and a single prepacked QGEMM
+// produces all accumulators before the per-sample requantize sweeps.
+func Conv2DQPrepackedBatchInto(dsts, ins []*Tensor, pq *PackedQWeights, qw *QTensor, bias []float32, spec Conv2DSpec, act Act, alpha float32) {
+	if len(dsts) != len(ins) || len(ins) == 0 {
+		panic("tensor: prepacked batch qconv needs equal non-empty dst/in slices")
+	}
+	spec = spec.check()
+	cin, h, wd, cout, kh, kw, hout, wout := prepackedQConvDims(ins[0], pq, spec)
+	if bias != nil && len(bias) != cout {
+		panic("tensor: prepacked qconv bias length mismatch")
+	}
+	for i, in := range ins {
+		if !in.Shape.Equal(ins[0].Shape) {
+			panic(fmt.Sprintf("tensor: prepacked batch qconv input %d shape %v, want %v", i, in.Shape, ins[0].Shape))
+		}
+		checkConvDst(dsts[i], cout, hout, wout)
+	}
+	b := len(ins)
+	ncols := hout * wout
+	s := qscratchPool.Get().(*qscratch)
+	s.grow(len(ins[0].Data), b*ncols*pq.K, b*ncols*cout)
+	scales := make([]float32, b)
+	for i, in := range ins {
+		scales[i] = QuantizeDynamicInto(s.qin, in.Data)
+		im2rowQInto(s.cols[i*ncols*pq.K:(i+1)*ncols*pq.K], s.qin, cin, h, wd, kh, kw, spec, hout, wout)
+	}
+	QGemmPrepacked(s.acc, s.cols, pq, b*ncols)
+	for i, dst := range dsts {
+		acc := s.acc[i*ncols*cout : (i+1)*ncols*cout]
+		for oc := 0; oc < cout; oc++ {
+			var bb float32
+			if bias != nil {
+				bb = bias[oc]
+			}
+			requantizeStrided(dst.Data[oc*ncols:(oc+1)*ncols], acc[oc:],
+				cout, scales[i]*qw.ScaleFor(oc), bb, act, alpha)
+		}
+	}
+	qscratchPool.Put(s)
+}
+
+// DenseQPrepackedInto is DenseQInt8Into against AOT-packed weights: the
+// quantized input runs as a single A row through the prepacked QGEMM
+// (integer-exact, so identical to the unpacked matvec), then the
+// requantize epilogue applies per output element.
+func DenseQPrepackedInto(dst []float32, pq *PackedQWeights, qw *QTensor, bias, x []float32, act Act, alpha float32) {
+	if len(pq.Shape) != 2 || pq.K != len(x) {
+		panic(fmt.Sprintf("tensor: DenseQPrepacked shape mismatch: %v x vec(%d)", pq.Shape, len(x)))
+	}
+	m := pq.N
+	if len(dst) != m {
+		panic("tensor: DenseQPrepacked dst length mismatch")
+	}
+	if bias != nil && len(bias) != m {
+		panic("tensor: DenseQPrepacked bias length mismatch")
+	}
+	s := qscratchPool.Get().(*qscratch)
+	s.grow(pq.K, 0, m)
+	sx := QuantizeDynamicInto(s.qin, x)
+	QGemmPrepacked(s.acc, s.qin, pq, 1)
+	for i := range dst {
+		var b float32
+		if bias != nil {
+			b = bias[i]
+		}
+		requantizeInto(dst[i:i+1], s.acc[i:i+1], sx*qw.ScaleFor(i), b, act, alpha)
+	}
+	qscratchPool.Put(s)
+}
+
+// DenseQPrepackedBatchInto folds a micro-batch of dense forwards into
+// one prepacked QGEMM: each sample quantizes with its own dynamic scale
+// into one A row, so B matvecs become a [B, In] x [In, Out] multiply —
+// wide enough to engage the SWAR row-pairing the single-row path cannot
+// use. Outputs are bitwise identical to B sequential calls.
+func DenseQPrepackedBatchInto(dsts []*Tensor, ins []*Tensor, pq *PackedQWeights, qw *QTensor, bias []float32, act Act, alpha float32) {
+	if len(dsts) != len(ins) || len(ins) == 0 {
+		panic("tensor: prepacked batch dense needs equal non-empty dst/in slices")
+	}
+	if len(pq.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: DenseQPrepackedBatch weights carry shape %v, want rank 2", pq.Shape))
+	}
+	m := pq.N
+	if bias != nil && len(bias) != m {
+		panic("tensor: DenseQPrepacked bias length mismatch")
+	}
+	b := len(ins)
+	for i, in := range ins {
+		if len(in.Data) != pq.K {
+			panic(fmt.Sprintf("tensor: DenseQPrepackedBatch input %d length %d, want %d", i, len(in.Data), pq.K))
+		}
+		if len(dsts[i].Data) != m {
+			panic("tensor: DenseQPrepacked dst length mismatch")
+		}
+	}
+	s := qscratchPool.Get().(*qscratch)
+	s.grow(b*pq.K, 0, b*m)
+	scales := make([]float32, b)
+	for i, in := range ins {
+		scales[i] = QuantizeDynamicInto(s.qin[i*pq.K:(i+1)*pq.K], in.Data)
+	}
+	QGemmPrepacked(s.acc, s.qin, pq, b)
+	for i, dst := range dsts {
+		acc := s.acc[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			var bb float32
+			if bias != nil {
+				bb = bias[j]
+			}
+			requantizeInto(dst.Data[j:j+1], acc[j:j+1], scales[i]*qw.ScaleFor(j), bb, act, alpha)
+		}
+	}
+	qscratchPool.Put(s)
+}
